@@ -1,0 +1,52 @@
+"""Figure 3: accuracy, inference time and memory of the ConvNet zoo.
+
+Regenerates the scatter's underlying table from the model cards and
+benchmarks the latency-model evaluation itself (it sits on the serving
+hot path: every dispatch decision calls ``c(m, b)``).
+"""
+
+from _harness import emit
+
+from repro.zoo import list_profiles
+
+
+def test_fig03_model_profile_table(benchmark):
+    profiles = benchmark(list_profiles)
+    lines = [
+        f"{'model':<22} {'top-1 acc':>9} {'iter time b=50 (s)':>19} {'memory (MB)':>12}"
+    ]
+    for profile in sorted(profiles, key=lambda p: p.iteration_time_b50):
+        lines.append(
+            f"{profile.name:<22} {profile.top1_accuracy:>9.3f} "
+            f"{profile.iteration_time_b50:>19.3f} {profile.memory_mb:>12.0f}"
+        )
+    emit("fig03_model_profiles", "\n".join(lines))
+
+    # Figure 3's qualitative structure:
+    by_name = {p.name: p for p in profiles}
+    # mobilenet is the fastest, nasnet_large the slowest and most accurate
+    fastest = min(profiles, key=lambda p: p.iteration_time_b50)
+    assert fastest.name == "mobilenet_v1"
+    most_accurate = max(profiles, key=lambda p: p.top1_accuracy)
+    assert most_accurate.name == "nasnet_large"
+    # VGGs are slow *and* inaccurate (the figure's lower-right corner)
+    assert by_name["vgg_16"].iteration_time_b50 > by_name["inception_v3"].iteration_time_b50
+    assert by_name["vgg_16"].top1_accuracy < by_name["inception_v3"].top1_accuracy
+    # deeper resnets are slower but more accurate within the family
+    assert by_name["resnet_v2_152"].top1_accuracy > by_name["resnet_v2_50"].top1_accuracy
+    assert by_name["resnet_v2_152"].iteration_time_b50 > by_name["resnet_v2_50"].iteration_time_b50
+
+
+def test_fig03_latency_model_hot_path(benchmark):
+    """c(m, b) evaluations are cheap enough for per-dispatch use."""
+    profiles = list_profiles()
+
+    def evaluate_all():
+        total = 0.0
+        for profile in profiles:
+            for batch in (16, 32, 48, 64):
+                total += profile.inference_time(batch)
+        return total
+
+    total = benchmark(evaluate_all)
+    assert total > 0

@@ -1,0 +1,66 @@
+"""Figure 6: ensemble accuracy for every combination of the 4 models.
+
+Regenerates the full subset table over the simulated validation panel
+(majority voting, best-model tie-break) and asserts the figure's
+observations: more models generally help, but a two-model ensemble
+collapses to its better member, so {resnet_v2_101, inception_v3} loses
+to the single inception_resnet_v2.
+"""
+
+import pytest
+from _harness import emit
+
+from repro.zoo import EnsembleAccuracyModel
+
+MODELS = ("resnet_v2_101", "inception_v3", "inception_v4", "inception_resnet_v2")
+
+
+@pytest.fixture(scope="module")
+def panel():
+    return EnsembleAccuracyModel(MODELS)
+
+
+def test_fig06_ensemble_table(benchmark, panel):
+    table = benchmark.pedantic(panel.accuracy_table, rounds=1, iterations=1)
+
+    lines = [f"{'models':<6} {'accuracy':>9}  combination"]
+    for names, accuracy in sorted(table.items(), key=lambda kv: (len(kv[0]), -kv[1])):
+        lines.append(f"{len(names):<6} {accuracy:>9.4f}  {' + '.join(names)}")
+    emit("fig06_ensemble", "\n".join(lines))
+
+    singles = {n: table[(n,)] for n in MODELS}
+    best_single = max(singles.values())
+
+    # (1) marginals track the Figure 3 accuracies (within MC noise)
+    assert singles["inception_resnet_v2"] == pytest.approx(0.804, abs=0.01)
+    assert singles["resnet_v2_101"] == pytest.approx(0.770, abs=0.01)
+
+    # (2) the paper's exception: this 2-model ensemble underperforms the
+    # single best model because every disagreement is a tie
+    pair = table[("resnet_v2_101", "inception_v3")]
+    assert pair == pytest.approx(singles["inception_v3"], abs=1e-9)
+    assert pair < best_single
+
+    # (3) any 2-model ensemble equals its better member
+    for names, accuracy in table.items():
+        if len(names) == 2:
+            assert accuracy == pytest.approx(max(singles[n] for n in names), abs=1e-9)
+
+    # (4) 3- and 4-model ensembles beat the best single model
+    three_best = max(a for names, a in table.items() if len(names) == 3)
+    four = table[MODELS]
+    assert three_best > best_single
+    assert four > three_best
+
+    # (5) magnitudes match Figure 6's axis (~0.81 / ~0.825)
+    assert 0.80 < three_best < 0.83
+    assert 0.81 < four < 0.84
+
+
+def test_fig06_vote_aggregation_throughput(benchmark, panel):
+    """Majority voting over the 40k-example panel (the offline step that
+    fills the serving reward's accuracy table)."""
+    from repro.zoo import majority_vote
+
+    predictions = benchmark(majority_vote, panel._votes, panel.accuracies)
+    assert predictions.shape == (panel.num_examples,)

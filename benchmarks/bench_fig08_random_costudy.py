@@ -1,0 +1,75 @@
+"""Figure 8: Study vs CoStudy under random search.
+
+Regenerates the three panels over the surrogate trainer:
+(a) per-trial validation accuracies (summarised), (b) the accuracy
+histogram, (c) best-so-far accuracy vs total training epochs.
+"""
+
+import numpy as np
+import pytest
+from _harness import (
+    best_so_far_table,
+    emit,
+    format_study_rows,
+    histogram_table,
+    run_tuning_study,
+    study_summary,
+)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    study = run_tuning_study("random", collaborative=False)
+    costudy = run_tuning_study("random", collaborative=True)
+    return study, costudy
+
+
+def test_fig08_study_vs_costudy(benchmark, reports):
+    study, costudy = benchmark.pedantic(lambda: reports, rounds=1, iterations=1)
+
+    text = "\n\n".join(
+        [
+            "summary (Figure 8a):\n" + format_study_rows(
+                [("random / Study", study), ("random / CoStudy", costudy)]
+            ),
+            "histogram, Study (Figure 8b):\n" + histogram_table(study),
+            "histogram, CoStudy (Figure 8b):\n" + histogram_table(costudy),
+            "best-so-far vs epochs, Study (Figure 8c):\n" + best_so_far_table(study),
+            "best-so-far vs epochs, CoStudy (Figure 8c):\n" + best_so_far_table(costudy),
+        ]
+    )
+    emit("fig08_random_costudy", text)
+
+    s, c = study_summary(study), study_summary(costudy)
+    # (b) CoStudy has more high-accuracy trials and fewer low ones
+    assert c["above_50"] > s["above_50"]
+    assert c["mean"] > s["mean"]
+    # (c) CoStudy is faster: it reaches its best with far fewer epochs
+    assert c["total_epochs"] < 0.5 * s["total_epochs"]
+    # (c) and at least matches Study's final accuracy
+    assert c["best"] >= s["best"] - 0.005
+    # both land in the >90% regime the paper reports for CIFAR-10
+    assert s["best"] > 0.88
+    assert c["best"] > 0.90
+
+
+def test_fig08_costudy_beats_study_at_equal_epoch_budget(benchmark, reports):
+    """At any epoch budget, CoStudy's best-so-far dominates Study's."""
+    study, costudy = benchmark.pedantic(lambda: reports, rounds=1, iterations=1)
+    study_curve = study.best_so_far_curve()
+    co_curve = costudy.best_so_far_curve()
+    horizon = co_curve[-1][0]  # epochs CoStudy needed in total
+
+    def best_at(curve, budget):
+        best = 0.0
+        for epochs, acc in curve:
+            if epochs > budget:
+                break
+            best = acc
+        return best
+
+    checkpoints = np.linspace(horizon * 0.3, horizon, 5)
+    wins = sum(
+        best_at(co_curve, b) >= best_at(study_curve, b) - 0.01 for b in checkpoints
+    )
+    assert wins >= 4  # CoStudy dominates (allowing one noisy checkpoint)

@@ -1,0 +1,85 @@
+"""Figure 9: Study vs CoStudy under Gaussian-process Bayesian optimisation.
+
+Also checks the cross-figure observation that BO beats random search,
+and reproduces the paper's side-finding: CoStudy's randomly-initialised
+(alpha-greedy) trials form a low-accuracy tail that pollutes the GP's
+prior, and their number shrinks as alpha decays.
+"""
+
+import numpy as np
+import pytest
+from _harness import (
+    best_so_far_table,
+    emit,
+    format_study_rows,
+    histogram_table,
+    run_tuning_study,
+    study_summary,
+)
+
+from repro.core.tune.trial import InitKind
+
+
+@pytest.fixture(scope="module")
+def reports():
+    study = run_tuning_study("bayesian", collaborative=False)
+    costudy = run_tuning_study("bayesian", collaborative=True)
+    return study, costudy
+
+
+def test_fig09_bayes_study_vs_costudy(benchmark, reports):
+    study, costudy = benchmark.pedantic(lambda: reports, rounds=1, iterations=1)
+    text = "\n\n".join(
+        [
+            "summary (Figure 9a):\n" + format_study_rows(
+                [("bayes / Study", study), ("bayes / CoStudy", costudy)]
+            ),
+            "histogram, Study (Figure 9b):\n" + histogram_table(study),
+            "histogram, CoStudy (Figure 9b):\n" + histogram_table(costudy),
+            "best-so-far vs epochs, Study (Figure 9c):\n" + best_so_far_table(study),
+            "best-so-far vs epochs, CoStudy (Figure 9c):\n" + best_so_far_table(costudy),
+        ]
+    )
+    emit("fig09_bayes_costudy", text)
+
+    s, c = study_summary(study), study_summary(costudy)
+    assert c["above_50"] > s["above_50"]
+    assert c["mean"] > s["mean"]
+    assert c["total_epochs"] < 0.6 * s["total_epochs"]
+    assert s["best"] > 0.90 and c["best"] > 0.90
+
+
+def test_fig09_bo_beats_random_search(benchmark, reports):
+    """Figure 9 vs Figure 8: BO's trials are denser in the top region."""
+    bo_study, _ = reports
+    random_study = benchmark.pedantic(
+        run_tuning_study, args=("random",), kwargs={"collaborative": False},
+        rounds=1, iterations=1,
+    )
+    assert study_summary(bo_study)["mean"] > study_summary(random_study)["mean"]
+    assert study_summary(bo_study)["above_50"] > study_summary(random_study)["above_50"]
+
+
+def test_fig09_random_init_trials_form_low_tail(benchmark, reports):
+    """The right-bottom points of Figure 9a: CoStudy's random-init
+    trials score lower on average than its warm-started ones."""
+    _, costudy = benchmark.pedantic(lambda: reports, rounds=1, iterations=1)
+    random_scores = [
+        r.performance for r in costudy.results
+        if r.trial.init_kind is InitKind.RANDOM
+    ]
+    warm_scores = [
+        r.performance for r in costudy.results
+        if r.trial.init_kind is InitKind.WARM_START
+    ]
+    assert random_scores and warm_scores
+    assert np.mean(random_scores) < np.mean(warm_scores)
+    # alpha decays: random initialisation concentrates in the early trials
+    random_positions = [
+        i for i, r in enumerate(costudy.results)
+        if r.trial.init_kind is InitKind.RANDOM
+    ]
+    midpoint = len(costudy.results) / 2
+    early = sum(1 for i in random_positions if i < midpoint)
+    late = len(random_positions) - early
+    assert early > late

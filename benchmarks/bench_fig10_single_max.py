@@ -1,0 +1,63 @@
+"""Figure 10: single model, arrivals around the maximum throughput r_u.
+
+Greedy (Algorithm 3) vs RL batch-size selection for inception_v3 with
+B = {16, 32, 48, 64} and tau = 0.56 s. Expectation from the paper: the
+two are similar when the rate is high; RL is better when the rate is
+low (greedy's leftover requests go overdue).
+"""
+
+import pytest
+from _harness import (
+    PERIOD,
+    SINGLE_MODEL,
+    emit,
+    run_serving,
+    serving_summary_line,
+    serving_timeline_table,
+    single_model_rates,
+)
+
+HORIZON = 6160.0  # 22 arrival cycles
+
+
+@pytest.fixture(scope="module")
+def runs():
+    r_u, _ = single_model_rates()
+    greedy = run_serving("greedy-single", r_u, HORIZON, models=(SINGLE_MODEL,))
+    rl = run_serving("rl", r_u, HORIZON, models=(SINGLE_MODEL,))
+    return greedy, rl
+
+
+def test_fig10_greedy_vs_rl_at_max_rate(benchmark, runs):
+    (greedy, g_window), (rl, r_window) = benchmark.pedantic(
+        lambda: runs, rounds=1, iterations=1
+    )
+    text = "\n\n".join(
+        [
+            serving_summary_line("greedy", greedy, g_window),
+            serving_summary_line("RL", rl, r_window),
+            "greedy timeline (one cycle):\n" + serving_timeline_table(greedy, g_window),
+            "RL timeline (one cycle):\n" + serving_timeline_table(rl, r_window),
+        ]
+    )
+    emit("fig10_single_max", text)
+
+    g_overdue = greedy.overdue_fraction(g_window)
+    r_overdue = rl.overdue_fraction(r_window)
+    # high-rate phases saturate the model for both controllers: similar
+    assert r_overdue == pytest.approx(g_overdue, abs=0.08)
+    # both serve every arrival eventually (no drops at this capacity)
+    assert greedy.dropped == 0
+
+
+def test_fig10_rl_better_in_troughs(benchmark, runs):
+    """During low-rate buckets, greedy's leftovers overdue; RL's do not."""
+    (greedy, g_window), (rl, r_window) = benchmark.pedantic(
+        lambda: runs, rounds=1, iterations=1
+    )
+    g_rows = greedy.timeline(bucket=PERIOD / 10, start=g_window)
+    r_rows = rl.timeline(bucket=PERIOD / 10, start=r_window)
+    r_u, _ = single_model_rates()
+    g_trough = sum(r.overdue_rate for r in g_rows if r.arrival_rate < 0.3 * r_u)
+    r_trough = sum(r.overdue_rate for r in r_rows if r.arrival_rate < 0.3 * r_u)
+    assert r_trough <= g_trough

@@ -1,0 +1,61 @@
+"""Figure 11: distributed tuning scales nearly linearly with workers.
+
+Runs the same trial budget on 1/2/4/8 workers over simulated time:
+(a) total wall time per worker count, (b) best validation accuracy vs
+wall time.
+"""
+
+import pytest
+from _harness import emit, run_tuning_study
+
+WORKER_COUNTS = (1, 2, 4, 8)
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {
+        workers: run_tuning_study(
+            "random", collaborative=True, max_trials=120, num_workers=workers,
+        )
+        for workers in WORKER_COUNTS
+    }
+
+
+def test_fig11a_wall_time_scales(benchmark, reports):
+    results = benchmark.pedantic(lambda: reports, rounds=1, iterations=1)
+    lines = [f"{'workers':>8} {'wall time (min, sim)':>21} {'speed-up':>9}"]
+    base = results[1].wall_time
+    for workers in WORKER_COUNTS:
+        wall = results[workers].wall_time
+        lines.append(f"{workers:>8} {wall / 60:>21.0f} {base / wall:>9.2f}x")
+    emit("fig11a_scalability", "\n".join(lines))
+
+    # wall time strictly decreases with more workers
+    walls = [results[w].wall_time for w in WORKER_COUNTS]
+    assert walls == sorted(walls, reverse=True)
+    # near-linear: 8 workers at least 4x faster than 1
+    assert walls[0] / walls[-1] > 4.0
+    # 2 workers at least 1.6x faster than 1
+    assert walls[0] / walls[1] > 1.6
+
+
+def test_fig11b_accuracy_vs_wall_time(benchmark, reports):
+    reports = benchmark.pedantic(lambda: reports, rounds=1, iterations=1)
+    lines = [f"{'workers':>8} {'minutes to reach 85%':>21} {'final best':>11}"]
+    minutes_to_target = {}
+    for workers in WORKER_COUNTS:
+        report = reports[workers]
+        reached = next(
+            (entry.time for entry in report.history if entry.best_so_far >= 0.85),
+            None,
+        )
+        minutes_to_target[workers] = reached
+        shown = f"{reached / 60:.0f}" if reached is not None else "n/a"
+        lines.append(f"{workers:>8} {shown:>21} {report.best_performance:>11.4f}")
+    emit("fig11b_accuracy_vs_walltime", "\n".join(lines))
+
+    # every configuration reaches the 85% target...
+    assert all(v is not None for v in minutes_to_target.values())
+    # ...and more workers reach it sooner
+    assert minutes_to_target[8] < minutes_to_target[1]
+    assert minutes_to_target[4] < minutes_to_target[1]

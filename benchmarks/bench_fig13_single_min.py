@@ -1,0 +1,60 @@
+"""Figure 13: single model, arrivals around the minimum throughput r_l.
+
+At this gentler rate the paper finds RL better than greedy at both high
+and low phases: the queue rarely fills a candidate batch, so greedy
+keeps stalling on Algorithm 3's deadline check while RL serves
+immediately.
+"""
+
+import pytest
+from _harness import (
+    SINGLE_MODEL,
+    emit,
+    run_serving,
+    serving_summary_line,
+    serving_timeline_table,
+    single_model_rates,
+)
+
+HORIZON = 6160.0  # 22 arrival cycles
+
+
+@pytest.fixture(scope="module")
+def runs():
+    _, r_l = single_model_rates()
+    greedy = run_serving("greedy-single", r_l, HORIZON, models=(SINGLE_MODEL,))
+    rl = run_serving("rl", r_l, HORIZON, models=(SINGLE_MODEL,))
+    return greedy, rl
+
+
+def test_fig13_greedy_vs_rl_at_min_rate(benchmark, runs):
+    (greedy, g_window), (rl, r_window) = benchmark.pedantic(
+        lambda: runs, rounds=1, iterations=1
+    )
+    text = "\n\n".join(
+        [
+            serving_summary_line("greedy", greedy, g_window),
+            serving_summary_line("RL", rl, r_window),
+            "greedy timeline (one cycle):\n" + serving_timeline_table(greedy, g_window),
+            "RL timeline (one cycle):\n" + serving_timeline_table(rl, r_window),
+        ]
+    )
+    emit("fig13_single_min", text)
+
+    # overall fewer overdue requests than the Figure 10 regime
+    assert greedy.overdue_fraction(g_window) < 0.10
+    # RL strictly beats greedy on both overdue count and exceeding time
+    assert rl.overdue_fraction(r_window) <= greedy.overdue_fraction(g_window)
+    assert rl.mean_exceeding_time(r_window) <= greedy.mean_exceeding_time(g_window)
+
+
+def test_fig13_greedy_overdue_comes_from_leftovers(benchmark, runs):
+    """Greedy's overdue requests are served in *padded* (min-batch)
+    dispatches - the leftover mechanism the paper describes."""
+    (greedy, g_window), _ = benchmark.pedantic(lambda: runs, rounds=1, iterations=1)
+    overdue_dispatches = [
+        d for d in greedy.dispatches if d.time >= g_window and d.overdue > 0
+    ]
+    if overdue_dispatches:  # at least: overwhelmingly leftover batches
+        leftover_like = [d for d in overdue_dispatches if d.served < d.batch_size]
+        assert len(leftover_like) >= 0.8 * len(overdue_dispatches)

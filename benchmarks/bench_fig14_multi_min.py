@@ -1,0 +1,62 @@
+"""Figure 14: 3-model ensemble serving, arrivals around r_l = 128 req/s.
+
+Baseline: all models run synchronously on every batch (fixed accuracy,
+the full-ensemble value). RL: adapts the ensemble subset, trading a
+little accuracy for far fewer overdue requests.
+"""
+
+import numpy as np
+import pytest
+from _harness import (
+    PERIOD,
+    emit,
+    get_scorer,
+    multi_model_rates,
+    run_serving,
+    serving_summary_line,
+    serving_timeline_table,
+)
+
+BASELINE_HORIZON = 3920.0  # 14 arrival cycles
+RL_HORIZON = 29960.0  # 107 arrival cycles
+
+
+@pytest.fixture(scope="module")
+def runs():
+    _, r_l = multi_model_rates()
+    sync = run_serving("greedy-sync", r_l, BASELINE_HORIZON)
+    rl = run_serving("rl", r_l, RL_HORIZON)
+    return sync, rl
+
+
+def test_fig14_sync_baseline_vs_rl(benchmark, runs):
+    (sync, s_window), (rl, r_window) = benchmark.pedantic(
+        lambda: runs, rounds=1, iterations=1
+    )
+    text = "\n\n".join(
+        [
+            serving_summary_line("greedy-sync", sync, s_window),
+            serving_summary_line("RL", rl, r_window),
+            "sync timeline (Figure 14a/c):\n" + serving_timeline_table(sync, s_window),
+            "RL timeline (Figure 14b/d):\n" + serving_timeline_table(rl, r_window),
+        ]
+    )
+    emit("fig14_multi_min", text)
+
+    scorer = get_scorer()
+    # (a) the sync baseline's accuracy is pinned at the full ensemble
+    assert sync.mean_accuracy(s_window) == pytest.approx(scorer.full_ensemble, abs=1e-6)
+    # (b) RL's accuracy sits between the best single model and the full
+    # ensemble (it drops models when pressed)
+    rl_accuracy = rl.mean_accuracy(r_window)
+    assert scorer.best_single - 0.01 < rl_accuracy < scorer.full_ensemble
+    # (c/d) RL has far fewer overdue requests than the sync baseline
+    assert rl.overdue_fraction(r_window) < 0.5 * sync.overdue_fraction(s_window)
+
+
+def test_fig14_rl_uses_partial_ensembles(benchmark, runs):
+    _, (rl, r_window) = benchmark.pedantic(lambda: runs, rounds=1, iterations=1)
+    rows = rl.timeline(bucket=PERIOD / 8, start=r_window)
+    mean_models = np.mean([r.mean_models for r in rows if r.serve_rate > 0])
+    # adaptive: strictly between "no ensemble" and "always all three"
+    assert 1.3 < mean_models < 3.0

@@ -1,0 +1,65 @@
+"""Figure 15: 3-model serving, arrivals around r_u = 572 req/s.
+
+Baseline: all models run asynchronously, one model per batch (no
+ensemble, fixed per-model accuracy). RL: single fast models through the
+peaks, better models / small ensembles in the troughs - higher
+accuracy and no more overdue than the baseline.
+"""
+
+import pytest
+from _harness import (
+    PERIOD,
+    emit,
+    multi_model_rates,
+    run_serving,
+    serving_summary_line,
+    serving_timeline_table,
+)
+
+BASELINE_HORIZON = 3920.0  # 14 arrival cycles
+RL_HORIZON = 29960.0  # 107 arrival cycles
+
+
+@pytest.fixture(scope="module")
+def runs():
+    r_u, _ = multi_model_rates()
+    async_baseline = run_serving("greedy-async", r_u, BASELINE_HORIZON)
+    rl = run_serving("rl", r_u, RL_HORIZON)
+    return async_baseline, rl
+
+
+def test_fig15_async_baseline_vs_rl(benchmark, runs):
+    (async_metrics, a_window), (rl, r_window) = benchmark.pedantic(
+        lambda: runs, rounds=1, iterations=1
+    )
+    text = "\n\n".join(
+        [
+            serving_summary_line("greedy-async", async_metrics, a_window),
+            serving_summary_line("RL", rl, r_window),
+            "async timeline (Figure 15a/c):\n"
+            + serving_timeline_table(async_metrics, a_window),
+            "RL timeline (Figure 15b/d):\n" + serving_timeline_table(rl, r_window),
+        ]
+    )
+    emit("fig15_multi_max", text)
+
+    # RL at least matches the no-ensemble baseline's accuracy...
+    assert rl.mean_accuracy(r_window) >= async_metrics.mean_accuracy(a_window) - 0.003
+    # ...without materially more overdue requests. (Known divergence,
+    # see DESIGN.md 3.2 / EXPERIMENTS.md: eager dispatch costs a few
+    # points of overdue through the saturated peaks vs the batch-perfect
+    # async baseline, where the paper reports fewer.)
+    assert rl.overdue_fraction(r_window) <= async_metrics.overdue_fraction(a_window) + 0.07
+
+
+def test_fig15_rl_adapts_accuracy_to_rate(benchmark, runs):
+    """Accuracy is higher in low-rate buckets than at the peak."""
+    _, (rl, r_window) = benchmark.pedantic(lambda: runs, rounds=1, iterations=1)
+    rows = [r for r in rl.timeline(bucket=PERIOD / 10, start=r_window)
+            if r.serve_rate > 0]
+    r_u, _ = multi_model_rates()
+    trough_acc = [r.accuracy for r in rows if r.arrival_rate < 0.3 * r_u]
+    peak_acc = [r.accuracy for r in rows if r.arrival_rate > 0.9 * r_u]
+    assert trough_acc and peak_acc
+    assert min(trough_acc) >= max(peak_acc) - 0.005
+    assert sum(trough_acc) / len(trough_acc) > sum(peak_acc) / len(peak_acc)

@@ -1,0 +1,56 @@
+"""Figure 16: the effect of beta in the reward (Equation 7).
+
+Two RL runs at the r_l arrival rate: beta = 0 makes the reward pure
+accuracy (bigger ensembles, more overdue requests); beta = 1 penalises
+overdue requests (smaller ensembles, slightly lower accuracy, far fewer
+overdue). The learner's shaped reward uses the same beta.
+"""
+
+import numpy as np
+import pytest
+from _harness import (
+    PERIOD,
+    emit,
+    multi_model_rates,
+    run_serving,
+    serving_summary_line,
+    serving_timeline_table,
+)
+
+HORIZON = 25200.0  # 90 arrival cycles
+
+
+@pytest.fixture(scope="module")
+def runs():
+    _, r_l = multi_model_rates()
+    beta0 = run_serving("rl", r_l, HORIZON, beta=0.0, shaping_beta=0.0)
+    beta1 = run_serving("rl", r_l, HORIZON, beta=1.0, shaping_beta=1.0)
+    return beta0, beta1
+
+
+def _mean_models(metrics, window):
+    rows = [r for r in metrics.timeline(bucket=PERIOD / 8, start=window)
+            if r.serve_rate > 0]
+    return float(np.mean([r.mean_models for r in rows]))
+
+
+def test_fig16_beta_tradeoff(benchmark, runs):
+    (beta0, w0), (beta1, w1) = benchmark.pedantic(lambda: runs, rounds=1, iterations=1)
+    text = "\n\n".join(
+        [
+            serving_summary_line("beta=0", beta0, w0)
+            + f" models/batch={_mean_models(beta0, w0):.2f}",
+            serving_summary_line("beta=1", beta1, w1)
+            + f" models/batch={_mean_models(beta1, w1):.2f}",
+            "beta=0 timeline (Figure 16a/c):\n" + serving_timeline_table(beta0, w0),
+            "beta=1 timeline (Figure 16b/d):\n" + serving_timeline_table(beta1, w1),
+        ]
+    )
+    emit("fig16_beta", text)
+
+    # (a vs b) smaller beta -> higher accuracy (reward is all accuracy)
+    assert beta0.mean_accuracy(w0) >= beta1.mean_accuracy(w1)
+    # (c vs d) smaller beta -> more overdue requests
+    assert beta0.overdue_fraction(w0) > beta1.overdue_fraction(w1)
+    # mechanism: beta=0 keeps (weakly) more models per batch
+    assert _mean_models(beta0, w0) >= _mean_models(beta1, w1) - 0.05

@@ -1,0 +1,44 @@
+"""Table 1: the three hyper-parameter groups, exercised as a HyperSpace.
+
+Builds the demo space containing a knob from every group (data
+preprocessing, model architecture, training algorithm) including the
+dependency example, and benchmarks sampling/encoding throughput — the
+master calls these for every trial proposal.
+"""
+
+import numpy as np
+from _harness import emit
+
+from repro.core.tune.spaces import demo_space
+
+
+def test_table1_group_coverage(benchmark):
+    space = benchmark(demo_space)
+    groups = {
+        "1. data preprocessing": ["rotation", "whitening"],
+        "2. model architecture": ["width"],
+        "3. training algorithm": ["lr", "momentum", "weight_decay", "dropout",
+                                  "init_std", "lr_decay"],
+    }
+    lines = [f"{'group':<24} {'knobs':<50}"]
+    for group, knobs in groups.items():
+        lines.append(f"{group:<24} {', '.join(knobs):<50}")
+        for knob in knobs:
+            assert knob in space.knobs, f"missing Table 1 knob {knob}"
+    emit("table1_hyperspace", "\n".join(lines))
+
+    # the dependency example: lr_decay is generated after lr
+    order = space.sample_order()
+    assert order.index("lr") < order.index("lr_decay")
+
+
+def test_table1_sampling_throughput(benchmark):
+    space = demo_space()
+    rng = np.random.default_rng(0)
+
+    def sample_and_encode():
+        trial = space.sample(rng)
+        return space.encode(trial)
+
+    point = benchmark(sample_and_encode)
+    assert point.shape == (space.dimensions,)

@@ -1,0 +1,11 @@
+"""Benchmark-suite configuration.
+
+The heavy experiments run exactly once per benchmark (rounds=1); the
+regenerated figure tables are printed and persisted under
+``benchmarks/results/``.
+"""
+
+import sys
+import os
+
+sys.path.insert(0, os.path.dirname(__file__))

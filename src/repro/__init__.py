@@ -1,0 +1,27 @@
+"""Rafiki reproduction: machine learning as an analytics service.
+
+The top-level package re-exports the user-facing SDK described in the
+paper's Figure 2 — ``import_images``, ``HyperConf``, ``Train``,
+``Inference``, ``get_models`` and ``query`` — plus the system facade
+:class:`~repro.core.system.Rafiki`.
+
+The SDK symbols are populated once :mod:`repro.api` is available; during
+bottom-up construction they are imported lazily to keep substrate
+packages importable on their own.
+"""
+
+from __future__ import annotations
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]
+
+
+def __getattr__(name: str):
+    """Lazily resolve SDK symbols from :mod:`repro.api.sdk`."""
+    from repro.api import sdk
+
+    try:
+        return getattr(sdk, name)
+    except AttributeError as exc:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}") from exc

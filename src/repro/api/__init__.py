@@ -1,0 +1,32 @@
+"""Front end: the REST-style gateway and the Python SDK (Figure 2).
+
+The SDK mirrors the four-line training script of Figure 2
+(``import_images`` / ``HyperConf`` / ``Train`` / ``Inference`` /
+``query``); under the hood every SDK call is serialised through the
+:class:`~repro.api.gateway.Gateway`, exercising the same JSON
+request/response path a RESTful client (curl, a mobile app, a database
+UDF) would use.
+"""
+
+from repro.api.gateway import Gateway, Response
+from repro.api.sdk import (
+    HyperConf,
+    Inference,
+    Train,
+    connect,
+    get_models,
+    import_images,
+    query,
+)
+
+__all__ = [
+    "Gateway",
+    "Response",
+    "connect",
+    "import_images",
+    "HyperConf",
+    "Train",
+    "Inference",
+    "get_models",
+    "query",
+]

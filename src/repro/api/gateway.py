@@ -1,0 +1,184 @@
+"""A REST-style gateway over the Rafiki facade.
+
+Routes mirror what the paper's web API exposes (job submission, job
+monitoring, prediction queries). Bodies are JSON-serialisable dicts;
+image payloads travel as nested lists, exactly as a real HTTP gateway
+would receive them. There is no socket — ``handle`` is called directly
+— but every request passes through JSON encode/decode so the data path
+is honest.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.core.system import ModelSpec, Rafiki
+from repro.core.tune import HyperConf
+from repro.exceptions import GatewayError, RafikiError
+
+__all__ = ["Gateway", "Response"]
+
+
+@dataclass
+class Response:
+    """An HTTP-like response."""
+
+    status: int
+    body: dict[str, Any]
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class Gateway:
+    """Dispatches ``(method, path, body)`` requests to the facade."""
+
+    def __init__(self, system: Rafiki):
+        self.system = system
+        self._routes: list[tuple[str, re.Pattern, Callable]] = [
+            ("POST", re.compile(r"^/datasets$"), self._post_dataset),
+            ("GET", re.compile(r"^/datasets$"), self._list_datasets),
+            ("POST", re.compile(r"^/train$"), self._post_train),
+            ("GET", re.compile(r"^/train/(?P<job_id>[\w\-./]+)/models$"), self._get_models),
+            ("GET", re.compile(r"^/train/(?P<job_id>[\w\-./]+)$"), self._get_train),
+            ("POST", re.compile(r"^/inference$"), self._post_inference),
+            ("GET", re.compile(r"^/inference/(?P<job_id>[\w\-./]+)$"), self._get_inference),
+            ("DELETE", re.compile(r"^/inference/(?P<job_id>[\w\-./]+)$"), self._stop_inference),
+            ("POST", re.compile(r"^/query/(?P<job_id>[\w\-./]+)$"), self._post_query),
+            ("GET", re.compile(r"^/dashboard$"), self._get_dashboard),
+        ]
+        self.requests_handled = 0
+
+    def handle(self, method: str, path: str, body: dict[str, Any] | None = None) -> Response:
+        """Route one request. The body is round-tripped through JSON."""
+        self.requests_handled += 1
+        try:
+            payload = json.loads(json.dumps(body)) if body is not None else {}
+        except (TypeError, ValueError) as exc:
+            return Response(400, {"error": f"body is not JSON-serialisable: {exc}"})
+        for route_method, pattern, handler in self._routes:
+            if route_method != method.upper():
+                continue
+            match = pattern.match(path)
+            if match:
+                try:
+                    result = handler(payload, **match.groupdict())
+                except GatewayError as exc:
+                    return Response(400, {"error": str(exc)})
+                except KeyError as exc:
+                    return Response(404, {"error": f"not found: {exc}"})
+                except RafikiError as exc:
+                    return Response(400, {"error": str(exc)})
+                return Response(200, json.loads(json.dumps(result)))
+        return Response(404, {"error": f"no route for {method} {path}"})
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+
+    def _post_dataset(self, body: dict) -> dict:
+        if "directory" not in body:
+            raise GatewayError("POST /datasets requires 'directory'")
+        handle = self.system.import_images(body["directory"], name=body.get("name"))
+        return {
+            "name": handle.name,
+            "num_examples": handle.num_examples,
+            "num_classes": handle.num_classes,
+            "image_shape": list(handle.image_shape),
+        }
+
+    def _list_datasets(self, body: dict) -> dict:
+        return {"datasets": self.system.store.list_datasets()}
+
+    def _post_train(self, body: dict) -> dict:
+        for required in ("name", "task", "dataset"):
+            if required not in body:
+                raise GatewayError(f"POST /train requires {required!r}")
+        hyper_kwargs = body.get("hyper", {})
+        hyper = HyperConf(**hyper_kwargs) if hyper_kwargs else None
+        job_id = self.system.create_train_job(
+            name=body["name"],
+            task=body["task"],
+            dataset=body["dataset"],
+            hyper=hyper,
+            input_shape=tuple(body["input_shape"]) if "input_shape" in body else None,
+            output_shape=tuple(body["output_shape"]) if "output_shape" in body else None,
+            num_models=int(body.get("num_models", 2)),
+            num_workers=int(body.get("num_workers", 2)),
+            advisor=body.get("advisor", "bayesian"),
+            collaborative=bool(body.get("collaborative", True)),
+        )
+        return {"job_id": job_id}
+
+    def _get_train(self, body: dict, job_id: str) -> dict:
+        info = self.system.get_train_job(job_id)
+        return {
+            "job_id": info.job_id,
+            "name": info.name,
+            "task": info.task,
+            "dataset": info.dataset,
+            "status": info.status,
+            "models": info.model_names,
+            "best_performance": info.best_performance,
+        }
+
+    def _get_models(self, body: dict, job_id: str) -> dict:
+        specs = self.system.get_models(job_id)
+        return {
+            "models": [
+                {
+                    "model_name": s.model_name,
+                    "param_key": s.param_key,
+                    "performance": s.performance,
+                    "task": s.task,
+                    "dataset": s.dataset,
+                }
+                for s in specs
+            ]
+        }
+
+    def _post_inference(self, body: dict) -> dict:
+        if "models" not in body or not body["models"]:
+            raise GatewayError("POST /inference requires a non-empty 'models' list")
+        specs = [
+            ModelSpec(
+                model_name=m["model_name"],
+                param_key=m["param_key"],
+                performance=float(m.get("performance", 0.0)),
+                task=m.get("task", ""),
+                dataset=m.get("dataset", ""),
+            )
+            for m in body["models"]
+        ]
+        job_id = self.system.create_inference_job(specs, dataset=body.get("dataset"))
+        return {"job_id": job_id}
+
+    def _get_inference(self, body: dict, job_id: str) -> dict:
+        info = self.system.get_inference_job(job_id)
+        return {
+            "job_id": info.job_id,
+            "status": info.status,
+            "models": [s.model_name for s in info.specs],
+            "queries_served": info.queries_served,
+        }
+
+    def _stop_inference(self, body: dict, job_id: str) -> dict:
+        self.system.stop_inference_job(job_id)
+        return {"job_id": job_id, "status": "stopped"}
+
+    def _post_query(self, body: dict, job_id: str) -> dict:
+        if "img" not in body:
+            raise GatewayError("POST /query requires 'img'")
+        image = np.asarray(body["img"], dtype=np.float64)
+        return self.system.query(job_id, image)
+
+    def _get_dashboard(self, body: dict) -> dict:
+        from repro.api.monitor import dashboard_data
+
+        return dashboard_data(self.system)

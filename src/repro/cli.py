@@ -1,0 +1,178 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``profiles`` — print the Figure 3 model cards;
+* ``ensemble`` — print the Figure 6 ensemble-accuracy table;
+* ``tune`` — run a (surrogate) hyper-parameter study and report it;
+* ``demo`` — the Figure 2 quickstart: train, deploy and query a small
+  real model through the SDK;
+* ``sql`` — the Section 8 case study in miniature.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Rafiki (VLDB 2018) reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("profiles", help="print the Figure 3 model cards")
+
+    ensemble = sub.add_parser("ensemble", help="print the Figure 6 accuracy table")
+    ensemble.add_argument("--examples", type=int, default=20_000,
+                          help="Monte-Carlo panel size")
+
+    tune = sub.add_parser("tune", help="run a hyper-parameter study (surrogate)")
+    tune.add_argument("--trials", type=int, default=60)
+    tune.add_argument("--workers", type=int, default=3)
+    tune.add_argument("--advisor", choices=("random", "bayesian"), default="random")
+    tune.add_argument("--collaborative", action="store_true",
+                      help="use CoStudy (Algorithm 2) instead of Study")
+    tune.add_argument("--seed", type=int, default=0)
+
+    demo = sub.add_parser("demo", help="train, deploy and query a real model")
+    demo.add_argument("--classes", type=int, default=3)
+    demo.add_argument("--trials", type=int, default=3)
+    demo.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("sql", help="run the Section 8 SQL/UDF case study")
+    return parser
+
+
+def _cmd_profiles(args) -> int:
+    from repro.zoo import list_profiles
+
+    print(f"{'model':<22} {'top-1':>6} {'iter(s)':>8} {'mem(MB)':>8}")
+    for profile in sorted(list_profiles(), key=lambda p: p.iteration_time_b50):
+        print(f"{profile.name:<22} {profile.top1_accuracy:>6.3f} "
+              f"{profile.iteration_time_b50:>8.3f} {profile.memory_mb:>8.0f}")
+    return 0
+
+
+def _cmd_ensemble(args) -> int:
+    from repro.zoo import EnsembleAccuracyModel
+
+    panel = EnsembleAccuracyModel(
+        ("resnet_v2_101", "inception_v3", "inception_v4", "inception_resnet_v2"),
+        num_examples=args.examples,
+    )
+    print(f"{'k':<3} {'accuracy':>9}  models")
+    for names, accuracy in sorted(panel.accuracy_table().items(),
+                                  key=lambda kv: (len(kv[0]), -kv[1])):
+        print(f"{len(names):<3} {accuracy:>9.4f}  {' + '.join(names)}")
+    return 0
+
+
+def _cmd_tune(args) -> int:
+    from repro.core.tune import (
+        BayesianAdvisor,
+        CoStudyMaster,
+        HyperConf,
+        RandomSearchAdvisor,
+        StudyMaster,
+        SurrogateTrainer,
+        make_workers,
+        run_study,
+        section71_space,
+    )
+    from repro.paramserver import ParameterServer
+
+    conf = HyperConf(max_trials=args.trials, max_epochs_per_trial=50, delta=0.005)
+    param_server = ParameterServer()
+    advisor_cls = {"random": RandomSearchAdvisor, "bayesian": BayesianAdvisor}[args.advisor]
+    advisor = advisor_cls(section71_space(), rng=np.random.default_rng(args.seed))
+    if args.collaborative:
+        master = CoStudyMaster("cli", conf, advisor, param_server,
+                               rng=np.random.default_rng(args.seed + 7))
+    else:
+        master = StudyMaster("cli", conf, advisor, param_server)
+    workers = make_workers(master, SurrogateTrainer(seed=args.seed), param_server,
+                           conf, args.workers)
+    report = run_study(master, workers)
+    best = report.best
+    kind = "CoStudy" if args.collaborative else "Study"
+    print(f"{kind} with {args.advisor} search: {len(report.results)} trials, "
+          f"{report.total_epochs} epochs, {report.wall_time / 3600:.1f} simulated hours")
+    print(f"best accuracy {best.performance:.4f} with:")
+    for name, value in sorted(best.trial.params.items()):
+        print(f"  {name:<14} {value:.5g}")
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    import repro as rafiki
+    from repro.api.sdk import connect
+    from repro.data import make_image_classification
+
+    connect()
+    photos = make_image_classification(
+        name="demo", num_classes=args.classes, image_shape=(3, 8, 8),
+        train_per_class=24, val_per_class=8, test_per_class=8,
+        difficulty=0.3, seed=args.seed,
+    )
+    data = rafiki.import_images(photos)
+    job_id = rafiki.Train(
+        name="demo", data=data, task="ImageClassification",
+        hyper=rafiki.HyperConf(max_trials=args.trials, max_epochs_per_trial=6),
+    ).run()
+    models = rafiki.get_models(job_id)
+    infer_id = rafiki.Inference(models).run()
+    correct = 0
+    for i in range(len(photos.test_y)):
+        ret = rafiki.query(job=infer_id, data={"img": photos.test_x[i]})
+        correct += int(ret["label"] == photos.test_y[i])
+    print(f"trained {[m['model_name'] for m in models]}; "
+          f"test accuracy {correct}/{len(photos.test_y)}")
+    return 0
+
+
+def _cmd_sql(args) -> int:
+    from repro.sqlext import Column, Database
+
+    db = Database()
+    db.create_table("foodlog", [
+        Column("user_id", "integer"), Column("age", "integer", not_null=True),
+        Column("food", "text", not_null=True),
+    ], primary_key=("user_id",))
+    rng = np.random.default_rng(0)
+    foods = ("laksa", "chicken rice", "salad")
+    for i in range(30):
+        db.insert("foodlog", user_id=i, age=int(rng.integers(18, 80)),
+                  food=foods[int(rng.integers(0, 3))])
+    db.udfs.register("age_band", lambda age: "young" if age < 40 else "older")
+    sql = ("SELECT age_band(age) AS band, food, count(*) FROM foodlog "
+           "GROUP BY band, food")
+    print(sql)
+    result = db.execute(sql)
+    for row in result.rows:
+        print(" ", row)
+    print(f"(UDF calls: {result.udf_calls})")
+    return 0
+
+
+_COMMANDS = {
+    "profiles": _cmd_profiles,
+    "ensemble": _cmd_ensemble,
+    "tune": _cmd_tune,
+    "demo": _cmd_demo,
+    "sql": _cmd_sql,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,258 @@
+"""The Rafiki manager: placement, job lifecycle, failure recovery.
+
+Placement follows the paper's stated preference: a job's master and
+workers are co-located on one physical node when it fits, to avoid
+network communication overhead; otherwise containers spill over to the
+emptiest nodes (worst-fit, which balances load across the cluster).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.cluster.checkpoint import CheckpointStore
+from repro.cluster.container import Container, ContainerRole, ContainerState
+from repro.cluster.node import Node, Resources
+from repro.exceptions import ClusterError, JobNotFoundError, PlacementError
+
+__all__ = ["ClusterManager", "JobRecord", "JobKind", "JobState"]
+
+_job_ids = itertools.count(1)
+
+
+class JobKind(enum.Enum):
+    TRAIN = "train"
+    INFERENCE = "inference"
+
+
+class JobState(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    FAILED = "failed"
+    STOPPED = "stopped"
+
+
+@dataclass
+class JobRecord:
+    """Book-keeping for one submitted job."""
+
+    job_id: str
+    kind: JobKind
+    name: str
+    containers: list[Container] = field(default_factory=list)
+    state: JobState = JobState.PENDING
+    spec: dict = field(default_factory=dict)
+
+    @property
+    def master(self) -> Container | None:
+        for container in self.containers:
+            if container.role is ContainerRole.MASTER:
+                return container
+        return None
+
+    @property
+    def workers(self) -> list[Container]:
+        return [c for c in self.containers if c.role is ContainerRole.WORKER]
+
+
+class ClusterManager:
+    """Places containers on nodes and recovers from failures."""
+
+    def __init__(self, checkpoint_store: CheckpointStore | None = None):
+        self.nodes: dict[str, Node] = {}
+        self.jobs: dict[str, JobRecord] = {}
+        self.containers: dict[str, Container] = {}
+        self.checkpoints = checkpoint_store if checkpoint_store is not None else CheckpointStore()
+        self.recoveries = 0
+        self._recovery_hooks: list[Callable[[Container], None]] = []
+
+    # ------------------------------------------------------------------
+    # cluster topology
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> None:
+        if node.name in self.nodes:
+            raise ClusterError(f"duplicate node name {node.name!r}")
+        self.nodes[node.name] = node
+
+    def alive_nodes(self) -> list[Node]:
+        return [node for node in self.nodes.values() if node.alive]
+
+    def total_free(self) -> Resources:
+        total = Resources(0, 0, 0)
+        for node in self.alive_nodes():
+            total = total + node.free
+        return total
+
+    # ------------------------------------------------------------------
+    # job submission
+    # ------------------------------------------------------------------
+
+    def submit_job(
+        self,
+        kind: JobKind,
+        name: str,
+        num_workers: int = 1,
+        master_request: Resources | None = None,
+        worker_request: Resources | None = None,
+        spec: dict | None = None,
+    ) -> JobRecord:
+        """Create containers for a job and place them.
+
+        One master plus ``num_workers`` workers. Raises
+        :class:`PlacementError` (and places nothing) if the cluster
+        cannot host the full job.
+        """
+        if num_workers < 0:
+            raise ClusterError(f"num_workers must be >= 0, got {num_workers}")
+        job_id = f"job-{next(_job_ids)}"
+        master_request = master_request or Resources(cpus=1, gpus=0, memory_gb=4)
+        worker_request = worker_request or Resources(cpus=1, gpus=1, memory_gb=8)
+        containers = [
+            Container(image=f"rafiki/{kind.value}-master", role=ContainerRole.MASTER,
+                      job_id=job_id, request=master_request)
+        ]
+        for _ in range(num_workers):
+            containers.append(
+                Container(image=f"rafiki/{kind.value}-worker", role=ContainerRole.WORKER,
+                          job_id=job_id, request=worker_request)
+            )
+        placements = self._plan_placement(containers)
+        job = JobRecord(job_id=job_id, kind=kind, name=name, spec=dict(spec or {}))
+        for container, node in zip(containers, placements):
+            node.allocate(container.container_id, container.request)
+            container.node_name = node.name
+            container.state = ContainerState.RUNNING
+            job.containers.append(container)
+            self.containers[container.container_id] = container
+        job.state = JobState.RUNNING
+        self.jobs[job_id] = job
+        return job
+
+    def _plan_placement(self, containers: list[Container]) -> list[Node]:
+        """Choose a node per container, co-locating the job when possible."""
+        # First try to fit the whole job onto a single alive node.
+        total = Resources(0, 0, 0)
+        for container in containers:
+            total = total + container.request
+        for node in self._nodes_by_free():
+            if node.can_host(total):
+                return [node] * len(containers)
+        # Otherwise spread greedily: emptiest node first per container,
+        # simulating the allocation without mutating nodes.
+        free: dict[str, Resources] = {n.name: n.free for n in self.alive_nodes()}
+        plan: list[Node] = []
+        for container in containers:
+            candidates = sorted(
+                (node for node in self.alive_nodes()
+                 if container.request.fits_within(free[node.name])),
+                key=lambda n: (-free[n.name].gpus, -free[n.name].cpus, n.name),
+            )
+            if not candidates:
+                raise PlacementError(
+                    f"no node can host {container.request} for {container.image!r}"
+                )
+            chosen = candidates[0]
+            free[chosen.name] = free[chosen.name] - container.request
+            plan.append(chosen)
+        return plan
+
+    def _nodes_by_free(self) -> list[Node]:
+        return sorted(
+            self.alive_nodes(),
+            key=lambda n: (-n.free.gpus, -n.free.cpus, n.name),
+        )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    def get_job(self, job_id: str) -> JobRecord:
+        if job_id not in self.jobs:
+            raise JobNotFoundError(job_id)
+        return self.jobs[job_id]
+
+    def stop_job(self, job_id: str, state: JobState = JobState.STOPPED) -> None:
+        job = self.get_job(job_id)
+        for container in job.containers:
+            self._release(container, ContainerState.STOPPED)
+        job.state = state
+
+    def complete_job(self, job_id: str) -> None:
+        self.stop_job(job_id, state=JobState.COMPLETED)
+
+    def _release(self, container: Container, state: ContainerState) -> None:
+        if container.node_name is not None:
+            node = self.nodes.get(container.node_name)
+            if node is not None:
+                node.release(container.container_id, container.request)
+        container.state = state
+
+    # ------------------------------------------------------------------
+    # failure recovery
+    # ------------------------------------------------------------------
+
+    def on_recovery(self, hook: Callable[[Container], None]) -> None:
+        """Register a callback invoked with every restarted container."""
+        self._recovery_hooks.append(hook)
+
+    def fail_node(self, node_name: str) -> list[Container]:
+        """Fail a node and recover its containers elsewhere.
+
+        Stateless workers (and masters, whose small state lives in the
+        checkpoint store) are restarted as *new* containers on surviving
+        nodes. Returns the replacement containers. Containers that do
+        not fit anywhere remain FAILED and their job is marked FAILED.
+        """
+        if node_name not in self.nodes:
+            raise ClusterError(f"unknown node {node_name!r}")
+        lost_ids = self.nodes[node_name].fail()
+        replacements: list[Container] = []
+        for container_id in sorted(lost_ids):
+            container = self.containers[container_id]
+            container.state = ContainerState.FAILED
+            replacement = self._restart(container)
+            if replacement is not None:
+                replacements.append(replacement)
+        return replacements
+
+    def _restart(self, failed: Container) -> Container | None:
+        job = self.jobs.get(failed.job_id)
+        if job is None or job.state is not JobState.RUNNING:
+            return None
+        replacement = Container(
+            image=failed.image,
+            role=failed.role,
+            job_id=failed.job_id,
+            request=failed.request,
+            restarts=failed.restarts + 1,
+        )
+        for node in self._nodes_by_free():
+            if node.can_host(replacement.request):
+                node.allocate(replacement.container_id, replacement.request)
+                replacement.node_name = node.name
+                replacement.state = ContainerState.RUNNING
+                job.containers.remove(failed)
+                job.containers.append(replacement)
+                self.containers[replacement.container_id] = replacement
+                self.recoveries += 1
+                for hook in self._recovery_hooks:
+                    hook(replacement)
+                return replacement
+        job.state = JobState.FAILED
+        return None
+
+    def recover_node(self, node_name: str) -> None:
+        if node_name not in self.nodes:
+            raise ClusterError(f"unknown node {node_name!r}")
+        self.nodes[node_name].recover()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ClusterManager(nodes={len(self.nodes)}, jobs={len(self.jobs)}, "
+            f"recoveries={self.recoveries})"
+        )

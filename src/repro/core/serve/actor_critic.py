@@ -1,0 +1,213 @@
+"""The actor-critic learner (Section 5.2).
+
+A softmax policy network pi_theta(a|s) and a value network V(s), both
+MLPs on the :mod:`repro.tensor` engine. Rewards arrive immediately
+after each action (a dispatched batch's latency is deterministic given
+the latency model), transitions are buffered, and every ``horizon``
+decisions the learner performs one advantage-actor-critic update:
+
+* returns: n-step discounted rewards bootstrapped with V at the last
+  observed state;
+* policy gradient: ``(probs - onehot) * normalised_advantage`` plus an
+  annealed entropy bonus (the exploration/exploitation balance the
+  paper handles with alpha-greedy elsewhere);
+* value loss: MSE to the returns.
+
+Invalid actions (subsets containing busy models) are masked out of the
+softmax at both sampling and update time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.tensor import Adam, Network
+from repro.tensor.losses import softmax
+from repro.zoo.builders import build_mlp
+
+__all__ = ["ActorCritic", "Transition"]
+
+
+@dataclass
+class Transition:
+    state: np.ndarray
+    action: int
+    reward: float
+    mask: np.ndarray
+
+
+class ActorCritic:
+    """Online advantage actor-critic over a discrete action space."""
+
+    def __init__(
+        self,
+        state_dim: int,
+        num_actions: int,
+        hidden: tuple[int, ...] = (64, 64),
+        lr: float = 1e-3,
+        gamma: float = 0.9,
+        entropy_coef: float = 0.02,
+        entropy_decay: float = 0.9995,
+        entropy_min: float = 0.001,
+        horizon: int = 64,
+        seed: int = 0,
+    ):
+        if not 0.0 <= gamma < 1.0:
+            raise ConfigurationError(f"gamma must be in [0, 1), got {gamma}")
+        rng = np.random.default_rng(seed)
+        self.policy: Network = build_mlp((state_dim,), num_actions, rng, hidden=hidden,
+                                         name="policy")
+        self.value: Network = build_mlp((state_dim,), 1, rng, hidden=hidden, name="value")
+        self.policy_opt = Adam(lr=lr)
+        self.value_opt = Adam(lr=lr)
+        self.num_actions = int(num_actions)
+        self.gamma = float(gamma)
+        self.entropy_coef = float(entropy_coef)
+        self.entropy_decay = float(entropy_decay)
+        self.entropy_min = float(entropy_min)
+        self.horizon = int(horizon)
+        self._rng = rng
+        self._buffer: list[Transition] = []
+        self._open: dict[int, Transition] = {}
+        self._token_counter = 0
+        self._implicit_token: int | None = None
+        self.decisions = 0
+        self.updates = 0
+
+    # ------------------------------------------------------------------
+    # acting
+    # ------------------------------------------------------------------
+
+    def masked_probs(self, state: np.ndarray, mask: np.ndarray | None) -> np.ndarray:
+        """Action probabilities with invalid actions masked out."""
+        logits = self.policy.forward(state[None, :])[0]
+        if mask is not None:
+            logits = np.where(mask, logits, -1e9)
+        return softmax(logits[None, :])[0]
+
+    def act_keyed(self, state: np.ndarray, mask: np.ndarray | None = None) -> tuple[int, int]:
+        """Sample an action; returns ``(action, token)``.
+
+        Several actions may be in flight at once (the serving controller
+        keeps one pending dispatch per model subset); the token routes
+        each action's reward back to its transition.
+        """
+        state = np.asarray(state, dtype=np.float64)
+        if mask is None:
+            mask = np.ones(self.num_actions, dtype=bool)
+        if not mask.any():
+            raise ConfigurationError("no valid action available")
+        probs = self.masked_probs(state, mask)
+        action = int(self._rng.choice(self.num_actions, p=probs))
+        self._token_counter += 1
+        token = self._token_counter
+        self._open[token] = Transition(
+            state=state, action=action, reward=0.0, mask=mask.copy()
+        )
+        self.decisions += 1
+        return action, token
+
+    def complete(self, token: int, reward: float) -> None:
+        """Attach a reward to an in-flight action and buffer the transition."""
+        transition = self._open.pop(token, None)
+        if transition is None:
+            raise ConfigurationError(f"no open transition for token {token}")
+        transition.reward = float(reward)
+        self._buffer.append(transition)
+        if len(self._buffer) >= self.horizon:
+            self.update()
+
+    def act(self, state: np.ndarray, mask: np.ndarray | None = None) -> int:
+        """Single-pending convenience wrapper around :meth:`act_keyed`.
+
+        An un-rewarded previous action is finalised with zero reward.
+        """
+        if self._implicit_token is not None and self._implicit_token in self._open:
+            self.complete(self._implicit_token, 0.0)
+        action, token = self.act_keyed(state, mask)
+        self._implicit_token = token
+        return action
+
+    def give_reward(self, reward: float) -> None:
+        """Attach the (immediate) reward of the latest :meth:`act` action."""
+        if self._implicit_token is None or self._implicit_token not in self._open:
+            raise ConfigurationError("give_reward called with no pending action")
+        self.complete(self._implicit_token, reward)
+        self._implicit_token = None
+
+    # ------------------------------------------------------------------
+    # learning
+    # ------------------------------------------------------------------
+
+    def update(self) -> None:
+        """One A2C update over the buffered transitions."""
+        if not self._buffer:
+            return
+        batch = self._buffer
+        self._buffer = []
+        states = np.vstack([t.state for t in batch])
+        actions = np.array([t.action for t in batch])
+        rewards = np.array([t.reward for t in batch])
+        masks = np.vstack([t.mask for t in batch])
+
+        # n-step discounted returns bootstrapped with V(last state).
+        values = self.value.forward(states).ravel()
+        bootstrap = values[-1]
+        returns = np.empty_like(rewards)
+        running = bootstrap
+        for i in range(len(batch) - 1, -1, -1):
+            running = rewards[i] + self.gamma * running
+            returns[i] = running
+
+        advantages = returns - values
+        std = advantages.std()
+        if std > 1e-8:
+            advantages = (advantages - advantages.mean()) / std
+
+        # --- policy update -------------------------------------------
+        self.policy.zero_grads()
+        logits = self.policy.forward(states, training=True)
+        masked_logits = np.where(masks, logits, -1e9)
+        probs = softmax(masked_logits)
+        onehot = np.zeros_like(probs)
+        onehot[np.arange(len(batch)), actions] = 1.0
+        grad = (probs - onehot) * advantages[:, None]
+        # entropy bonus (gradient ascent on H): dH/dz = -p (log p + H)
+        log_probs = np.log(np.clip(probs, 1e-12, None))
+        entropy = -(probs * log_probs).sum(axis=1, keepdims=True)
+        grad -= self.entropy_coef * (-probs * (log_probs + entropy))
+        grad = np.where(masks, grad, 0.0)
+        self.policy.backward(grad / len(batch))
+        self.policy_opt.step(self.policy.params, self.policy.grads)
+
+        # --- value update ---------------------------------------------
+        self.value.zero_grads()
+        predictions = self.value.forward(states, training=True).ravel()
+        value_grad = (2.0 * (predictions - returns) / len(batch))[:, None]
+        self.value.backward(value_grad)
+        self.value_opt.step(self.value.params, self.value.grads)
+
+        self.entropy_coef = max(self.entropy_coef * self.entropy_decay, self.entropy_min)
+        self.updates += 1
+
+    # ------------------------------------------------------------------
+    # persistence (master failure recovery checkpoints this state)
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Policy + value parameters (checkpointed for recovery)."""
+        state = {f"policy/{k}": v for k, v in self.policy.state_dict().items()}
+        state.update({f"value/{k}": v for k, v in self.value.state_dict().items()})
+        return state
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore policy + value parameters from a checkpoint."""
+        self.policy.load_state_dict(
+            {k[len("policy/"):]: v for k, v in state.items() if k.startswith("policy/")}
+        )
+        self.value.load_state_dict(
+            {k[len("value/"):]: v for k, v in state.items() if k.startswith("value/")}
+        )

@@ -1,0 +1,119 @@
+"""Greedy batch-size selection (Algorithm 3).
+
+The greedy policy always applies the largest possible batch size: if
+the queue holds at least ``max(B)`` requests, dispatch immediately;
+otherwise take the largest candidate batch that fits the queue and
+dispatch only when the oldest request is about to overrun the SLO
+(``c(b) + w(q0) + delta >= tau``), where ``delta`` is the AIMD-style
+back-off constant (0.1 tau by default).
+
+When fewer requests than ``min(B)`` are queued, Algorithm 3's line 7
+has no valid batch size (``{b in B : b <= len(q)}`` is empty), so the
+greedy policy keeps waiting for more arrivals. These *leftover*
+requests are the ones the paper observes going overdue when arrivals
+are slow; since a delayed response beats a time-out, the implementation
+serves them in a padded ``min(B)`` batch once they have already missed
+the SLO.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.core.serve.request import RequestQueue
+from repro.exceptions import ConfigurationError
+
+__all__ = ["GreedyBatcher", "BatchDecision", "DEFAULT_BATCH_SIZES"]
+
+#: the candidate list of Section 7.2.1.
+DEFAULT_BATCH_SIZES = (16, 32, 48, 64)
+
+
+@dataclass(frozen=True)
+class BatchDecision:
+    """What the batcher chose to do right now."""
+
+    dispatch: bool
+    batch_size: int = 0  # the b whose c(b) applies (hardware batch)
+    take: int = 0  # how many queued requests are actually served
+
+
+class GreedyBatcher:
+    """Algorithm 3, parameterised by the latency model ``c(b)``."""
+
+    def __init__(
+        self,
+        batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES,
+        latency: Callable[[int], float] = None,
+        tau: float = 0.56,
+        backoff: float | None = None,
+    ):
+        if latency is None:
+            raise ConfigurationError("a latency model c(b) is required")
+        sizes = sorted(set(int(b) for b in batch_sizes))
+        if not sizes or sizes[0] <= 0:
+            raise ConfigurationError(f"batch sizes must be positive, got {batch_sizes}")
+        self.batch_sizes = tuple(sizes)
+        self.latency = latency
+        self.tau = float(tau)
+        #: the AIMD back-off constant delta (default 0.1 tau).
+        self.backoff = float(backoff) if backoff is not None else 0.1 * self.tau
+
+    @property
+    def max_batch(self) -> int:
+        return self.batch_sizes[-1]
+
+    @property
+    def min_batch(self) -> int:
+        return self.batch_sizes[0]
+
+    def fit_batch(self, queue_length: int) -> int | None:
+        """Largest candidate batch <= queue length (Algorithm 3 line 7).
+
+        Returns ``None`` when the queue is shorter than every candidate
+        — the leftover-requests case.
+        """
+        best: int | None = None
+        for size in self.batch_sizes:
+            if size <= queue_length:
+                best = size
+            else:
+                break
+        return best
+
+    def decide(self, queue: RequestQueue, now: float) -> BatchDecision:
+        """One pass of Algorithm 3's loop body."""
+        if not queue:
+            return BatchDecision(dispatch=False)
+        if len(queue) >= self.max_batch:
+            return BatchDecision(dispatch=True, batch_size=self.max_batch, take=self.max_batch)
+        batch = self.fit_batch(len(queue))
+        if batch is None:
+            # Leftovers: no candidate batch fits; serve them (padded to
+            # min(B)) only once they have already overrun the SLO.
+            if queue.oldest_wait(now) >= self.tau:
+                return BatchDecision(
+                    dispatch=True, batch_size=self.min_batch, take=len(queue)
+                )
+            return BatchDecision(dispatch=False)
+        deadline_pressure = self.latency(batch) + queue.oldest_wait(now) + self.backoff
+        if deadline_pressure >= self.tau:
+            return BatchDecision(dispatch=True, batch_size=batch, take=min(batch, len(queue)))
+        return BatchDecision(dispatch=False)
+
+    def next_deadline(self, queue: RequestQueue, now: float) -> float | None:
+        """When the pending queue will trigger a deadline dispatch.
+
+        Lets an event-driven server sleep exactly until Algorithm 3's
+        line-8 condition (or the leftover grace rule) will first hold,
+        instead of polling.
+        """
+        if not queue:
+            return None
+        batch = self.fit_batch(len(queue))
+        if batch is None:
+            trigger = queue.oldest_arrival() + self.tau
+        else:
+            trigger = queue.oldest_arrival() + self.tau - self.latency(batch) - self.backoff
+        return max(trigger, now)

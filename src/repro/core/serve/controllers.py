@@ -1,0 +1,259 @@
+"""Serving controllers: the greedy baselines and the RL scheduler.
+
+A controller is consulted by the :class:`~repro.core.serve.env.ServingEnv`
+whenever the queue is non-empty and at least one model is idle, and
+answers with either a :class:`Dispatch` (which models run which batch
+now) or a :class:`Wait` (optionally: until a specific time, used by the
+greedy batcher's SLO deadline).
+
+* :class:`GreedySingleController` — Algorithm 3 with one model
+  (Section 7.2.1's greedy baseline);
+* :class:`GreedySyncController` — all models run every batch
+  synchronously (the first multi-model baseline, Figure 14);
+* :class:`GreedyAsyncController` — one model per batch, no ensemble
+  (the second baseline, Figure 15);
+* :class:`RLController` — the actor-critic scheduler jointly choosing
+  batch size and model subset (Section 5.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.serve.actions import ActionSpace
+from repro.core.serve.actor_critic import ActorCritic
+from repro.exceptions import ConfigurationError
+from repro.core.serve.batching import GreedyBatcher
+from repro.core.serve.state import StateBuilder
+from repro.zoo.profiles import ModelProfile
+
+__all__ = [
+    "Dispatch",
+    "Wait",
+    "Controller",
+    "GreedySingleController",
+    "GreedySyncController",
+    "GreedyAsyncController",
+    "RLController",
+]
+
+
+@dataclass(frozen=True)
+class Dispatch:
+    """Run the ``take`` oldest requests on ``subset`` at ``batch_size``."""
+
+    subset: tuple[int, ...]
+    batch_size: int
+    take: int
+
+
+@dataclass(frozen=True)
+class Wait:
+    """Do nothing now; optionally wake at ``until``."""
+
+    until: float | None = None
+
+
+class Controller:
+    """Base interface."""
+
+    def decide(self, env) -> Dispatch | Wait:
+        raise NotImplementedError
+
+    def notify_reward(self, reward: float) -> None:
+        """Called once per dispatch with the realised Equation-7 reward."""
+
+
+class GreedySingleController(Controller):
+    """Algorithm 3 over a single deployed model."""
+
+    def __init__(self, profile: ModelProfile, batch_sizes: Sequence[int], tau: float,
+                 backoff: float | None = None):
+        self.batcher = GreedyBatcher(
+            batch_sizes=batch_sizes, latency=profile.inference_time, tau=tau, backoff=backoff
+        )
+
+    def decide(self, env) -> Dispatch | Wait:
+        if not env.model_idle(0):
+            return Wait()
+        decision = self.batcher.decide(env.queue, env.now)
+        if decision.dispatch:
+            return Dispatch(subset=(0,), batch_size=decision.batch_size, take=decision.take)
+        return Wait(until=self.batcher.next_deadline(env.queue, env.now))
+
+
+class GreedySyncController(Controller):
+    """All models ensemble every batch; batch sized by the slowest model."""
+
+    def __init__(self, profiles: Sequence[ModelProfile], batch_sizes: Sequence[int], tau: float,
+                 backoff: float | None = None):
+        self.num_models = len(profiles)
+
+        def slowest(batch: int) -> float:
+            return max(p.inference_time(batch) for p in profiles)
+
+        self.batcher = GreedyBatcher(
+            batch_sizes=batch_sizes, latency=slowest, tau=tau, backoff=backoff
+        )
+
+    def decide(self, env) -> Dispatch | Wait:
+        if not all(env.model_idle(m) for m in range(self.num_models)):
+            return Wait()
+        decision = self.batcher.decide(env.queue, env.now)
+        if decision.dispatch:
+            return Dispatch(
+                subset=tuple(range(self.num_models)),
+                batch_size=decision.batch_size,
+                take=decision.take,
+            )
+        return Wait(until=self.batcher.next_deadline(env.queue, env.now))
+
+
+class GreedyAsyncController(Controller):
+    """One model per batch (no ensemble), models drained round-robin."""
+
+    def __init__(self, profiles: Sequence[ModelProfile], batch_sizes: Sequence[int], tau: float,
+                 backoff: float | None = None):
+        self.profiles = list(profiles)
+        self.batchers = [
+            GreedyBatcher(batch_sizes=batch_sizes, latency=p.inference_time, tau=tau,
+                          backoff=backoff)
+            for p in self.profiles
+        ]
+        self._next = 0
+
+    def decide(self, env) -> Dispatch | Wait:
+        idle = [m for m in range(len(self.profiles)) if env.model_idle(m)]
+        if not idle:
+            return Wait()
+        # Round-robin over idle models so the fleet shares the load.
+        idle.sort(key=lambda m: (m - self._next) % len(self.profiles))
+        model = idle[0]
+        batcher = self.batchers[model]
+        decision = batcher.decide(env.queue, env.now)
+        if decision.dispatch:
+            self._next = (model + 1) % len(self.profiles)
+            return Dispatch(subset=(model,), batch_size=decision.batch_size, take=decision.take)
+        return Wait(until=batcher.next_deadline(env.queue, env.now))
+
+
+class AIMDController(Controller):
+    """Clipper-style additive-increase / multiplicative-decrease batching.
+
+    Section 2.3 credits Clipper with tuning the batch size via AIMD:
+    grow the batch additively while the SLO holds, cut it multiplicatively
+    on a miss. This controller serves a single model with a continuously
+    adapted batch size (not restricted to the candidate list), providing
+    a third baseline between the static greedy batcher and RL.
+    """
+
+    def __init__(
+        self,
+        profile: ModelProfile,
+        tau: float,
+        max_batch: int = 64,
+        increase: int = 2,
+        decrease: float = 0.5,
+        backoff: float | None = None,
+    ):
+        self.profile = profile
+        self.tau = float(tau)
+        self.max_batch = int(max_batch)
+        self.increase = int(increase)
+        self.decrease = float(decrease)
+        self.backoff = float(backoff) if backoff is not None else 0.1 * self.tau
+        self.batch_size = max(1, max_batch // 4)
+        self._last_dispatch: tuple[int, float] | None = None  # (take, started)
+
+    def decide(self, env) -> Dispatch | Wait:
+        if not env.model_idle(0) or not env.queue:
+            return Wait()
+        latency = self.profile.inference_time(self.batch_size)
+        queue_full = len(env.queue) >= self.batch_size
+        deadline = latency + env.queue.oldest_wait(env.now) + self.backoff >= self.tau
+        if not (queue_full or deadline):
+            wake = env.queue.oldest_arrival() + self.tau - latency - self.backoff
+            return Wait(until=max(wake, env.now))
+        take = min(self.batch_size, len(env.queue))
+        self._last_dispatch = (take, env.now + env.queue.oldest_wait(env.now))
+        return Dispatch(subset=(0,), batch_size=self.batch_size, take=take)
+
+    def notify_reward(self, reward: float) -> None:
+        """Adapt the batch size from the realised Equation-7 reward.
+
+        A batch with zero overdue requests earns exactly
+        ``accuracy * take / max(B)`` under the default batch-scaled
+        shaping; anything lower means some request overran the SLO —
+        Clipper's miss signal.
+        """
+        take = self._last_dispatch[0] if self._last_dispatch else 0
+        expected = self.profile.top1_accuracy * take / self.max_batch
+        if reward >= expected - 1e-9:
+            self.batch_size = min(self.batch_size + self.increase, self.max_batch)
+        else:
+            self.batch_size = max(int(self.batch_size * self.decrease), 1)
+
+
+class RLController(Controller):
+    """Actor-critic over the joint (subset, batch size) action space.
+
+    Decisions are immediate: whenever requests are queued and at least
+    one model is idle, the policy picks ``(v, b)`` and the ``min(b,
+    len(q))`` oldest requests are dispatched right away. A selected
+    model that is still busy queues the batch behind its in-flight work
+    — the state's remaining-busy-time features let the policy reason
+    about (and learn to avoid) that. The realised Equation-7 reward
+    arrives synchronously after each dispatch.
+    """
+
+    def __init__(
+        self,
+        profiles: Sequence[ModelProfile],
+        batch_sizes: Sequence[int],
+        tau: float,
+        queue_window: int = 32,
+        hidden: tuple[int, ...] = (64, 64),
+        lr: float = 1e-3,
+        gamma: float = 0.9,
+        entropy_coef: float = 0.02,
+        horizon: int = 64,
+        seed: int = 0,
+    ):
+        include_model_status = len(profiles) > 1
+        self.profiles = list(profiles)
+        self.tau = float(tau)
+        self.state_builder = StateBuilder(
+            profiles, batch_sizes, tau,
+            queue_window=queue_window,
+            include_model_status=include_model_status,
+        )
+        self.action_space = ActionSpace(len(profiles), batch_sizes)
+        self.learner = ActorCritic(
+            state_dim=self.state_builder.dim,
+            num_actions=len(self.action_space),
+            hidden=hidden,
+            lr=lr,
+            gamma=gamma,
+            entropy_coef=entropy_coef,
+            horizon=horizon,
+            seed=seed,
+        )
+        self._last_token: int | None = None
+
+    def decide(self, env) -> Dispatch | Wait:
+        idle = [env.model_idle(m) for m in range(self.action_space.num_models)]
+        if not any(idle) or not env.queue:
+            return Wait()
+        state = self.state_builder.build(env.queue, env.now, env.busy_until)
+        action_index, token = self.learner.act_keyed(state, mask=None)
+        action = self.action_space.decode(action_index)
+        self._last_token = token
+        take = min(action.batch_size, len(env.queue))
+        return Dispatch(subset=action.subset, batch_size=action.batch_size, take=take)
+
+    def notify_reward(self, reward: float) -> None:
+        if self._last_token is None:
+            raise ConfigurationError("reward with no dispatched action")
+        self.learner.complete(self._last_token, reward)
+        self._last_token = None

@@ -1,0 +1,67 @@
+"""Prediction caching for the inference service (Clipper-inspired).
+
+Section 2.3 cites Clipper's latency optimisations, caching among them.
+This extension memoises query results by input digest in front of a
+deployed ensemble: repeated requests (the common case for UDF-driven
+analytics, where the same image path appears in many rows) skip the
+forward passes entirely.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["PredictionCache"]
+
+
+def _digest(array: np.ndarray) -> str:
+    payload = np.ascontiguousarray(array)
+    return hashlib.sha256(
+        payload.tobytes() + str(payload.shape).encode("utf-8")
+    ).hexdigest()
+
+
+class PredictionCache:
+    """An LRU result cache keyed by input digest."""
+
+    def __init__(self, predict: Callable[[np.ndarray], Any], capacity: int = 1024):
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self._predict = predict
+        self.capacity = int(capacity)
+        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def query(self, data: np.ndarray) -> Any:
+        """Predict for one input, serving repeats from the cache."""
+        data = np.asarray(data)
+        key = _digest(data)
+        if key in self._entries:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return self._entries[key]
+        self.misses += 1
+        result = self._predict(data)
+        self._entries[key] = result
+        if len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return result
+
+    def invalidate_all(self) -> None:
+        """Drop everything (call after re-deploying a model)."""
+        self._entries.clear()
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,85 @@
+"""Requests and the FIFO request queue.
+
+Requests are processed strictly first-in-first-out (Section 5: a
+delayed response beats a 'time out' error, so nothing is dropped by
+default). The queue stores arrival timestamps only — at the arrival
+rates of the Figure 14/15 experiments, millions of requests flow
+through a run, so per-request objects are avoided.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.exceptions import QueueOverflowError
+
+__all__ = ["RequestQueue"]
+
+
+class RequestQueue:
+    """FIFO queue of request arrival times (simulated seconds)."""
+
+    def __init__(self, capacity: int | None = None):
+        self._arrivals: deque[float] = deque()
+        self.capacity = capacity
+        self.total_enqueued = 0
+        self.total_dequeued = 0
+        self.total_dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._arrivals)
+
+    def __bool__(self) -> bool:
+        return bool(self._arrivals)
+
+    def push(self, arrival_time: float, count: int = 1) -> int:
+        """Enqueue ``count`` requests arriving at ``arrival_time``.
+
+        Returns how many were accepted; the rest are dropped when a
+        capacity is configured (the paper sizes arrivals so the queue
+        is not "filled up very quickly", Eq. 9).
+        """
+        accepted = count
+        if self.capacity is not None:
+            room = self.capacity - len(self._arrivals)
+            accepted = max(0, min(count, room))
+            self.total_dropped += count - accepted
+        for _ in range(accepted):
+            self._arrivals.append(arrival_time)
+        self.total_enqueued += accepted
+        return accepted
+
+    def pop_oldest(self, count: int) -> np.ndarray:
+        """Dequeue the ``count`` oldest arrival times (``q[0:b]``)."""
+        count = min(count, len(self._arrivals))
+        out = np.empty(count, dtype=np.float64)
+        for i in range(count):
+            out[i] = self._arrivals.popleft()
+        self.total_dequeued += count
+        return out
+
+    def oldest_arrival(self) -> float:
+        """Arrival time of ``q[0]`` (raises when empty)."""
+        if not self._arrivals:
+            raise QueueOverflowError("queue is empty")
+        return self._arrivals[0]
+
+    def oldest_wait(self, now: float) -> float:
+        """``w(q0)``: how long the oldest request has been waiting."""
+        return now - self.oldest_arrival()
+
+    def waiting_times(self, now: float, length: int) -> np.ndarray:
+        """Waiting times of the oldest requests, zero-padded/truncated.
+
+        This is the queue-status feature vector of Section 5.2: shorter
+        queues are padded with zeros, longer queues are truncated to the
+        ``length`` oldest entries.
+        """
+        out = np.zeros(length, dtype=np.float64)
+        for i, arrival in enumerate(self._arrivals):
+            if i >= length:
+                break
+            out[i] = now - arrival
+        return out

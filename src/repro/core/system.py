@@ -1,0 +1,393 @@
+"""The unified Rafiki system facade (Section 3, Figure 2 and 7).
+
+One object wires the shared substrates together — the data store
+(HDFS stand-in), the parameter server, the cluster manager and the
+model zoo — and exposes the two services:
+
+* **training**: ``create_train_job`` selects a diverse model set for
+  the task, runs one (Co)Study per selected model over the cluster, and
+  leaves each model's best parameters in the parameter server;
+* **inference**: ``create_inference_job`` deploys those parameters
+  instantly (the paper's headline benefit of unifying the services) and
+  ``query`` serves ensemble predictions.
+
+Masters checkpoint their small state for failure recovery; workers are
+stateless containers the manager restarts.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+import numpy as np
+
+from repro.cluster import CheckpointStore, ClusterManager, Node
+from repro.cluster.manager import JobKind
+from repro.core.tune import (
+    BayesianAdvisor,
+    CoStudyMaster,
+    GridSearchAdvisor,
+    HyperConf,
+    HyperSpace,
+    RandomSearchAdvisor,
+    RealTrainer,
+    StudyMaster,
+    StudyReport,
+    make_workers,
+    run_study,
+    section71_space,
+)
+from repro.data import DataStore, ImageDataset
+from repro.exceptions import ConfigurationError, JobNotFoundError
+from repro.paramserver import ParameterServer
+from repro.tensor import Network
+from repro.utils.rng import RngStream
+from repro.zoo import TaskRegistry, default_registry, majority_vote
+
+__all__ = ["Rafiki", "TrainJobInfo", "InferenceJobInfo", "ModelSpec"]
+
+_ADVISORS = {
+    "random": RandomSearchAdvisor,
+    "grid": GridSearchAdvisor,
+    "bayesian": BayesianAdvisor,
+}
+
+_train_job_ids = itertools.count(1)
+_infer_job_ids = itertools.count(1)
+
+
+@dataclass
+class ModelSpec:
+    """What ``rafiki.get_models`` returns: a name plus parameter keys."""
+
+    model_name: str
+    param_key: str
+    performance: float
+    task: str
+    dataset: str
+
+
+@dataclass
+class TrainJobInfo:
+    """Book-keeping for one training job."""
+
+    job_id: str
+    name: str
+    task: str
+    dataset: str
+    status: str = "pending"
+    model_names: list[str] = field(default_factory=list)
+    reports: dict[str, StudyReport] = field(default_factory=dict)
+    cluster_job_id: str | None = None
+
+    @property
+    def best_performance(self) -> float:
+        if not self.reports:
+            return 0.0
+        return max(report.best_performance for report in self.reports.values())
+
+
+@dataclass
+class InferenceJobInfo:
+    """One deployed (ensemble of) model(s)."""
+
+    job_id: str
+    specs: list[ModelSpec]
+    networks: list[Network] = field(default_factory=list)
+    status: str = "pending"
+    queries_served: int = 0
+    cluster_job_id: str | None = None
+    #: optional Clipper-style result cache for single-image queries.
+    cache: Any = None
+
+
+class Rafiki:
+    """The system facade users talk to (via the SDK or gateway)."""
+
+    def __init__(self, nodes: int = 3, gpus_per_node: int = 3, seed: int = 0):
+        self.rng_stream = RngStream(seed)
+        self.store = DataStore("rafiki-hdfs")
+        self.param_server = ParameterServer(store=self.store)
+        self.checkpoints = CheckpointStore()
+        self.cluster = ClusterManager(checkpoint_store=self.checkpoints)
+        for i in range(nodes):
+            self.cluster.add_node(
+                Node(name=f"node-{chr(ord('a') + i)}",
+                     capacity=_node_capacity(gpus_per_node))
+            )
+        self.registry: TaskRegistry = default_registry()
+        self.train_jobs: dict[str, TrainJobInfo] = {}
+        self.inference_jobs: dict[str, InferenceJobInfo] = {}
+
+    # ------------------------------------------------------------------
+    # data
+    # ------------------------------------------------------------------
+
+    def import_images(self, source: str | ImageDataset, name: str | None = None):
+        """Figure 2's ``rafiki.import_images``: a folder or a dataset."""
+        if isinstance(source, ImageDataset):
+            return self.store.put_dataset(source)
+        return self.store.import_images(source, name=name)
+
+    # ------------------------------------------------------------------
+    # training service
+    # ------------------------------------------------------------------
+
+    def create_train_job(
+        self,
+        name: str,
+        task: str,
+        dataset: str,
+        hyper: HyperConf | None = None,
+        space: HyperSpace | None = None,
+        input_shape: tuple[int, ...] | None = None,
+        output_shape: tuple[int, ...] | None = None,
+        num_models: int = 2,
+        num_workers: int = 2,
+        advisor: str = "bayesian",
+        collaborative: bool = True,
+        backend_factory=None,
+        train_batch_size: int = 32,
+    ) -> str:
+        """Run model selection + one study per selected model.
+
+        ``backend_factory(model_entry, dataset)`` may override the
+        trainer backend (tests use the surrogate); by default each
+        study trains real networks with :class:`RealTrainer`.
+        ``input_shape``/``output_shape`` follow the Figure 2 API and
+        are validated against the dataset when given.
+        """
+        if advisor not in _ADVISORS:
+            raise ConfigurationError(f"advisor must be one of {sorted(_ADVISORS)}")
+        data = self.store.get_dataset(dataset)
+        if input_shape is not None and tuple(input_shape) != data.image_shape:
+            raise ConfigurationError(
+                f"input_shape {input_shape} does not match dataset shape {data.image_shape}"
+            )
+        if output_shape is not None and tuple(output_shape) != (data.num_classes,):
+            raise ConfigurationError(
+                f"output_shape {output_shape} does not match dataset classes "
+                f"({data.num_classes})"
+            )
+        hyper = hyper if hyper is not None else HyperConf(max_trials=8, max_epochs_per_trial=10)
+        space = space if space is not None else section71_space()
+        entries = self.registry.select_diverse(task, k=num_models)
+
+        job_id = f"train-{next(_train_job_ids)}"
+        info = TrainJobInfo(job_id=job_id, name=name, task=task, dataset=dataset)
+        cluster_job = self.cluster.submit_job(
+            JobKind.TRAIN, name=name, num_workers=num_workers
+        )
+        info.cluster_job_id = cluster_job.job_id
+        info.status = "running"
+        self.train_jobs[job_id] = info
+
+        try:
+            for entry in entries:
+                info.model_names.append(entry.name)
+                report = self._run_one_study(
+                    job_id, entry, data, hyper, space, num_workers, advisor,
+                    collaborative, backend_factory, train_batch_size,
+                )
+                info.reports[entry.name] = report
+                entry.record_performance(dataset, report.best_performance)
+            info.status = "completed"
+            self.cluster.complete_job(cluster_job.job_id)
+        except Exception:
+            info.status = "failed"
+            self.cluster.stop_job(cluster_job.job_id)
+            raise
+        return job_id
+
+    def _run_one_study(
+        self,
+        job_id: str,
+        entry,
+        data: ImageDataset,
+        hyper: HyperConf,
+        space: HyperSpace,
+        num_workers: int,
+        advisor: str,
+        collaborative: bool,
+        backend_factory,
+        train_batch_size: int,
+    ) -> StudyReport:
+        study_name = f"{job_id}/{entry.name}"
+        rng = self.rng_stream.get(f"advisor:{study_name}")
+        advisor_obj = _ADVISORS[advisor](space, rng=rng) if advisor != "grid" else (
+            GridSearchAdvisor(space)
+        )
+        if backend_factory is not None:
+            backend = backend_factory(entry, data)
+        else:
+            backend = RealTrainer(
+                dataset=data,
+                builder=entry.builder,
+                batch_size=train_batch_size,
+                seed=self.rng_stream.root_seed,
+            )
+        master_cls = CoStudyMaster if collaborative else StudyMaster
+        kwargs = {}
+        if collaborative:
+            kwargs["rng"] = self.rng_stream.get(f"alpha:{study_name}")
+        master = master_cls(
+            study_name, hyper, advisor_obj, self.param_server,
+            best_key=f"{study_name}/best", **kwargs,
+        )
+        workers = make_workers(master, backend, self.param_server, hyper, num_workers,
+                               name_prefix=f"{study_name}/worker")
+        report = run_study(master, workers)
+        # Persist the small master state (Section 6.3 failure recovery).
+        if isinstance(master, CoStudyMaster):
+            self.checkpoints.save(study_name, master.checkpoint_state())
+        return report
+
+    def get_train_job(self, job_id: str) -> TrainJobInfo:
+        """Look up a training job's book-keeping by id."""
+        if job_id not in self.train_jobs:
+            raise JobNotFoundError(job_id)
+        return self.train_jobs[job_id]
+
+    def get_models(self, job_id: str) -> list[ModelSpec]:
+        """Figure 2's ``rafiki.get_models``: deployable model specs."""
+        info = self.get_train_job(job_id)
+        specs = []
+        for model_name in info.model_names:
+            key = f"{job_id}/{model_name}/best"
+            if not self.param_server.has(key):
+                continue
+            entry = self.param_server.get_entry(key)
+            specs.append(
+                ModelSpec(
+                    model_name=model_name,
+                    param_key=key,
+                    performance=float(entry.performance),
+                    task=info.task,
+                    dataset=info.dataset,
+                )
+            )
+        return specs
+
+    # ------------------------------------------------------------------
+    # inference service
+    # ------------------------------------------------------------------
+
+    def create_inference_job(
+        self,
+        models: Sequence[ModelSpec],
+        dataset: str | None = None,
+        enable_cache: bool = True,
+        cache_capacity: int = 1024,
+    ) -> str:
+        """Deploy trained models: fetch parameters and build networks.
+
+        The parameters are fetched from the parameter server — this is
+        the instant train-to-deploy hand-off the unified architecture
+        provides. ``enable_cache`` memoises repeated single-image
+        queries (the UDF workload of Section 8 repeats image paths).
+        """
+        specs = list(models)
+        if not specs:
+            raise ConfigurationError("at least one model spec is required")
+        job_id = f"infer-{next(_infer_job_ids)}"
+        info = InferenceJobInfo(job_id=job_id, specs=specs)
+        cluster_job = self.cluster.submit_job(
+            JobKind.INFERENCE, name=job_id, num_workers=len(specs)
+        )
+        info.cluster_job_id = cluster_job.job_id
+        dataset_name = dataset or specs[0].dataset
+        data = self.store.get_dataset(dataset_name)
+        for spec in specs:
+            entry = self.registry.get(spec.task, spec.model_name)
+            rng = self.rng_stream.get(f"deploy:{job_id}:{spec.model_name}")
+            network = entry.builder(data.image_shape, data.num_classes, rng)
+            state = self.param_server.get(spec.param_key)
+            loaded = network.warm_start(state)
+            if not loaded:
+                raise ConfigurationError(
+                    f"no shape-matched parameters for {spec.model_name!r} "
+                    f"under {spec.param_key!r}"
+                )
+            info.networks.append(network)
+        if enable_cache:
+            from repro.core.serve.pred_cache import PredictionCache
+
+            info.cache = PredictionCache(
+                lambda image, i=info: self._predict(i, image[None, ...]),
+                capacity=cache_capacity,
+            )
+        info.status = "running"
+        self.inference_jobs[job_id] = info
+        return job_id
+
+    def get_inference_job(self, job_id: str) -> InferenceJobInfo:
+        """Look up a deployed inference job by id."""
+        if job_id not in self.inference_jobs:
+            raise JobNotFoundError(job_id)
+        return self.inference_jobs[job_id]
+
+    def query(self, job_id: str, data: np.ndarray) -> dict[str, Any]:
+        """Serve one request (or a batch) through the deployed ensemble.
+
+        Majority voting with best-model tie-break aggregates the
+        deployed networks' predictions (Section 5.2).
+        """
+        info = self.get_inference_job(job_id)
+        if info.status != "running":
+            raise ConfigurationError(f"inference job {job_id!r} is not running")
+        batch = np.asarray(data, dtype=np.float64)
+        single = batch.ndim == 3
+        if single and info.cache is not None:
+            labels, votes = info.cache.query(batch)
+        else:
+            if single:
+                batch = batch[None, ...]
+            labels, votes = self._predict(info, batch)
+        info.queries_served += 1 if single else batch.shape[0]
+        result: dict[str, Any] = {
+            "label": int(labels[0]) if single else [int(v) for v in labels],
+            "votes": votes[:, 0].tolist() if single else votes.T.tolist(),
+            "models": [spec.model_name for spec in info.specs],
+        }
+        return result
+
+    def _predict(self, info: InferenceJobInfo, batch: np.ndarray):
+        votes = np.vstack([net.predict_labels(batch) for net in info.networks])
+        accuracies = np.array([spec.performance for spec in info.specs])
+        return majority_vote(votes, accuracies), votes
+
+    def profile_inference_job(self, job_id: str, batch_sizes=(1, 8, 16, 32)):
+        """Measure the deployed networks' latency cards (Figure 3 style).
+
+        Each deployed network is timed across ``batch_sizes`` and fitted
+        to the affine ``c(m, b)`` model; its tuning-time validation
+        accuracy becomes the card's accuracy. The cards plug straight
+        into the serving environment and controllers.
+        """
+        from repro.core.serve.profiler import profile_network
+
+        info = self.get_inference_job(job_id)
+        return [
+            profile_network(
+                network,
+                name=f"{job_id}/{spec.model_name}",
+                batch_sizes=batch_sizes,
+                accuracy=spec.performance,
+            )
+            for spec, network in zip(info.specs, info.networks)
+        ]
+
+    def stop_inference_job(self, job_id: str) -> None:
+        """Undeploy: stop serving and release the cluster resources."""
+        info = self.get_inference_job(job_id)
+        info.status = "stopped"
+        if info.cluster_job_id is not None:
+            self.cluster.stop_job(info.cluster_job_id)
+
+
+def _node_capacity(gpus: int):
+    from repro.cluster.node import Resources
+
+    return Resources(cpus=8, gpus=gpus, memory_gb=64)

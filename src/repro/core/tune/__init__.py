@@ -1,0 +1,72 @@
+"""The training service: distributed hyper-parameter tuning.
+
+Public pieces: the :class:`HyperSpace` programming model (Figure 4),
+:class:`HyperConf` (the SDK's tuning options), the trial advisors,
+the :class:`StudyMaster` (Algorithm 1) and :class:`CoStudyMaster`
+(Algorithm 2), workers, the two trainer backends, and :func:`run_study`
+which executes a study over simulated time.
+"""
+
+from repro.core.tune.advisors import (
+    BayesianAdvisor,
+    GridSearchAdvisor,
+    RandomSearchAdvisor,
+    TrialAdvisor,
+)
+from repro.core.tune.backends import RealTrainer, TrainerBackend, TrialSession
+from repro.core.tune.config import HyperConf
+from repro.core.tune.costudy import CoStudyMaster
+from repro.core.tune.early_stopping import EarlyStopper
+from repro.core.tune.hyperspace import CategoricalKnob, HyperSpace, RangeKnob
+from repro.core.tune.runner import make_workers, run_study
+from repro.core.tune.spaces import demo_space, section71_space
+from repro.core.tune.study import StudyHistoryEntry, StudyMaster, StudyReport
+from repro.core.tune.surrogate import SurrogateTrainer
+from repro.core.tune.trial import InitKind, Trial, TrialResult, TrialStatus
+from repro.core.tune.worker import TuneWorker
+
+__all__ = [
+    "HyperSpace",
+    "RangeKnob",
+    "CategoricalKnob",
+    "HyperConf",
+    "TrialAdvisor",
+    "RandomSearchAdvisor",
+    "GridSearchAdvisor",
+    "BayesianAdvisor",
+    "StudyMaster",
+    "CoStudyMaster",
+    "StudyReport",
+    "StudyHistoryEntry",
+    "TuneWorker",
+    "Trial",
+    "TrialResult",
+    "TrialStatus",
+    "InitKind",
+    "EarlyStopper",
+    "TrainerBackend",
+    "TrialSession",
+    "RealTrainer",
+    "SurrogateTrainer",
+    "run_study",
+    "make_workers",
+    "section71_space",
+    "demo_space",
+]
+
+from repro.core.tune.persistence import (  # noqa: E402
+    load_report,
+    report_from_dict,
+    report_to_dict,
+    save_report,
+)
+
+__all__ += ["report_to_dict", "report_from_dict", "save_report", "load_report"]
+
+from repro.core.tune.halving import (  # noqa: E402
+    HalvingMaster,
+    SuccessiveHalvingAdvisor,
+    halving_conf,
+)
+
+__all__ += ["SuccessiveHalvingAdvisor", "HalvingMaster", "halving_conf"]

@@ -1,0 +1,13 @@
+"""Trial advisors: the pluggable hyper-parameter search algorithms.
+
+``TrialAdvisor`` is the extension point of Algorithm 1/2; random
+search, grid search and Gaussian-process Bayesian optimisation are
+provided, matching the paper's claim of compatibility with all three.
+"""
+
+from repro.core.tune.advisors.base import TrialAdvisor
+from repro.core.tune.advisors.bayesian import BayesianAdvisor
+from repro.core.tune.advisors.grid_search import GridSearchAdvisor
+from repro.core.tune.advisors.random_search import RandomSearchAdvisor
+
+__all__ = ["TrialAdvisor", "RandomSearchAdvisor", "GridSearchAdvisor", "BayesianAdvisor"]

@@ -1,0 +1,81 @@
+"""A from-scratch Gaussian-process regressor for Bayesian optimisation.
+
+Squared-exponential (RBF) kernel with observation noise; hyper-priors
+are fixed (length scale, signal variance) rather than marginal-
+likelihood optimised, which is plenty for the low-dimensional knob
+spaces of Section 7.1 and keeps the implementation dependency-free
+beyond ``numpy``/``scipy``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.linalg import cho_factor, cho_solve
+from scipy.stats import norm
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["GaussianProcess", "expected_improvement"]
+
+
+def _rbf(a: np.ndarray, b: np.ndarray, length_scale: float, signal_var: float) -> np.ndarray:
+    sq_dist = ((a[:, None, :] - b[None, :, :]) ** 2).sum(axis=2)
+    return signal_var * np.exp(-0.5 * sq_dist / length_scale**2)
+
+
+class GaussianProcess:
+    """GP regression over the unit hypercube."""
+
+    def __init__(self, length_scale: float = 0.2, signal_var: float = 1.0,
+                 noise_var: float = 1e-4):
+        if length_scale <= 0 or signal_var <= 0 or noise_var < 0:
+            raise ConfigurationError("GP hyper-parameters must be positive")
+        self.length_scale = float(length_scale)
+        self.signal_var = float(signal_var)
+        self.noise_var = float(noise_var)
+        self._x: np.ndarray | None = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._cho = None
+        self._alpha: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GaussianProcess":
+        """Fit on observations (x in [0,1]^d, y arbitrary scale)."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.shape[0] != y.shape[0]:
+            raise ConfigurationError(f"x/y length mismatch: {x.shape[0]} vs {y.shape[0]}")
+        if x.shape[0] == 0:
+            raise ConfigurationError("cannot fit a GP on zero observations")
+        self._y_mean = float(y.mean())
+        self._y_std = float(y.std()) or 1.0
+        y_norm = (y - self._y_mean) / self._y_std
+        self._x = x
+        k = _rbf(x, x, self.length_scale, self.signal_var)
+        k[np.diag_indices_from(k)] += self.noise_var
+        self._cho = cho_factor(k, lower=True)
+        self._alpha = cho_solve(self._cho, y_norm)
+        return self
+
+    def predict(self, x_new: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and standard deviation at ``x_new``."""
+        if self._x is None or self._alpha is None or self._cho is None:
+            raise ConfigurationError("GP is not fitted")
+        x_new = np.atleast_2d(np.asarray(x_new, dtype=np.float64))
+        k_star = _rbf(x_new, self._x, self.length_scale, self.signal_var)
+        mean = k_star @ self._alpha
+        v = cho_solve(self._cho, k_star.T)
+        var = self.signal_var - np.einsum("ij,ji->i", k_star, v)
+        var = np.maximum(var, 1e-12)
+        return (
+            mean * self._y_std + self._y_mean,
+            np.sqrt(var) * self._y_std,
+        )
+
+
+def expected_improvement(mean: np.ndarray, std: np.ndarray, best: float,
+                         xi: float = 0.01) -> np.ndarray:
+    """EI acquisition for maximisation."""
+    improvement = mean - best - xi
+    z = improvement / std
+    return improvement * norm.cdf(z) + std * norm.pdf(z)

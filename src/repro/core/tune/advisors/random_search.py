@@ -1,0 +1,29 @@
+"""Random search (Bergstra & Bengio, 2012)."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.core.tune.advisors.base import TrialAdvisor
+from repro.core.tune.hyperspace import HyperSpace
+
+__all__ = ["RandomSearchAdvisor"]
+
+
+class RandomSearchAdvisor(TrialAdvisor):
+    """Draw every trial independently from the hyper-space."""
+
+    def __init__(self, space: HyperSpace, rng: np.random.Generator | None = None,
+                 max_proposals: int | None = None):
+        super().__init__(space)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.max_proposals = max_proposals
+        self._proposed = 0
+
+    def propose(self, worker: str) -> dict[str, Any] | None:
+        if self.max_proposals is not None and self._proposed >= self.max_proposals:
+            return None
+        self._proposed += 1
+        return self.space.sample(self._rng)

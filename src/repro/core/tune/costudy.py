@@ -1,0 +1,135 @@
+"""``CoStudy`` — the collaborative tuning master of Algorithm 2.
+
+Differences from :class:`~repro.core.tune.study.StudyMaster`:
+
+* new trials are initialised from the current best parameters in the
+  parameter server (warm start), subject to the alpha-greedy rule that
+  keeps a decaying probability of random initialisation — the guard
+  against a bad checkpoint poisoning subsequent trials;
+* on every ``kReport``, a worker whose performance beats the best by
+  more than ``conf.delta`` is told to ``kPut`` its parameters
+  (Algorithm 2 lines 8-10), so the shared checkpoint ratchets upward
+  *during* training, not just at trial boundaries;
+* early stopping moves to the master (Algorithm 2 line 11): a worker
+  whose reports plateau receives ``kStop``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.message import Message, MessageType
+from repro.core.tune.advisors.base import TrialAdvisor
+from repro.core.tune.config import HyperConf
+from repro.core.tune.early_stopping import EarlyStopper
+from repro.core.tune.study import StudyMaster
+from repro.core.tune.trial import InitKind, Trial
+from repro.paramserver import ParameterServer
+
+__all__ = ["CoStudyMaster"]
+
+
+class CoStudyMaster(StudyMaster):
+    """Algorithm 2."""
+
+    #: CoStudy centralises early stopping at the master.
+    workers_early_stop_locally = False
+
+    def __init__(
+        self,
+        study_name: str,
+        conf: HyperConf,
+        advisor: TrialAdvisor,
+        param_server: ParameterServer,
+        best_key: str | None = None,
+        clock=None,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(study_name, conf, advisor, param_server, best_key, clock)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.best_p = 0.0
+        self._stoppers: dict[str, tuple[int, EarlyStopper]] = {}
+        self.random_inits = 0
+        self.warm_inits = 0
+
+    # ------------------------------------------------------------------
+    # trial creation: alpha-greedy warm starting
+    # ------------------------------------------------------------------
+
+    def _make_trial(self, params: dict) -> Trial:
+        alpha = self.conf.alpha(self.num_finished)
+        use_random = (
+            self._rng.random() < alpha or not self.param_server.has(self.best_key)
+        )
+        if use_random:
+            self.random_inits += 1
+            return Trial(params=params, init_kind=InitKind.RANDOM)
+        self.warm_inits += 1
+        return Trial(params=params, init_kind=InitKind.WARM_START, init_key=self.best_key)
+
+    # ------------------------------------------------------------------
+    # reports: checkpointing + master-side early stopping
+    # ------------------------------------------------------------------
+
+    def _on_report(self, message: Message) -> list[tuple[str, Message]]:
+        worker = message.sender
+        performance = float(message.payload["p"])
+        trial = message.payload["trial"]
+        if performance - self.best_p > self.conf.delta:
+            self.best_p = performance
+            return [
+                (
+                    worker,
+                    Message(
+                        MessageType.PUT,
+                        self.study_name,
+                        {"key": self.best_key, "performance": performance},
+                    ),
+                )
+            ]
+        if self._plateaued(worker, trial.trial_id, performance):
+            return [(worker, Message(MessageType.STOP, self.study_name))]
+        return []
+
+    def _plateaued(self, worker: str, trial_id: int, performance: float) -> bool:
+        tracked = self._stoppers.get(worker)
+        if tracked is None or tracked[0] != trial_id:
+            stopper = EarlyStopper(
+                patience=self.conf.early_stop_patience,
+                min_delta=self.conf.early_stop_min_delta,
+            )
+            self._stoppers[worker] = (trial_id, stopper)
+        else:
+            stopper = tracked[1]
+        return stopper.update(performance)
+
+    # ------------------------------------------------------------------
+    # finish: no kPut here (checkpointing happened on reports)
+    # ------------------------------------------------------------------
+
+    def _on_finish(self, message: Message) -> list[tuple[str, Message]]:
+        replies = super()._on_finish(message)
+        # Algorithm 2 does not issue kPut on kFinish; drop the one the
+        # base class may have queued (checkpointing is report-driven).
+        return [(w, m) for (w, m) in replies if m.type is not MessageType.PUT]
+
+    # ------------------------------------------------------------------
+    # failure recovery (Section 6.3): master state is small
+    # ------------------------------------------------------------------
+
+    def checkpoint_state(self) -> dict:
+        """The small master state Rafiki checkpoints for recovery."""
+        return {
+            "num_finished": self.num_finished,
+            "total_epochs": self.total_epochs,
+            "best_p": self.best_p,
+            "random_inits": self.random_inits,
+            "warm_inits": self.warm_inits,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.num_finished = int(state["num_finished"])
+        self.total_epochs = int(state["total_epochs"])
+        self.best_p = float(state["best_p"])
+        self.random_inits = int(state["random_inits"])
+        self.warm_inits = int(state["warm_inits"])

@@ -1,0 +1,110 @@
+"""Cluster-integrated distributed tuning.
+
+Runs a study with one tuning worker per cluster worker-container, over
+simulated time. Node failures injected mid-study exercise the paper's
+recovery story: workers are stateless, so the manager restarts their
+containers on surviving nodes and the replacements immediately request
+fresh trials from the master; whatever epoch the lost worker was in is
+simply re-done by a new trial. Master state is checkpointed after every
+finished trial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster import ClusterManager, FailureInjector
+from repro.cluster.container import Container, ContainerRole
+from repro.cluster.manager import JobKind
+from repro.core.tune.backends import TrainerBackend
+from repro.core.tune.config import HyperConf
+from repro.core.tune.costudy import CoStudyMaster
+from repro.core.tune.study import StudyMaster, StudyReport
+from repro.core.tune.worker import TuneWorker
+from repro.paramserver import ParameterServer
+from repro.sim import Simulator
+
+__all__ = ["ClusterStudy", "run_cluster_study"]
+
+
+@dataclass
+class ClusterStudy:
+    """Handles for an in-flight cluster study."""
+
+    master: StudyMaster
+    workers: dict[str, TuneWorker] = field(default_factory=dict)
+    job_id: str = ""
+    workers_started: int = 0
+
+
+def run_cluster_study(
+    manager: ClusterManager,
+    master: StudyMaster,
+    backend: TrainerBackend,
+    param_server: ParameterServer,
+    conf: HyperConf,
+    num_workers: int,
+    sim: Simulator | None = None,
+    failure_plan: list[tuple[float, str, float | None]] | None = None,
+    max_events: int = 5_000_000,
+) -> StudyReport:
+    """Run ``master`` over a cluster job with ``num_workers`` workers.
+
+    ``failure_plan`` is a list of ``(delay_s, node_name, recover_after)``
+    failure injections. Returns the study report (wall time = simulated
+    completion time).
+    """
+    sim = sim if sim is not None else Simulator()
+    master.set_clock(lambda: sim.now)
+    study = ClusterStudy(master=master)
+    job = manager.submit_job(JobKind.TRAIN, name=master.study_name,
+                             num_workers=num_workers)
+    study.job_id = job.job_id
+
+    def start_worker(container: Container) -> None:
+        if container.role is not ContainerRole.WORKER:
+            return
+        study.workers_started += 1
+        worker = TuneWorker(
+            name=container.container_id,
+            backend=backend,
+            param_server=param_server,
+            conf=conf,
+            local_early_stop=master.workers_early_stop_locally,
+        )
+        study.workers[worker.name] = worker
+        sim.spawn(_worker_process(worker, master, study, manager, container))
+
+    def _worker_process(worker, master, study, manager, container):
+        while not worker.terminated:
+            live = manager.containers.get(container.container_id)
+            if live is None or not live.running:
+                return  # the container died; a replacement was started
+            outgoing, cost = worker.step()
+            for message in outgoing:
+                master.mailbox.send(message)
+            if outgoing:
+                for dest, reply in master.step():
+                    target = study.workers.get(dest)
+                    if target is not None:
+                        target.mailbox.send(reply)
+            if cost > 0:
+                yield cost
+            elif not outgoing and not worker.mailbox:
+                return
+
+    manager.on_recovery(start_worker)
+    for container in job.workers:
+        start_worker(container)
+
+    if failure_plan:
+        injector = FailureInjector(manager)
+        for delay, node_name, recover_after in failure_plan:
+            injector.schedule_failure(sim, delay, node_name, recover_after)
+
+    sim.run(max_events=max_events)
+    if manager.jobs[job.job_id].state.value == "running":
+        manager.complete_job(job.job_id)
+    if isinstance(master, CoStudyMaster):
+        manager.checkpoints.save(master.study_name, master.checkpoint_state())
+    return master.finalize(wall_time=sim.now)

@@ -1,0 +1,40 @@
+"""Early stopping on a plateauing validation metric.
+
+The paper stops a trial when its metric "is not decreasing for 5
+consecutive epochs"; here the tracked metric is validation accuracy, so
+the stopper fires after ``patience`` epochs without an improvement of
+at least ``min_delta``.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["EarlyStopper"]
+
+
+class EarlyStopper:
+    """Patience-based plateau detector (higher metric = better)."""
+
+    def __init__(self, patience: int = 5, min_delta: float = 1e-3):
+        if patience < 1:
+            raise ConfigurationError(f"patience must be >= 1, got {patience}")
+        if min_delta < 0:
+            raise ConfigurationError(f"min_delta must be >= 0, got {min_delta}")
+        self.patience = int(patience)
+        self.min_delta = float(min_delta)
+        self.best = float("-inf")
+        self.stale_epochs = 0
+
+    def update(self, metric: float) -> bool:
+        """Record one epoch's metric; return True when training should stop."""
+        if metric > self.best + self.min_delta:
+            self.best = metric
+            self.stale_epochs = 0
+        else:
+            self.stale_epochs += 1
+        return self.stale_epochs >= self.patience
+
+    def reset(self) -> None:
+        self.best = float("-inf")
+        self.stale_epochs = 0

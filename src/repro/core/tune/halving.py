@@ -1,0 +1,233 @@
+"""Successive halving: a budget-aware tuning extension.
+
+The paper's framework claims extensibility to "popular hyper-parameter
+tuning algorithms"; this module adds successive halving (the inner loop
+of Hyperband) on top of the same master/worker protocol:
+
+* rung 0 draws ``n`` random configurations, each trained for ``r``
+  epochs;
+* after a rung completes, the top ``1/eta`` of its trials advance to
+  the next rung with an ``eta``-times larger budget, *continuing from
+  their own checkpoints* in the parameter server (per-trial keys —
+  the same warm-start machinery CoStudy uses for its shared best);
+* the process repeats until one configuration receives the full budget.
+
+Workers need no changes: per-trial budgets ride on
+:attr:`~repro.core.tune.trial.Trial.max_epochs`, and the master issues a
+``kPut`` for every finished trial so its parameters are available if it
+advances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.message import Message, MessageType
+from repro.core.tune.advisors.base import TrialAdvisor
+from repro.core.tune.config import HyperConf
+from repro.core.tune.hyperspace import HyperSpace
+from repro.core.tune.study import StudyMaster
+from repro.core.tune.trial import InitKind, Trial, TrialResult
+from repro.exceptions import ConfigurationError
+from repro.paramserver import ParameterServer
+
+__all__ = ["SuccessiveHalvingAdvisor", "HalvingMaster", "halving_conf"]
+
+
+class SuccessiveHalvingAdvisor(TrialAdvisor):
+    """Rung-structured proposals with checkpoint continuation.
+
+    ``propose_trial`` hands out ready-made :class:`Trial` objects (the
+    plain ``propose`` API cannot carry budgets); between rungs it
+    returns ``None`` while earlier trials are still running, and the
+    master treats that as "no work right now" rather than exhaustion.
+    """
+
+    def __init__(
+        self,
+        space: HyperSpace,
+        initial_trials: int = 16,
+        initial_epochs: int = 2,
+        eta: int = 2,
+        max_rungs: int = 4,
+        rng: np.random.Generator | None = None,
+        checkpoint_prefix: str = "sh",
+    ):
+        super().__init__(space)
+        if initial_trials < eta:
+            raise ConfigurationError(
+                f"initial_trials ({initial_trials}) must be >= eta ({eta})"
+            )
+        if eta < 2:
+            raise ConfigurationError(f"eta must be >= 2, got {eta}")
+        self.initial_trials = int(initial_trials)
+        self.initial_epochs = int(initial_epochs)
+        self.eta = int(eta)
+        self.max_rungs = int(max_rungs)
+        self.checkpoint_prefix = checkpoint_prefix
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        self.rung = 0
+        self._queue: list[Trial] = []
+        self._outstanding = 0
+        self._rung_results: list[TrialResult] = []
+        self._seed_rung()
+
+    # ------------------------------------------------------------------
+    # rung management
+    # ------------------------------------------------------------------
+
+    def _rung_budget(self, rung: int) -> int:
+        return self.initial_epochs * self.eta**rung
+
+    def checkpoint_key(self, trial_id: int) -> str:
+        return f"{self.checkpoint_prefix}/trial/{trial_id}"
+
+    def _seed_rung(self) -> None:
+        budget = self._rung_budget(0)
+        for _ in range(self.initial_trials):
+            self._queue.append(
+                Trial(params=self.space.sample(self._rng), max_epochs=budget)
+            )
+
+    def _advance_rung(self) -> None:
+        """Promote the top 1/eta of the finished rung."""
+        self.rung += 1
+        survivors = sorted(
+            self._rung_results, key=lambda r: -r.performance
+        )[: max(len(self._rung_results) // self.eta, 1)]
+        self._rung_results = []
+        if self.rung >= self.max_rungs or len(survivors) == 0:
+            return  # done: no more rungs
+        budget = self._rung_budget(self.rung)
+        for result in survivors:
+            parent = result.trial
+            self._queue.append(
+                Trial(
+                    params=dict(parent.params),
+                    init_kind=InitKind.WARM_START,
+                    init_key=self.checkpoint_key(parent.trial_id),
+                    max_epochs=budget,
+                )
+            )
+
+    @property
+    def finished(self) -> bool:
+        return (
+            not self._queue and self._outstanding == 0 and self.rung >= self.max_rungs
+        )
+
+    # ------------------------------------------------------------------
+    # advisor interface
+    # ------------------------------------------------------------------
+
+    def propose_trial(self, worker: str) -> Trial | None:
+        """Next trial, or None when the rung barrier (or the end) holds."""
+        if self._queue:
+            self._outstanding += 1
+            return self._queue.pop(0)
+        return None
+
+    def propose(self, worker: str):  # pragma: no cover - interface shim
+        trial = self.propose_trial(worker)
+        return trial.params if trial is not None else None
+
+    def collect(self, result: TrialResult) -> None:
+        super().collect(result)
+        self._outstanding -= 1
+        self._rung_results.append(result)
+        if self._outstanding == 0 and not self._queue:
+            self._advance_rung()
+
+
+class HalvingMaster(StudyMaster):
+    """A master that speaks the successive-halving protocol.
+
+    Differences from Algorithm 1: trials come pre-built from the
+    advisor (with budgets and continuation keys); every finished trial
+    is checkpointed under its own key so rung survivors can resume; a
+    worker that asks while the rung barrier holds is parked and woken
+    when the next rung opens.
+    """
+
+    workers_early_stop_locally = False  # rungs control the budget exactly
+
+    def __init__(self, study_name: str, conf: HyperConf,
+                 advisor: SuccessiveHalvingAdvisor, param_server: ParameterServer,
+                 best_key: str | None = None, clock=None):
+        super().__init__(study_name, conf, advisor, param_server, best_key, clock)
+        self._parked: list[str] = []
+
+    def _on_request(self, message):
+        worker = message.sender
+        advisor: SuccessiveHalvingAdvisor = self.advisor  # type: ignore[assignment]
+        if advisor.finished or not self.conf.should_continue(
+            self.num_finished, self.total_epochs
+        ):
+            self.done = True
+            return [(worker, Message(MessageType.SHUTDOWN, self.study_name))]
+        trial = advisor.propose_trial(worker)
+        if trial is None:
+            # rung barrier: park the worker until results free the rung
+            if worker not in self._parked:
+                self._parked.append(worker)
+            return []
+        return [(worker, Message(MessageType.TRIAL, self.study_name, {"trial": trial}))]
+
+    def _on_finish(self, message):
+        result = TrialResult(
+            trial=message.payload["trial"],
+            performance=float(message.payload["p"]),
+            epochs=int(message.payload["epochs"]),
+            worker=message.sender,
+        )
+        advisor: SuccessiveHalvingAdvisor = self.advisor  # type: ignore[assignment]
+        self.advisor.collect(result)
+        self.num_finished += 1
+        self.total_epochs += result.epochs
+        self._record(result)
+        replies = [
+            (
+                message.sender,
+                Message(
+                    MessageType.PUT,
+                    self.study_name,
+                    {
+                        "key": advisor.checkpoint_key(result.trial.trial_id),
+                        "performance": result.performance,
+                    },
+                ),
+            )
+        ]
+        if self.advisor.is_best(message.sender):
+            replies.append(
+                (
+                    message.sender,
+                    Message(MessageType.PUT, self.study_name,
+                            {"key": self.best_key, "performance": result.performance}),
+                )
+            )
+        # wake parked workers: the finish may have opened the next rung
+        parked, self._parked = self._parked, []
+        for worker in parked:
+            self.mailbox.send(Message(MessageType.REQUEST, worker))
+        return replies
+
+
+def halving_conf(advisor: SuccessiveHalvingAdvisor,
+                 early_stop_patience: int = 10_000) -> HyperConf:
+    """A HyperConf sized to the advisor's total trial count.
+
+    Successive halving controls budgets itself, so the per-trial epoch
+    cap is effectively disabled and early stopping is left to the rungs.
+    """
+    total = 0
+    count = advisor.initial_trials
+    for _ in range(advisor.max_rungs):
+        total += count
+        count = max(count // advisor.eta, 1)
+    max_epochs = advisor.initial_epochs * advisor.eta ** (advisor.max_rungs + 1)
+    return HyperConf(
+        max_trials=total,
+        max_epochs_per_trial=max(max_epochs, 1),
+        early_stop_patience=early_stop_patience,
+    )

@@ -1,0 +1,112 @@
+"""Study-report persistence.
+
+Training jobs are long-lived; Rafiki's users monitor them via job ids
+(Figure 2's ``job.run()`` handle). This module serialises a
+:class:`~repro.core.tune.study.StudyReport` — trials, per-trial
+outcomes, and the best-so-far history — to JSON so reports survive
+process restarts and can be shipped over the gateway.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any
+
+from repro.core.tune.study import StudyHistoryEntry, StudyReport
+from repro.core.tune.trial import InitKind, Trial, TrialResult, TrialStatus
+from repro.exceptions import ConfigurationError
+
+__all__ = ["report_to_dict", "report_from_dict", "save_report", "load_report"]
+
+_FORMAT_VERSION = 1
+
+
+def report_to_dict(report: StudyReport) -> dict[str, Any]:
+    """A JSON-serialisable view of a study report."""
+    return {
+        "version": _FORMAT_VERSION,
+        "study_name": report.study_name,
+        "total_epochs": report.total_epochs,
+        "wall_time": report.wall_time,
+        "results": [
+            {
+                "trial_id": result.trial.trial_id,
+                "params": result.trial.params,
+                "init_kind": result.trial.init_kind.value,
+                "init_key": result.trial.init_key,
+                "status": result.trial.status.value,
+                "performance": result.performance,
+                "epochs": result.epochs,
+                "worker": result.worker,
+            }
+            for result in report.results
+        ],
+        "history": [
+            {
+                "index": entry.index,
+                "performance": entry.performance,
+                "epochs": entry.epochs,
+                "total_epochs": entry.total_epochs,
+                "best_so_far": entry.best_so_far,
+                "time": entry.time,
+                "init_kind": entry.init_kind,
+            }
+            for entry in report.history
+        ],
+    }
+
+
+def report_from_dict(payload: dict[str, Any]) -> StudyReport:
+    """Rebuild a report from :func:`report_to_dict` output."""
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise ConfigurationError(f"unsupported report format version: {version!r}")
+    report = StudyReport(
+        study_name=payload["study_name"],
+        total_epochs=int(payload["total_epochs"]),
+        wall_time=float(payload["wall_time"]),
+    )
+    for row in payload["results"]:
+        trial = Trial(
+            params=dict(row["params"]),
+            trial_id=int(row["trial_id"]),
+            init_kind=InitKind(row["init_kind"]),
+            init_key=row.get("init_key"),
+            status=TrialStatus(row["status"]),
+        )
+        report.results.append(
+            TrialResult(
+                trial=trial,
+                performance=float(row["performance"]),
+                epochs=int(row["epochs"]),
+                worker=row.get("worker", ""),
+            )
+        )
+    for row in payload["history"]:
+        report.history.append(
+            StudyHistoryEntry(
+                index=int(row["index"]),
+                performance=float(row["performance"]),
+                epochs=int(row["epochs"]),
+                total_epochs=int(row["total_epochs"]),
+                best_so_far=float(row["best_so_far"]),
+                time=float(row["time"]),
+                init_kind=row["init_kind"],
+            )
+        )
+    return report
+
+
+def save_report(report: StudyReport, path: str) -> None:
+    """Write a report to ``path`` as JSON (creating parent directories)."""
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(report_to_dict(report), f, indent=2)
+
+
+def load_report(path: str) -> StudyReport:
+    """Read a report written by :func:`save_report`."""
+    with open(path) as f:
+        return report_from_dict(json.load(f))

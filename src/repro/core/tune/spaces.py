@@ -1,0 +1,49 @@
+"""Predefined hyper-parameter spaces.
+
+``section71_space`` is the optimisation-knob space of the paper's
+Section 7.1 experiments: the architecture is fixed (the 8-conv-layer
+Snoek et al. network) and the tuned knobs come from Table 1's group 3
+plus dropout and the weight-initialisation standard deviation.
+
+``demo_space`` adds a preprocessing (group 1) and an architecture
+(group 2) knob with a dependency, exercising the full Figure 4 API.
+"""
+
+from __future__ import annotations
+
+from repro.core.tune.hyperspace import HyperSpace
+
+__all__ = ["section71_space", "demo_space"]
+
+
+def section71_space() -> HyperSpace:
+    """lr / momentum / weight decay / dropout / init std."""
+    space = HyperSpace()
+    space.add_range_knob("lr", "float", 1e-4, 1.0, log_scale=True)
+    space.add_range_knob("momentum", "float", 0.0, 0.99)
+    space.add_range_knob("weight_decay", "float", 1e-6, 1e-2, log_scale=True)
+    space.add_range_knob("dropout", "float", 0.0, 0.7)
+    space.add_range_knob("init_std", "float", 1e-3, 0.5, log_scale=True)
+    return space
+
+
+def _decay_post_hook(values: dict, decay: float) -> float:
+    """The paper's example: a large learning rate prefers faster decay."""
+    if values.get("lr", 0.0) > 0.1:
+        return min(decay * 2.0, 0.999)
+    return decay
+
+
+def demo_space() -> HyperSpace:
+    """A 3-group space exercising depends/hooks (Table 1)."""
+    space = section71_space()
+    # group 1: data preprocessing
+    space.add_range_knob("rotation", "float", 0.0, 30.0)
+    space.add_categorical_knob("whitening", "str", ["none", "pca", "zca"])
+    # group 2: model architecture
+    space.add_range_knob("width", "int", 4, 17)
+    # group 3 extension: decay rate depends on the learning rate
+    space.add_range_knob(
+        "lr_decay", "float", 0.9, 0.9999, depends=["lr"], post_hook=_decay_post_hook
+    )
+    return space

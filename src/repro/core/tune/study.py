@@ -1,0 +1,183 @@
+"""``Study`` — the distributed tuning master of Algorithm 1.
+
+The master sits in an event loop over its mailbox: ``kRequest`` is
+answered with the next trial from the :class:`TrialAdvisor` (or a
+shutdown when the advisor is exhausted / the stop criterion holds),
+``kReport`` collects per-epoch performance, and on ``kFinish`` the
+worker whose trial set a new best is instructed to ``kPut`` its
+parameters into the parameter server so the inference service can pick
+them up instantly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.cluster.message import Mailbox, Message, MessageType
+from repro.core.tune.advisors.base import TrialAdvisor
+from repro.core.tune.config import HyperConf
+from repro.core.tune.trial import InitKind, Trial, TrialResult
+from repro.paramserver import ParameterServer
+
+__all__ = ["StudyMaster", "StudyHistoryEntry", "StudyReport"]
+
+
+@dataclass
+class StudyHistoryEntry:
+    """One finished trial in completion order (drives Figures 8/9/11)."""
+
+    index: int
+    performance: float
+    epochs: int
+    total_epochs: int
+    best_so_far: float
+    time: float = 0.0
+    init_kind: str = InitKind.RANDOM.value
+
+
+@dataclass
+class StudyReport:
+    """Outcome of a whole study."""
+
+    study_name: str
+    history: list[StudyHistoryEntry] = field(default_factory=list)
+    results: list[TrialResult] = field(default_factory=list)
+    total_epochs: int = 0
+    wall_time: float = 0.0
+
+    @property
+    def best(self) -> TrialResult | None:
+        if not self.results:
+            return None
+        return max(self.results, key=lambda r: r.performance)
+
+    @property
+    def best_performance(self) -> float:
+        best = self.best
+        return best.performance if best is not None else 0.0
+
+    def best_so_far_curve(self) -> list[tuple[int, float]]:
+        """(total epochs, best validation accuracy) — Figure 8c/9c."""
+        return [(entry.total_epochs, entry.best_so_far) for entry in self.history]
+
+
+class StudyMaster:
+    """Algorithm 1. Workers early-stop locally; the best trial's
+    parameters are pushed to the parameter server on finish."""
+
+    #: Study workers run their own early stopping.
+    workers_early_stop_locally = True
+
+    def __init__(
+        self,
+        study_name: str,
+        conf: HyperConf,
+        advisor: TrialAdvisor,
+        param_server: ParameterServer,
+        best_key: str | None = None,
+        clock=None,
+    ):
+        self.study_name = study_name
+        self.conf = conf
+        self.advisor = advisor
+        self.param_server = param_server
+        self.best_key = best_key if best_key is not None else f"{study_name}/best"
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.mailbox = Mailbox(f"{study_name}/master")
+        self.done = False
+        self.num_finished = 0
+        self.total_epochs = 0
+        self.report = StudyReport(study_name=study_name)
+
+    # ------------------------------------------------------------------
+    # the event loop body
+    # ------------------------------------------------------------------
+
+    def step(self) -> list[tuple[str, Message]]:
+        """Process all queued messages; return (worker, reply) pairs."""
+        replies: list[tuple[str, Message]] = []
+        while True:
+            message = self.mailbox.receive()
+            if message is None:
+                return replies
+            if message.type is MessageType.REQUEST:
+                replies.extend(self._on_request(message))
+            elif message.type is MessageType.REPORT:
+                replies.extend(self._on_report(message))
+            elif message.type is MessageType.FINISH:
+                replies.extend(self._on_finish(message))
+
+    # ------------------------------------------------------------------
+    # handlers
+    # ------------------------------------------------------------------
+
+    def _on_request(self, message: Message) -> list[tuple[str, Message]]:
+        worker = message.sender
+        if self.done or not self.conf.should_continue(self.num_finished, self.total_epochs):
+            self.done = True
+            return [(worker, Message(MessageType.SHUTDOWN, self.study_name))]
+        params = self.advisor.next(worker)
+        if params is None:
+            self.done = True
+            return [(worker, Message(MessageType.SHUTDOWN, self.study_name))]
+        trial = self._make_trial(params)
+        return [(worker, Message(MessageType.TRIAL, self.study_name, {"trial": trial}))]
+
+    def _make_trial(self, params: dict) -> Trial:
+        """Study always starts trials from random initialisation."""
+        return Trial(params=params, init_kind=InitKind.RANDOM)
+
+    def _on_report(self, message: Message) -> list[tuple[str, Message]]:
+        """Per-epoch reports: Study needs no central action."""
+        return []
+
+    def _on_finish(self, message: Message) -> list[tuple[str, Message]]:
+        result = TrialResult(
+            trial=message.payload["trial"],
+            performance=float(message.payload["p"]),
+            epochs=int(message.payload["epochs"]),
+            worker=message.sender,
+        )
+        self.advisor.collect(result)
+        self.num_finished += 1
+        self.total_epochs += result.epochs
+        self._record(result)
+        replies: list[tuple[str, Message]] = []
+        if self.advisor.is_best(message.sender):
+            replies.append(
+                (
+                    message.sender,
+                    Message(
+                        MessageType.PUT,
+                        self.study_name,
+                        {"key": self.best_key, "performance": result.performance},
+                    ),
+                )
+            )
+        if not self.conf.should_continue(self.num_finished, self.total_epochs):
+            self.done = True
+        return replies
+
+    def _record(self, result: TrialResult) -> None:
+        self.report.results.append(result)
+        self.report.total_epochs = self.total_epochs
+        self.report.history.append(
+            StudyHistoryEntry(
+                index=self.num_finished,
+                performance=result.performance,
+                epochs=result.epochs,
+                total_epochs=self.total_epochs,
+                best_so_far=self.advisor.best_performance,
+                time=float(self._clock()),
+                init_kind=result.trial.init_kind.value,
+            )
+        )
+
+    def set_clock(self, clock) -> None:
+        """Bind the master to a time source (the runner's simulator)."""
+        self._clock = clock
+
+    def finalize(self, wall_time: float) -> StudyReport:
+        """Stamp the wall time and return the report (Algorithm 1 line 20)."""
+        self.report.wall_time = wall_time
+        return self.report

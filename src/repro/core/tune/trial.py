@@ -1,0 +1,65 @@
+"""Trials and their results.
+
+Following the paper's (and Vizier's) convention, one assignment of all
+hyper-parameters is a *trial*; the tuning process of one model over a
+dataset is a *study*.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["Trial", "TrialResult", "TrialStatus", "InitKind"]
+
+_trial_ids = itertools.count(1)
+
+
+class InitKind(enum.Enum):
+    """How a trial's model parameters are initialised."""
+
+    RANDOM = "random"
+    WARM_START = "warm-start"
+
+
+class TrialStatus(enum.Enum):
+    PENDING = "pending"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    STOPPED = "stopped"  # early-stopped by the master
+    FAILED = "failed"
+
+
+@dataclass
+class Trial:
+    """One hyper-parameter assignment handed to a worker."""
+
+    params: dict[str, Any]
+    trial_id: int = field(default_factory=lambda: next(_trial_ids))
+    init_kind: InitKind = InitKind.RANDOM
+    init_key: str | None = None  # parameter-server key for warm starts
+    status: TrialStatus = TrialStatus.PENDING
+    #: per-trial epoch budget override (successive halving assigns
+    #: rung-specific budgets); None defers to the study configuration.
+    max_epochs: int | None = None
+
+    def describe(self) -> str:
+        knobs = ", ".join(f"{k}={v!r}" for k, v in sorted(self.params.items()))
+        return f"trial {self.trial_id} [{self.init_kind.value}] ({knobs})"
+
+
+@dataclass
+class TrialResult:
+    """Outcome of one trial."""
+
+    trial: Trial
+    performance: float
+    epochs: int
+    history: list[float] = field(default_factory=list)  # per-epoch validation accuracy
+    worker: str = ""
+
+    @property
+    def performance_pct(self) -> float:
+        return 100.0 * self.performance

@@ -1,0 +1,187 @@
+"""Tuning workers.
+
+A worker keeps requesting trials from the master, trains one epoch per
+step, reports validation performance after every epoch, and obeys
+``kPut`` (persist parameters to the parameter server) and ``kStop``
+(abandon the current trial) instructions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.cluster.message import Mailbox, Message, MessageType
+from repro.core.tune.backends import TrainerBackend, TrialSession
+from repro.core.tune.config import HyperConf
+from repro.core.tune.early_stopping import EarlyStopper
+from repro.core.tune.trial import InitKind, Trial, TrialStatus
+from repro.paramserver import ParameterServer
+
+__all__ = ["TuneWorker"]
+
+
+class TuneWorker:
+    """One tuning worker (one GPU in the paper's deployment)."""
+
+    def __init__(
+        self,
+        name: str,
+        backend: TrainerBackend,
+        param_server: ParameterServer,
+        conf: HyperConf,
+        local_early_stop: bool = True,
+    ):
+        self.name = name
+        self.backend = backend
+        self.param_server = param_server
+        self.conf = conf
+        #: Study workers early-stop locally; CoStudy moves the decision
+        #: to the master (Algorithm 2 line 11), which sets this False.
+        self.local_early_stop = bool(local_early_stop)
+        self.mailbox = Mailbox(name)
+        self.terminated = False
+        self.trials_run = 0
+        self._trial: Trial | None = None
+        self._session: TrialSession | None = None
+        self._last_session: TrialSession | None = None
+        self._stopper: EarlyStopper | None = None
+        self._awaiting_trial = False
+
+    # ------------------------------------------------------------------
+    # the worker loop body
+    # ------------------------------------------------------------------
+
+    def step(self) -> tuple[list[Message], float]:
+        """Handle inbox, then do one unit of work.
+
+        Returns ``(outgoing messages, simulated seconds consumed)``.
+        """
+        outgoing: list[Message] = []
+        self._drain_inbox(outgoing)
+        if self.terminated:
+            return outgoing, 0.0
+        if self._session is None:
+            if not self._awaiting_trial:
+                outgoing.append(Message(MessageType.REQUEST, self.name))
+                self._awaiting_trial = True
+            return outgoing, 0.0
+        cost = self.backend.epoch_cost(self._trial)
+        accuracy = self._session.run_epoch()
+        outgoing.append(
+            Message(
+                MessageType.REPORT,
+                self.name,
+                {
+                    "p": accuracy,
+                    "trial": self._trial,
+                    "epochs": self._session.epochs,
+                },
+            )
+        )
+        epoch_cap = (
+            self._trial.max_epochs
+            if self._trial.max_epochs is not None
+            else self.conf.max_epochs_per_trial
+        )
+        hit_epoch_cap = self._session.epochs >= epoch_cap
+        plateaued = (
+            self.local_early_stop
+            and self._stopper is not None
+            and self._stopper.update(accuracy)
+        )
+        if hit_epoch_cap or plateaued:
+            self._finish(TrialStatus.COMPLETED, outgoing)
+        return outgoing, cost
+
+    # ------------------------------------------------------------------
+    # message handling
+    # ------------------------------------------------------------------
+
+    def _drain_inbox(self, outgoing: list[Message]) -> None:
+        while True:
+            message = self.mailbox.receive()
+            if message is None:
+                return
+            if message.type is MessageType.TRIAL:
+                self._start_trial(message.payload["trial"])
+            elif message.type is MessageType.PUT:
+                self._put_params(message.payload.get("key", "best"),
+                                 message.payload.get("performance"))
+            elif message.type is MessageType.STOP:
+                if self._session is not None:
+                    self._finish(TrialStatus.STOPPED, outgoing)
+            elif message.type is MessageType.SHUTDOWN:
+                self.terminated = True
+                self._session = None
+                self._trial = None
+
+    def _start_trial(self, trial: Trial) -> None:
+        self._awaiting_trial = False
+        init_state: dict[str, np.ndarray] | None = None
+        if (
+            trial.init_kind is InitKind.WARM_START
+            and trial.init_key is not None
+            and self.param_server.has(trial.init_key)
+        ):
+            init_state = self.param_server.get(trial.init_key)
+        trial.status = TrialStatus.RUNNING
+        self._trial = trial
+        self._session = self.backend.start(trial, init_state)
+        self._stopper = EarlyStopper(
+            patience=self.conf.early_stop_patience,
+            min_delta=self.conf.early_stop_min_delta,
+        )
+        self.trials_run += 1
+
+    def _put_params(self, key: str, performance: float | None) -> None:
+        # kPut may refer to the running session or (after kFinish, see
+        # Algorithm 1 line 15) to the just-finished one.
+        session = self._session if self._session is not None else self._last_session
+        if session is None:
+            return
+        self.param_server.put(
+            key,
+            session.state_dict(),
+            performance=(
+                performance if performance is not None else session.best_performance
+            ),
+        )
+
+    def _finish(self, status: TrialStatus, outgoing: list[Message]) -> None:
+        assert self._session is not None and self._trial is not None
+        self._trial.status = status
+        outgoing.append(
+            Message(
+                MessageType.FINISH,
+                self.name,
+                {
+                    "p": self._session.best_performance,
+                    "trial": self._trial,
+                    "epochs": self._session.epochs,
+                },
+            )
+        )
+        # Keep the session parameters around: the master may still reply
+        # with kPut for this just-finished trial (Algorithm 1 line 15).
+        self._trial = None
+        self._stopper = None
+        self._last_session = self._session
+        self._session = None
+
+    @property
+    def busy(self) -> bool:
+        return self._session is not None
+
+    @property
+    def awaiting_trial(self) -> bool:
+        """Requested a trial and is waiting for the master's reply.
+
+        Masters may *park* a requesting worker (successive halving's
+        rung barrier) and wake it later, so a waiting worker must keep
+        polling its mailbox instead of terminating.
+        """
+        return self._awaiting_trial
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "terminated" if self.terminated else ("busy" if self.busy else "idle")
+        return f"TuneWorker({self.name!r}, {state}, trials={self.trials_run})"

@@ -1,0 +1,56 @@
+"""Mini-batch loader."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["BatchLoader"]
+
+
+class BatchLoader:
+    """Iterate ``(inputs, labels)`` mini-batches, optionally shuffled.
+
+    The loader re-shuffles at the start of every iteration, so a single
+    instance can be reused across epochs.
+    """
+
+    def __init__(
+        self,
+        inputs: np.ndarray,
+        labels: np.ndarray,
+        batch_size: int,
+        shuffle: bool = True,
+        rng: np.random.Generator | None = None,
+        drop_last: bool = False,
+    ):
+        if inputs.shape[0] != labels.shape[0]:
+            raise ConfigurationError(
+                f"inputs/labels length mismatch: {inputs.shape[0]} vs {labels.shape[0]}"
+            )
+        if batch_size <= 0:
+            raise ConfigurationError(f"batch_size must be > 0, got {batch_size}")
+        self.inputs = inputs
+        self.labels = labels
+        self.batch_size = int(batch_size)
+        self.shuffle = bool(shuffle)
+        self.drop_last = bool(drop_last)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+
+    def __len__(self) -> int:
+        n = self.inputs.shape[0]
+        if self.drop_last:
+            return n // self.batch_size
+        return (n + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        n = self.inputs.shape[0]
+        order = self._rng.permutation(n) if self.shuffle else np.arange(n)
+        for start in range(0, n, self.batch_size):
+            idx = order[start : start + self.batch_size]
+            if self.drop_last and idx.shape[0] < self.batch_size:
+                return
+            yield self.inputs[idx], self.labels[idx]

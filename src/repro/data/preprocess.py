@@ -1,0 +1,179 @@
+"""Preprocessing and augmentation operators (Table 1, group 1).
+
+Each operator is a callable ``op(batch, rng) -> batch`` over NCHW
+arrays; :class:`Compose` chains them. Stateful operators
+(:class:`Standardize`, :class:`ZCAWhitening`) are fitted on the training
+split first, matching the paper's "subtract the mean and divide the
+standard deviation ... computed on the training images".
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Compose",
+    "Standardize",
+    "PadCrop",
+    "RandomFlip",
+    "RandomRotation",
+    "ZCAWhitening",
+    "standard_cifar_pipeline",
+]
+
+
+class Compose:
+    """Apply operators in sequence."""
+
+    def __init__(self, ops):
+        self.ops = list(ops)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        for op in self.ops:
+            batch = op(batch, rng)
+        return batch
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Compose({[type(op).__name__ for op in self.ops]})"
+
+
+class Standardize:
+    """Per-channel mean/std normalisation fitted on training data."""
+
+    def __init__(self):
+        self.mean: np.ndarray | None = None
+        self.std: np.ndarray | None = None
+
+    def fit(self, train_x: np.ndarray) -> "Standardize":
+        self.mean = train_x.mean(axis=(0, 2, 3)).reshape(1, -1, 1, 1)
+        self.std = train_x.std(axis=(0, 2, 3)).reshape(1, -1, 1, 1) + 1e-8
+        return self
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.mean is None or self.std is None:
+            raise ConfigurationError("Standardize must be fitted before use")
+        return (batch - self.mean) / self.std
+
+
+class PadCrop:
+    """Zero-pad each side then take a random crop of the original size.
+
+    The paper pads CIFAR images by 4 pixels to 40x40 and randomly crops
+    a 32x32 patch. At evaluation time use ``deterministic=True`` for a
+    centre crop.
+    """
+
+    def __init__(self, pad: int = 4, deterministic: bool = False):
+        if pad < 0:
+            raise ConfigurationError(f"pad must be >= 0, got {pad}")
+        self.pad = int(pad)
+        self.deterministic = bool(deterministic)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.pad == 0:
+            return batch
+        n, c, h, w = batch.shape
+        padded = np.pad(
+            batch, ((0, 0), (0, 0), (self.pad, self.pad), (self.pad, self.pad)), mode="constant"
+        )
+        out = np.empty_like(batch)
+        if self.deterministic:
+            out[...] = padded[:, :, self.pad : self.pad + h, self.pad : self.pad + w]
+            return out
+        tops = rng.integers(0, 2 * self.pad + 1, size=n)
+        lefts = rng.integers(0, 2 * self.pad + 1, size=n)
+        for i in range(n):
+            out[i] = padded[i, :, tops[i] : tops[i] + h, lefts[i] : lefts[i] + w]
+        return out
+
+
+class RandomFlip:
+    """Horizontal flip with probability ``p`` (0.5 in the paper)."""
+
+    def __init__(self, p: float = 0.5):
+        if not 0.0 <= p <= 1.0:
+            raise ConfigurationError(f"p must be in [0, 1], got {p}")
+        self.p = float(p)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.p == 0.0:
+            return batch
+        flips = rng.random(batch.shape[0]) < self.p
+        out = batch.copy()
+        out[flips] = out[flips, :, :, ::-1]
+        return out
+
+
+class RandomRotation:
+    """Rotate each image by a uniform angle in ``[0, max_degrees)``.
+
+    Table 1 lists image rotation with domain [0, 30). Implemented with
+    :func:`scipy.ndimage.rotate` (nearest-neighbour padding removed by
+    ``reshape=False``).
+    """
+
+    def __init__(self, max_degrees: float = 30.0):
+        if not 0.0 <= max_degrees < 360.0:
+            raise ConfigurationError(f"max_degrees must be in [0, 360), got {max_degrees}")
+        self.max_degrees = float(max_degrees)
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self.max_degrees == 0.0:
+            return batch
+        from scipy.ndimage import rotate
+
+        out = np.empty_like(batch)
+        angles = rng.uniform(0.0, self.max_degrees, size=batch.shape[0])
+        for i in range(batch.shape[0]):
+            out[i] = rotate(batch[i], angles[i], axes=(1, 2), reshape=False, order=1)
+        return out
+
+
+class ZCAWhitening:
+    """ZCA whitening fitted on the (flattened) training images.
+
+    Table 1 lists {PCA, ZCA} whitening as a preprocessing knob. For PCA
+    whitening pass ``zca=False`` (the output is then in the rotated PCA
+    basis rather than image space).
+    """
+
+    def __init__(self, eps: float = 1e-2, zca: bool = True):
+        self.eps = float(eps)
+        self.zca = bool(zca)
+        self._transform: np.ndarray | None = None
+        self._mean: np.ndarray | None = None
+
+    def fit(self, train_x: np.ndarray) -> "ZCAWhitening":
+        flat = train_x.reshape(train_x.shape[0], -1)
+        self._mean = flat.mean(axis=0)
+        centred = flat - self._mean
+        cov = centred.T @ centred / flat.shape[0]
+        eigvals, eigvecs = np.linalg.eigh(cov)
+        scale = np.diag(1.0 / np.sqrt(np.maximum(eigvals, 0.0) + self.eps))
+        if self.zca:
+            self._transform = eigvecs @ scale @ eigvecs.T
+        else:
+            self._transform = eigvecs @ scale
+        return self
+
+    def __call__(self, batch: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        if self._transform is None or self._mean is None:
+            raise ConfigurationError("ZCAWhitening must be fitted before use")
+        shape = batch.shape
+        flat = batch.reshape(shape[0], -1) - self._mean
+        whitened = flat @ self._transform
+        if self.zca:
+            return whitened.reshape(shape)
+        return whitened
+
+
+def standard_cifar_pipeline(train_x: np.ndarray, pad: int = 4, flip_p: float = 0.5) -> Compose:
+    """The paper's standard CIFAR-10 preprocessing sequence.
+
+    Per-channel standardisation (fitted on ``train_x``), ``pad``-pixel
+    zero padding with random crop back to the original size, and a
+    random horizontal flip.
+    """
+    return Compose([Standardize().fit(train_x), PadCrop(pad=pad), RandomFlip(p=flip_p)])

@@ -1,0 +1,211 @@
+"""An HDFS-like data store.
+
+Rafiki keeps training data in HDFS; here the store is a hierarchical
+in-memory namespace with the same user-facing operations:
+
+* ``import_images(directory)`` ingests a folder of images where each
+  sub-folder names the label (Figure 2's ``rafiki.import_images``);
+  files are ``.npy`` arrays since no image codecs ship offline;
+* ``put_dataset`` / ``get_dataset`` register in-memory datasets (the
+  synthetic generators);
+* blobs can be stored under arbitrary paths (used by the parameter
+  server for cold parameters).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.datasets import ImageDataset
+from repro.exceptions import DatasetNotFoundError, StorageError
+
+__all__ = ["DataStore", "DatasetHandle"]
+
+
+@dataclass
+class DatasetHandle:
+    """A reference to a dataset stored in a :class:`DataStore`."""
+
+    name: str
+    num_examples: int
+    num_classes: int
+    image_shape: tuple[int, ...]
+    labels: tuple[str, ...] = ()
+    metadata: dict = field(default_factory=dict)
+
+
+class DataStore:
+    """Hierarchical namespace of datasets and raw blobs."""
+
+    def __init__(self, name: str = "hdfs"):
+        self.name = name
+        self._datasets: dict[str, ImageDataset] = {}
+        self._handles: dict[str, DatasetHandle] = {}
+        self._blobs: dict[str, bytes] = {}
+        self.bytes_written = 0
+        self.bytes_read = 0
+
+    # ------------------------------------------------------------------
+    # datasets
+    # ------------------------------------------------------------------
+
+    def put_dataset(self, dataset: ImageDataset, labels: tuple[str, ...] = ()) -> DatasetHandle:
+        """Register an in-memory dataset under its own name."""
+        handle = DatasetHandle(
+            name=dataset.name,
+            num_examples=len(dataset),
+            num_classes=dataset.num_classes,
+            image_shape=dataset.image_shape,
+            labels=labels,
+        )
+        self._datasets[dataset.name] = dataset
+        self._handles[dataset.name] = handle
+        self.bytes_written += sum(x.nbytes for x, _ in dataset.splits().values())
+        return handle
+
+    def get_dataset(self, name: str) -> ImageDataset:
+        """Fetch a dataset by name (the paper's ``rafiki.download``)."""
+        if name not in self._datasets:
+            raise DatasetNotFoundError(name)
+        dataset = self._datasets[name]
+        self.bytes_read += sum(x.nbytes for x, _ in dataset.splits().values())
+        return dataset
+
+    def get_handle(self, name: str) -> DatasetHandle:
+        if name not in self._handles:
+            raise DatasetNotFoundError(name)
+        return self._handles[name]
+
+    def has_dataset(self, name: str) -> bool:
+        return name in self._datasets
+
+    def list_datasets(self) -> list[str]:
+        return sorted(self._datasets)
+
+    def delete_dataset(self, name: str) -> None:
+        if name not in self._datasets:
+            raise DatasetNotFoundError(name)
+        del self._datasets[name]
+        del self._handles[name]
+
+    # ------------------------------------------------------------------
+    # directory ingestion
+    # ------------------------------------------------------------------
+
+    def import_images(
+        self,
+        directory: str,
+        name: str | None = None,
+        val_fraction: float = 0.2,
+        test_fraction: float = 0.0,
+        seed: int = 0,
+    ) -> DatasetHandle:
+        """Ingest ``directory/<label>/<file>.npy`` into a dataset.
+
+        All images from the same sub-folder share the sub-folder's name
+        as label, mirroring Figure 2. Arrays must share one CHW shape.
+        """
+        if not os.path.isdir(directory):
+            raise StorageError(f"not a directory: {directory!r}")
+        label_names = sorted(
+            entry for entry in os.listdir(directory) if os.path.isdir(os.path.join(directory, entry))
+        )
+        if not label_names:
+            raise StorageError(f"no label sub-folders under {directory!r}")
+        images: list[np.ndarray] = []
+        labels: list[int] = []
+        for class_id, label in enumerate(label_names):
+            folder = os.path.join(directory, label)
+            for fname in sorted(os.listdir(folder)):
+                if not fname.endswith(".npy"):
+                    continue
+                array = np.load(os.path.join(folder, fname))
+                if array.ndim != 3:
+                    raise StorageError(f"{fname!r}: expected a CHW array, got shape {array.shape}")
+                images.append(array.astype(np.float64))
+                labels.append(class_id)
+        if not images:
+            raise StorageError(f"no .npy images found under {directory!r}")
+        shapes = {img.shape for img in images}
+        if len(shapes) != 1:
+            raise StorageError(f"inconsistent image shapes: {sorted(shapes)}")
+
+        stacked = np.stack(images)
+        label_arr = np.asarray(labels)
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(stacked.shape[0])
+        stacked, label_arr = stacked[order], label_arr[order]
+        n = stacked.shape[0]
+        n_test = int(n * test_fraction)
+        n_val = int(n * val_fraction)
+        n_train = n - n_val - n_test
+        if n_train <= 0:
+            raise StorageError(
+                f"split fractions leave no training data (n={n}, val={n_val}, test={n_test})"
+            )
+        dataset = ImageDataset(
+            name=name or os.path.basename(os.path.normpath(directory)),
+            train_x=stacked[:n_train],
+            train_y=label_arr[:n_train],
+            val_x=stacked[n_train : n_train + n_val],
+            val_y=label_arr[n_train : n_train + n_val],
+            test_x=stacked[n_train + n_val :],
+            test_y=label_arr[n_train + n_val :],
+            num_classes=len(label_names),
+        )
+        return self.put_dataset(dataset, labels=tuple(label_names))
+
+    def export_images(self, name: str, directory: str) -> int:
+        """Write a dataset back to ``directory/<label>/<split>_<i>.npy``.
+
+        The inverse of :meth:`import_images` (splits are merged — the
+        directory format carries labels, not splits). Returns the number
+        of images written.
+        """
+        dataset = self.get_dataset(name)
+        handle = self.get_handle(name)
+        labels = handle.labels or tuple(
+            f"class{i}" for i in range(dataset.num_classes)
+        )
+        os.makedirs(directory, exist_ok=True)
+        written = 0
+        for split, (images, image_labels) in dataset.splits().items():
+            for i in range(images.shape[0]):
+                label = labels[int(image_labels[i])]
+                folder = os.path.join(directory, label)
+                os.makedirs(folder, exist_ok=True)
+                np.save(os.path.join(folder, f"{split}_{i}.npy"), images[i])
+                written += 1
+        return written
+
+    # ------------------------------------------------------------------
+    # raw blobs
+    # ------------------------------------------------------------------
+
+    def put_blob(self, path: str, blob: bytes) -> None:
+        self._blobs[path] = bytes(blob)
+        self.bytes_written += len(blob)
+
+    def get_blob(self, path: str) -> bytes:
+        if path not in self._blobs:
+            raise DatasetNotFoundError(path)
+        blob = self._blobs[path]
+        self.bytes_read += len(blob)
+        return blob
+
+    def has_blob(self, path: str) -> bool:
+        return path in self._blobs
+
+    def delete_blob(self, path: str) -> None:
+        if path not in self._blobs:
+            raise DatasetNotFoundError(path)
+        del self._blobs[path]
+
+    def list_blobs(self, prefix: str = "") -> list[str]:
+        return sorted(path for path in self._blobs if path.startswith(prefix))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataStore({self.name!r}, datasets={len(self._datasets)}, blobs={len(self._blobs)})"

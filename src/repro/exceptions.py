@@ -1,0 +1,101 @@
+"""Exception hierarchy for the Rafiki reproduction.
+
+All library errors derive from :class:`RafikiError` so that callers can
+catch one base class. Subsystems raise the most specific subclass that
+describes the failure.
+"""
+
+from __future__ import annotations
+
+
+class RafikiError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class ConfigurationError(RafikiError):
+    """A user-supplied configuration value is invalid or inconsistent."""
+
+
+class HyperSpaceError(ConfigurationError):
+    """A hyper-parameter space definition is malformed.
+
+    Raised for duplicate knob names, empty domains, unsatisfiable
+    ``depends`` declarations (cycles, unknown names), or type mismatches
+    between a knob's declared ``dtype`` and its domain.
+    """
+
+
+class TrialError(RafikiError):
+    """A tuning trial failed to run or reported an invalid result."""
+
+
+class StudyStoppedError(RafikiError):
+    """An operation was attempted on a study that has already stopped."""
+
+
+class AdvisorExhaustedError(RafikiError):
+    """The trial advisor has no more trials to propose (e.g. exhausted grid)."""
+
+
+class ParameterServerError(RafikiError):
+    """A parameter-server get/put failed."""
+
+
+class ParameterNotFoundError(ParameterServerError, KeyError):
+    """The requested parameter name (or version) does not exist."""
+
+
+class StorageError(RafikiError):
+    """A data-store operation failed."""
+
+
+class DatasetNotFoundError(StorageError, KeyError):
+    """The named dataset is not present in the data store."""
+
+
+class ClusterError(RafikiError):
+    """A cluster-management operation failed."""
+
+
+class PlacementError(ClusterError):
+    """No node has enough free resources to place a container."""
+
+
+class NodeFailedError(ClusterError):
+    """An operation targeted a node that has failed."""
+
+
+class JobError(RafikiError):
+    """A job-level failure (submission, lookup, or lifecycle violation)."""
+
+
+class JobNotFoundError(JobError, KeyError):
+    """The referenced job id is unknown to the manager or gateway."""
+
+
+class ServingError(RafikiError):
+    """An inference-service failure."""
+
+
+class QueueOverflowError(ServingError):
+    """The request queue exceeded its configured capacity."""
+
+
+class ModelNotFoundError(RafikiError, KeyError):
+    """The referenced model name is not registered in the zoo."""
+
+
+class GatewayError(RafikiError):
+    """A REST-gateway request failed (bad route, bad payload)."""
+
+
+class SQLError(RafikiError):
+    """Base class for the mini SQL engine errors."""
+
+
+class SQLParseError(SQLError):
+    """The SQL text could not be parsed."""
+
+
+class SQLExecutionError(SQLError):
+    """The SQL statement failed during execution (unknown column, UDF error)."""

@@ -1,0 +1,200 @@
+"""The parameter server.
+
+Semantics follow Section 6.2:
+
+* parameters are stored under ``(key, version)``; ``put`` appends a new
+  version, ``get`` returns the latest unless a version is requested;
+* hot parameters are served from an LRU cache; cold ones are pickled
+  into the data store (the HDFS stand-in) and reloaded on demand;
+* entries carry metadata — model name, dataset, measured performance,
+  and a privacy flag. ``find_pretrained`` returns public checkpoints of
+  the same model trained on *other* datasets (the training warm-up the
+  paper cites from TFX);
+* :meth:`fetch_shape_pool` exposes the "shape matched W" lookup used by
+  the collaborative tuning scheme for architecture knobs.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.store import DataStore
+from repro.exceptions import ParameterNotFoundError
+from repro.paramserver.cache import LRUCache
+
+__all__ = ["ParameterServer", "ParameterEntry"]
+
+
+@dataclass
+class ParameterEntry:
+    """Metadata for one stored parameter version."""
+
+    key: str
+    version: int
+    model: str = ""
+    dataset: str = ""
+    performance: float = float("nan")
+    public: bool = True
+    nbytes: int = 0
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def path(self) -> str:
+        return f"params/{self.key}/v{self.version}"
+
+
+def _state_size(state: dict[str, np.ndarray]) -> int:
+    return int(sum(value.nbytes for value in state.values()))
+
+
+class ParameterServer:
+    """Versioned parameter storage with an LRU hot cache."""
+
+    def __init__(self, store: DataStore | None = None, cache_bytes: int = 256 * 1024 * 1024):
+        self._store = store if store is not None else DataStore("ps-backing")
+        self._cache = LRUCache(cache_bytes, size_of=_state_size)
+        self._entries: dict[str, list[ParameterEntry]] = {}
+
+    @property
+    def cache(self) -> LRUCache:
+        return self._cache
+
+    @property
+    def store(self) -> DataStore:
+        return self._store
+
+    # ------------------------------------------------------------------
+    # put / get
+    # ------------------------------------------------------------------
+
+    def put(
+        self,
+        key: str,
+        state: dict[str, np.ndarray],
+        model: str = "",
+        dataset: str = "",
+        performance: float = float("nan"),
+        public: bool = True,
+        **extra,
+    ) -> ParameterEntry:
+        """Store a new version of ``key`` and return its entry."""
+        versions = self._entries.setdefault(key, [])
+        entry = ParameterEntry(
+            key=key,
+            version=len(versions) + 1,
+            model=model,
+            dataset=dataset,
+            performance=performance,
+            public=public,
+            nbytes=_state_size(state),
+            extra=dict(extra),
+        )
+        versions.append(entry)
+        state_copy = {name: value.copy() for name, value in state.items()}
+        self._store.put_blob(entry.path, pickle.dumps(state_copy, pickle.HIGHEST_PROTOCOL))
+        self._cache.put(entry.path, state_copy)
+        return entry
+
+    def get(self, key: str, version: int | None = None) -> dict[str, np.ndarray]:
+        """Fetch parameters (latest version unless specified)."""
+        entry = self.get_entry(key, version)
+        cached = self._cache.get(entry.path)
+        if cached is not None:
+            return {name: value.copy() for name, value in cached.items()}
+        state = pickle.loads(self._store.get_blob(entry.path))
+        self._cache.put(entry.path, state)
+        return {name: value.copy() for name, value in state.items()}
+
+    def get_entry(self, key: str, version: int | None = None) -> ParameterEntry:
+        """Metadata of a stored version (latest unless specified)."""
+        versions = self._entries.get(key)
+        if not versions:
+            raise ParameterNotFoundError(key)
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise ParameterNotFoundError(f"{key}@v{version}")
+        return versions[version - 1]
+
+    def has(self, key: str) -> bool:
+        """Whether any version of ``key`` is stored."""
+        return key in self._entries
+
+    def keys(self) -> list[str]:
+        """All stored keys, sorted."""
+        return sorted(self._entries)
+
+    def versions(self, key: str) -> int:
+        """How many versions of ``key`` exist (0 when absent)."""
+        return len(self._entries.get(key, []))
+
+    def delete(self, key: str) -> None:
+        """Drop every version of ``key`` from cache and backing store."""
+        versions = self._entries.pop(key, None)
+        if versions is None:
+            raise ParameterNotFoundError(key)
+        for entry in versions:
+            self._cache.invalidate(entry.path)
+            if self._store.has_blob(entry.path):
+                self._store.delete_blob(entry.path)
+
+    # ------------------------------------------------------------------
+    # collaborative-tuning support
+    # ------------------------------------------------------------------
+
+    def put_if_better(
+        self,
+        key: str,
+        state: dict[str, np.ndarray],
+        performance: float,
+        **meta,
+    ) -> bool:
+        """Store ``state`` only if it beats the stored performance.
+
+        Implements the overwrite rule of Section 4.2.2: "If the
+        performance of the new trial is better than the older one, we
+        overwrite the W in the parameter server".
+        """
+        if self.has(key):
+            current = self.get_entry(key).performance
+            if not np.isnan(current) and performance <= current:
+                return False
+        self.put(key, state, performance=performance, **meta)
+        return True
+
+    def fetch_shape_pool(self, key: str, version: int | None = None) -> dict[tuple[int, ...], list[np.ndarray]]:
+        """Group a checkpoint's arrays by shape for shape-matched init."""
+        state = self.get(key, version)
+        pool: dict[tuple[int, ...], list[np.ndarray]] = {}
+        for value in state.values():
+            pool.setdefault(value.shape, []).append(value)
+        return pool
+
+    def find_pretrained(self, model: str, exclude_dataset: str = "") -> ParameterEntry | None:
+        """Best *public* checkpoint of ``model`` from another dataset.
+
+        Used for cross-dataset training warm-up: parameters trained for
+        the same model on different data are shared when public.
+        """
+        best: ParameterEntry | None = None
+        for versions in self._entries.values():
+            for entry in versions:
+                if not entry.public or entry.model != model:
+                    continue
+                if exclude_dataset and entry.dataset == exclude_dataset:
+                    continue
+                if best is None or (
+                    not np.isnan(entry.performance)
+                    and (np.isnan(best.performance) or entry.performance > best.performance)
+                ):
+                    best = entry
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ParameterServer(keys={len(self._entries)}, "
+            f"cache_hit_rate={self._cache.hit_rate:.2f})"
+        )

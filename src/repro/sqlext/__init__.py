@@ -1,0 +1,20 @@
+"""Mini SQL engine with UDFs calling the inference service (Section 8).
+
+Supports the case-study workload: ``CREATE TABLE``-style table
+definitions, ``INSERT``, and ``SELECT`` with ``WHERE``, ``GROUP BY``
+and aggregates, where select expressions may invoke registered
+user-defined functions. The engine evaluates the ``WHERE`` predicate
+*before* any select-list UDF, so a query like
+
+    SELECT food_name(image_path) AS name, count(*)
+    FROM foodlog WHERE age > 52 GROUP BY name
+
+only pays one inference call per *filtered* row — the cost saving the
+paper's case study demonstrates.
+"""
+
+from repro.sqlext.engine import Database, ResultSet
+from repro.sqlext.table import Column, Table
+from repro.sqlext.udf import UdfRegistry, make_inference_udf
+
+__all__ = ["Database", "ResultSet", "Table", "Column", "UdfRegistry", "make_inference_udf"]

@@ -1,0 +1,461 @@
+"""The SQL parser and executor.
+
+Grammar (keywords case-insensitive)::
+
+    SELECT item (',' item)* FROM ident [WHERE cond] [GROUP BY ident+]
+        [ORDER BY ident [ASC|DESC] (',' ident [ASC|DESC])*] [LIMIT n]
+    item  := expr [AS ident]
+    expr  := COUNT '(' '*' ')' | func '(' expr ')' | ident | literal
+    cond  := cmp (AND cmp)*
+    cmp   := expr op expr        op in = != <> < <= > >=
+
+Aggregates: ``count``, ``sum``, ``avg``, ``min``, ``max``. Any other
+function name resolves against the UDF registry. The executor applies
+``WHERE`` before evaluating select-list expressions, so UDFs run only
+on surviving rows (the Section 8 saving), and tracks how many UDF
+calls each query made.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.exceptions import SQLExecutionError, SQLParseError
+from repro.sqlext.table import Column, Table
+from repro.sqlext.udf import UdfRegistry
+
+__all__ = ["Database", "ResultSet"]
+
+_AGGREGATES = ("count", "sum", "avg", "min", "max")
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:"
+    r"(?P<number>-?\d+\.\d+|-?\d+)"
+    r"|(?P<string>'(?:[^']|'')*')"
+    r"|(?P<ident>[A-Za-z_][A-Za-z0-9_.]*)"
+    r"|(?P<op><=|>=|!=|<>|=|<|>)"
+    r"|(?P<punct>[(),*])"
+    r")"
+)
+
+
+def _tokenize(sql: str) -> list[tuple[str, str]]:
+    tokens: list[tuple[str, str]] = []
+    pos = 0
+    text = sql.strip().rstrip(";")
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SQLParseError(f"cannot tokenise at: {text[pos:pos+20]!r}")
+        pos = match.end()
+        for kind in ("number", "string", "ident", "op", "punct"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append((kind, value))
+                break
+    return tokens
+
+
+# ----------------------------------------------------------------------
+# AST
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ColumnRef:
+    name: str
+
+
+@dataclass(frozen=True)
+class Literal:
+    value: Any
+
+
+@dataclass(frozen=True)
+class FuncCall:
+    name: str
+    arg: Any  # ColumnRef | Literal | FuncCall | "*"
+
+
+@dataclass(frozen=True)
+class Comparison:
+    left: Any
+    op: str
+    right: Any
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Any
+    alias: str | None
+
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        if isinstance(self.expr, ColumnRef):
+            return self.expr.name
+        if isinstance(self.expr, FuncCall):
+            inner = "*" if self.expr.arg == "*" else _expr_name(self.expr.arg)
+            return f"{self.expr.name}({inner})"
+        return "expr"
+
+
+def _expr_name(expr: Any) -> str:
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, Literal):
+        return repr(expr.value)
+    if isinstance(expr, FuncCall):
+        return f"{expr.name}({'*' if expr.arg == '*' else _expr_name(expr.arg)})"
+    return "expr"
+
+
+@dataclass(frozen=True)
+class SelectStatement:
+    items: tuple[SelectItem, ...]
+    table: str
+    where: tuple[Comparison, ...]
+    group_by: tuple[str, ...]
+    order_by: tuple[tuple[str, bool], ...] = ()  # (name, descending)
+    limit: int | None = None
+
+
+class _Parser:
+    """Recursive-descent parser over the token list."""
+
+    def __init__(self, tokens: list[tuple[str, str]]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def _peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> tuple[str, str]:
+        token = self._peek()
+        if token is None:
+            raise SQLParseError("unexpected end of statement")
+        self.pos += 1
+        return token
+
+    def _expect_keyword(self, word: str) -> None:
+        kind, value = self._next()
+        if kind != "ident" or value.lower() != word:
+            raise SQLParseError(f"expected {word.upper()}, got {value!r}")
+
+    def _at_keyword(self, word: str) -> bool:
+        token = self._peek()
+        return token is not None and token[0] == "ident" and token[1].lower() == word
+
+    def parse_select(self) -> SelectStatement:
+        self._expect_keyword("select")
+        items = [self._parse_item()]
+        while self._peek() == ("punct", ","):
+            self._next()
+            items.append(self._parse_item())
+        self._expect_keyword("from")
+        kind, table = self._next()
+        if kind != "ident":
+            raise SQLParseError(f"expected table name, got {table!r}")
+        where: list[Comparison] = []
+        if self._at_keyword("where"):
+            self._next()
+            where.append(self._parse_comparison())
+            while self._at_keyword("and"):
+                self._next()
+                where.append(self._parse_comparison())
+        group_by: list[str] = []
+        if self._at_keyword("group"):
+            self._next()
+            self._expect_keyword("by")
+            kind, name = self._next()
+            if kind != "ident":
+                raise SQLParseError(f"expected GROUP BY column, got {name!r}")
+            group_by.append(name)
+            while self._peek() == ("punct", ","):
+                self._next()
+                kind, name = self._next()
+                if kind != "ident":
+                    raise SQLParseError(f"expected GROUP BY column, got {name!r}")
+                group_by.append(name)
+        order_by: list[tuple[str, bool]] = []
+        if self._at_keyword("order"):
+            self._next()
+            self._expect_keyword("by")
+            order_by.append(self._parse_order_term())
+            while self._peek() == ("punct", ","):
+                self._next()
+                order_by.append(self._parse_order_term())
+        limit: int | None = None
+        if self._at_keyword("limit"):
+            self._next()
+            kind, value = self._next()
+            if kind != "number" or "." in value or int(value) < 0:
+                raise SQLParseError(f"LIMIT expects a non-negative integer, got {value!r}")
+            limit = int(value)
+        if self._peek() is not None:
+            raise SQLParseError(f"trailing tokens: {self.tokens[self.pos:]}")
+        return SelectStatement(tuple(items), table, tuple(where), tuple(group_by),
+                               tuple(order_by), limit)
+
+    def _parse_order_term(self) -> tuple[str, bool]:
+        kind, name = self._next()
+        if kind != "ident":
+            raise SQLParseError(f"expected ORDER BY column, got {name!r}")
+        descending = False
+        if self._at_keyword("desc"):
+            self._next()
+            descending = True
+        elif self._at_keyword("asc"):
+            self._next()
+        return name, descending
+
+    def _parse_item(self) -> SelectItem:
+        expr = self._parse_expr()
+        alias = None
+        if self._at_keyword("as"):
+            self._next()
+            kind, alias_token = self._next()
+            if kind != "ident":
+                raise SQLParseError(f"expected alias, got {alias_token!r}")
+            alias = alias_token
+        return SelectItem(expr, alias)
+
+    def _parse_expr(self) -> Any:
+        kind, value = self._next()
+        if kind == "number":
+            return Literal(float(value) if "." in value else int(value))
+        if kind == "string":
+            return Literal(value[1:-1].replace("''", "'"))
+        if kind == "ident":
+            if self._peek() == ("punct", "("):
+                self._next()
+                if self._peek() == ("punct", "*"):
+                    self._next()
+                    arg: Any = "*"
+                else:
+                    arg = self._parse_expr()
+                closing = self._next()
+                if closing != ("punct", ")"):
+                    raise SQLParseError(f"expected ')', got {closing[1]!r}")
+                return FuncCall(value.lower(), arg)
+            return ColumnRef(value)
+        raise SQLParseError(f"unexpected token {value!r}")
+
+    def _parse_comparison(self) -> Comparison:
+        left = self._parse_expr()
+        kind, op = self._next()
+        if kind != "op":
+            raise SQLParseError(f"expected comparison operator, got {op!r}")
+        right = self._parse_expr()
+        return Comparison(left, op, right)
+
+
+# ----------------------------------------------------------------------
+# execution
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class ResultSet:
+    """Query output: column names plus row tuples."""
+
+    columns: list[str]
+    rows: list[tuple]
+    udf_calls: int = 0
+
+    def as_dicts(self) -> list[dict[str, Any]]:
+        return [dict(zip(self.columns, row)) for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+
+_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+class Database:
+    """Tables + UDF registry + query execution."""
+
+    def __init__(self):
+        self.tables: dict[str, Table] = {}
+        self.udfs = UdfRegistry()
+        self.last_udf_calls = 0
+
+    def create_table(self, name: str, columns: list[Column],
+                     primary_key: tuple[str, ...] = ()) -> Table:
+        if name in self.tables:
+            raise SQLExecutionError(f"table {name!r} already exists")
+        table = Table(name=name, columns=columns, primary_key=primary_key)
+        self.tables[name] = table
+        return table
+
+    def insert(self, table_name: str, **values: Any) -> None:
+        self._table(table_name).insert(**values)
+
+    def _table(self, name: str) -> Table:
+        if name in self.tables:
+            return self.tables[name]
+        lowered = name.lower()
+        if lowered in self.tables:
+            return self.tables[lowered]
+        raise SQLExecutionError(f"unknown table {name!r}")
+
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str) -> ResultSet:
+        """Parse and run one SELECT statement."""
+        statement = _Parser(_tokenize(sql)).parse_select()
+        table = self._table(statement.table)
+        udf_calls_before = self.udfs.total_calls
+
+        # 1. WHERE first — no select-list UDF has run yet.
+        survivors = [row for row in table if self._passes(statement.where, row)]
+
+        # 2. Evaluate select expressions (UDFs fire here, per survivor).
+        has_aggregate = any(
+            isinstance(item.expr, FuncCall) and item.expr.name in _AGGREGATES
+            for item in statement.items
+        )
+        if has_aggregate or statement.group_by:
+            result = self._execute_grouped(statement, survivors)
+        else:
+            columns = [item.output_name() for item in statement.items]
+            rows = [
+                tuple(self._evaluate(item.expr, row) for item in statement.items)
+                for row in survivors
+            ]
+            result = ResultSet(columns, rows)
+        self._apply_order_and_limit(statement, result)
+        result.udf_calls = self.udfs.total_calls - udf_calls_before
+        self.last_udf_calls = result.udf_calls
+        return result
+
+    def _apply_order_and_limit(self, statement: SelectStatement, result: ResultSet) -> None:
+        if statement.order_by:
+            lowered = [c.lower() for c in result.columns]
+            indices = []
+            for name, descending in statement.order_by:
+                if name in result.columns:
+                    indices.append((result.columns.index(name), descending))
+                elif name.lower() in lowered:
+                    indices.append((lowered.index(name.lower()), descending))
+                else:
+                    raise SQLExecutionError(
+                        f"ORDER BY column {name!r} is not in the select list"
+                    )
+            # Stable sorts applied right-to-left give lexicographic order.
+            for index, descending in reversed(indices):
+                result.rows.sort(
+                    key=lambda row: (
+                        row[index] is None,
+                        0 if row[index] is None else row[index],
+                    ),
+                    reverse=descending,
+                )
+        if statement.limit is not None:
+            del result.rows[statement.limit:]
+
+    def _execute_grouped(self, statement: SelectStatement, rows: list[dict]) -> ResultSet:
+        key_items = [
+            item for item in statement.items
+            if not (isinstance(item.expr, FuncCall) and item.expr.name in _AGGREGATES)
+        ]
+        agg_items = [
+            item for item in statement.items
+            if isinstance(item.expr, FuncCall) and item.expr.name in _AGGREGATES
+        ]
+        # GROUP BY columns must cover every non-aggregate select item
+        # (by alias or by expression name).
+        group_names = set(statement.group_by)
+        if statement.group_by:
+            for item in key_items:
+                if item.output_name() not in group_names and not (
+                    isinstance(item.expr, ColumnRef) and item.expr.name in group_names
+                ):
+                    raise SQLExecutionError(
+                        f"{item.output_name()!r} must appear in GROUP BY"
+                    )
+        elif key_items:
+            raise SQLExecutionError(
+                "non-aggregate select items require GROUP BY"
+            )
+
+        groups: dict[tuple, list[dict]] = {}
+        key_cache: dict[int, tuple] = {}
+        for index, row in enumerate(rows):
+            key = tuple(self._evaluate(item.expr, row) for item in key_items)
+            key_cache[index] = key
+            groups.setdefault(key, []).append(row)
+
+        columns = [item.output_name() for item in statement.items]
+        out_rows: list[tuple] = []
+        for key, members in groups.items():
+            values: list[Any] = []
+            key_iter = iter(key)
+            for item in statement.items:
+                if item in agg_items:
+                    values.append(self._aggregate(item.expr, members))
+                else:
+                    values.append(next(key_iter))
+            out_rows.append(tuple(values))
+        out_rows.sort(key=lambda r: tuple((v is None, str(v)) for v in r))
+        return ResultSet(columns, out_rows)
+
+    def _aggregate(self, call: FuncCall, rows: list[dict]) -> Any:
+        if call.name == "count" and call.arg == "*":
+            return len(rows)
+        values = [self._evaluate(call.arg, row) for row in rows]
+        values = [v for v in values if v is not None]
+        if call.name == "count":
+            return len(values)
+        if not values:
+            return None
+        if call.name == "sum":
+            return sum(values)
+        if call.name == "avg":
+            return sum(values) / len(values)
+        if call.name == "min":
+            return min(values)
+        if call.name == "max":
+            return max(values)
+        raise SQLExecutionError(f"unknown aggregate {call.name!r}")
+
+    def _evaluate(self, expr: Any, row: dict) -> Any:
+        if isinstance(expr, Literal):
+            return expr.value
+        if isinstance(expr, ColumnRef):
+            if expr.name in row:
+                return row[expr.name]
+            # SQL identifiers are case-insensitive.
+            lowered = expr.name.lower()
+            if lowered in row:
+                return row[lowered]
+            raise SQLExecutionError(f"unknown column {expr.name!r}")
+        if isinstance(expr, FuncCall):
+            if expr.name in _AGGREGATES:
+                raise SQLExecutionError(
+                    f"aggregate {expr.name!r} is not allowed here"
+                )
+            argument = self._evaluate(expr.arg, row)
+            return self.udfs.call(expr.name, argument)
+        raise SQLExecutionError(f"cannot evaluate {expr!r}")
+
+    def _passes(self, conditions: tuple[Comparison, ...], row: dict) -> bool:
+        for condition in conditions:
+            left = self._evaluate(condition.left, row)
+            right = self._evaluate(condition.right, row)
+            if left is None or right is None:
+                return False
+            if not _OPS[condition.op](left, right):
+                return False
+        return True

@@ -1,0 +1,87 @@
+"""In-memory tables with typed columns and primary keys."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.exceptions import SQLExecutionError
+
+__all__ = ["Column", "Table"]
+
+_TYPES = {
+    "integer": int,
+    "int": int,
+    "real": float,
+    "float": float,
+    "text": str,
+    "str": str,
+}
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column definition."""
+
+    name: str
+    dtype: str = "text"
+    not_null: bool = False
+
+    def coerce(self, value: Any) -> Any:
+        if value is None:
+            if self.not_null:
+                raise SQLExecutionError(f"column {self.name!r} is NOT NULL")
+            return None
+        caster = _TYPES.get(self.dtype.lower())
+        if caster is None:
+            raise SQLExecutionError(f"unknown column type {self.dtype!r}")
+        try:
+            return caster(value)
+        except (TypeError, ValueError) as exc:
+            raise SQLExecutionError(
+                f"cannot store {value!r} in {self.dtype} column {self.name!r}"
+            ) from exc
+
+
+@dataclass
+class Table:
+    """A named table: columns plus rows stored as dicts."""
+
+    name: str
+    columns: list[Column]
+    primary_key: tuple[str, ...] = ()
+    rows: list[dict[str, Any]] = field(default_factory=list)
+    _pk_index: set[tuple] = field(default_factory=set)
+
+    def __post_init__(self):
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SQLExecutionError(f"duplicate column names in {self.name!r}: {names}")
+        for key in self.primary_key:
+            if key not in names:
+                raise SQLExecutionError(f"primary key column {key!r} not in table {self.name!r}")
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def insert(self, **values: Any) -> None:
+        """Insert one row (missing columns become NULL)."""
+        unknown = sorted(set(values) - set(self.column_names))
+        if unknown:
+            raise SQLExecutionError(f"unknown columns for {self.name!r}: {unknown}")
+        row = {c.name: c.coerce(values.get(c.name)) for c in self.columns}
+        if self.primary_key:
+            key = tuple(row[k] for k in self.primary_key)
+            if key in self._pk_index:
+                raise SQLExecutionError(
+                    f"duplicate primary key {key!r} in table {self.name!r}"
+                )
+            self._pk_index.add(key)
+        self.rows.append(row)
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        return iter(self.rows)
+
+    def __len__(self) -> int:
+        return len(self.rows)

@@ -1,0 +1,91 @@
+"""User-defined functions bridging SQL to the inference service.
+
+The case study's ``food_name(image_path)`` UDF sends the image behind a
+path to a deployed Rafiki inference job over the gateway's web API and
+returns the predicted label's name. Results are memoised per argument
+— repeated paths cost one inference call — and every call is counted
+so the predicate-pushdown saving is measurable.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+from repro.exceptions import SQLExecutionError
+
+__all__ = ["UdfRegistry", "make_inference_udf"]
+
+
+class UdfRegistry:
+    """Named scalar UDFs with per-function call counters."""
+
+    def __init__(self):
+        self._functions: dict[str, Callable[[Any], Any]] = {}
+        self.calls: dict[str, int] = {}
+
+    def register(self, name: str, fn: Callable[[Any], Any]) -> None:
+        key = name.lower()
+        if key in self._functions:
+            raise SQLExecutionError(f"UDF {name!r} already registered")
+        self._functions[key] = fn
+        self.calls[key] = 0
+
+    def unregister(self, name: str) -> None:
+        key = name.lower()
+        self._functions.pop(key, None)
+        self.calls.pop(key, None)
+
+    def has(self, name: str) -> bool:
+        return name.lower() in self._functions
+
+    def call(self, name: str, argument: Any) -> Any:
+        key = name.lower()
+        if key not in self._functions:
+            raise SQLExecutionError(f"unknown function {name!r}")
+        self.calls[key] += 1
+        return self._functions[key](argument)
+
+    @property
+    def total_calls(self) -> int:
+        return sum(self.calls.values())
+
+
+def make_inference_udf(
+    gateway,
+    inference_job_id: str,
+    image_store: Mapping[str, np.ndarray],
+    label_names: tuple[str, ...] | None = None,
+    memoize: bool = True,
+) -> Callable[[str], Any]:
+    """Build a UDF that classifies ``image_store[path]`` via the gateway.
+
+    The returned callable mirrors the case study's ``food_name``: it
+    posts the image to ``/query/<job>`` and maps the predicted class id
+    to ``label_names`` when given. When the model is re-trained and the
+    job re-deployed, only ``inference_job_id`` changes — the SQL query
+    at the database user's side is untouched.
+    """
+    cache: dict[str, Any] = {}
+
+    def _udf(image_path: str) -> Any:
+        if memoize and image_path in cache:
+            return cache[image_path]
+        if image_path not in image_store:
+            raise SQLExecutionError(f"no image at path {image_path!r}")
+        image = np.asarray(image_store[image_path])
+        response = gateway.handle(
+            "POST", f"/query/{inference_job_id}", {"img": image.tolist()}
+        )
+        if not response.ok:
+            raise SQLExecutionError(
+                f"inference call failed: {response.body.get('error')}"
+            )
+        label = response.body["label"]
+        result = label_names[label] if label_names is not None else label
+        if memoize:
+            cache[image_path] = result
+        return result
+
+    return _udf

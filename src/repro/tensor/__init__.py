@@ -1,0 +1,90 @@
+"""A from-scratch NumPy deep-learning engine.
+
+This package stands in for Apache SINGA / TensorFlow in the paper's
+stack. It implements the pieces Rafiki's services actually exercise:
+
+* layers with explicit forward/backward passes (dense, convolution,
+  pooling, batch normalisation, dropout, activations),
+* losses and evaluation metrics,
+* SGD-family optimisers with learning-rate schedules and weight decay
+  (the Table 1 group-3 hyper-parameters),
+* a :class:`~repro.tensor.network.Network` container with *named*
+  parameters and shape-matched warm starting, which is what the
+  collaborative tuning scheme (CoStudy) relies on.
+"""
+
+from repro.tensor.initializers import (
+    constant_init,
+    gaussian_init,
+    glorot_uniform_init,
+    he_normal_init,
+    zeros_init,
+)
+from repro.tensor.layers import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    Layer,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+    Tanh,
+)
+from repro.tensor.losses import Loss, MeanSquaredError, SoftmaxCrossEntropy
+from repro.tensor.metrics import accuracy, confusion_matrix, f1_score, top_k_accuracy
+from repro.tensor.network import Network
+from repro.tensor.recurrent import RNN, Embedding
+from repro.tensor.optimizers import (
+    SGD,
+    Adam,
+    ConstantSchedule,
+    ExponentialDecaySchedule,
+    LearningRateSchedule,
+    Optimizer,
+    RMSProp,
+    StepDecaySchedule,
+)
+from repro.tensor.training import TrainResult, evaluate, train_epoch
+
+__all__ = [
+    "Layer",
+    "Dense",
+    "Conv2D",
+    "MaxPool2D",
+    "AvgPool2D",
+    "Flatten",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "Dropout",
+    "BatchNorm",
+    "Embedding",
+    "RNN",
+    "Loss",
+    "SoftmaxCrossEntropy",
+    "MeanSquaredError",
+    "Network",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "RMSProp",
+    "LearningRateSchedule",
+    "ConstantSchedule",
+    "StepDecaySchedule",
+    "ExponentialDecaySchedule",
+    "zeros_init",
+    "constant_init",
+    "gaussian_init",
+    "glorot_uniform_init",
+    "he_normal_init",
+    "accuracy",
+    "top_k_accuracy",
+    "confusion_matrix",
+    "f1_score",
+    "train_epoch",
+    "evaluate",
+    "TrainResult",
+]

@@ -1,0 +1,68 @@
+"""im2col / col2im transforms for convolution layers.
+
+Convolutions are implemented as a single matrix multiply over patches
+extracted by :func:`im2col`. Gradients flow back through
+:func:`col2im`, which scatter-adds patch gradients into the padded
+image. Layout is NCHW throughout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["conv_output_size", "im2col", "col2im"]
+
+
+def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
+    """Spatial output size of a convolution/pooling window."""
+    return (size + 2 * pad - kernel) // stride + 1
+
+
+def _patch_indices(
+    channels: int, height: int, width: int, kernel_h: int, kernel_w: int, stride: int, pad: int
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, int, int]:
+    out_h = conv_output_size(height, kernel_h, stride, pad)
+    out_w = conv_output_size(width, kernel_w, stride, pad)
+
+    i0 = np.repeat(np.arange(kernel_h), kernel_w)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel_w), kernel_h * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+
+    rows = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    cols = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    chans = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    return chans, rows, cols, out_h, out_w
+
+
+def im2col(x: np.ndarray, kernel_h: int, kernel_w: int, stride: int, pad: int) -> np.ndarray:
+    """Extract sliding patches from ``x`` (N, C, H, W).
+
+    Returns an array of shape ``(C*kh*kw, N*out_h*out_w)`` whose columns
+    are the flattened receptive fields.
+    """
+    n, c, h, w = x.shape
+    padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    chans, rows, cols, _out_h, _out_w = _patch_indices(c, h, w, kernel_h, kernel_w, stride, pad)
+    patches = padded[:, chans, rows, cols]  # (N, C*kh*kw, out_h*out_w)
+    return patches.transpose(1, 2, 0).reshape(c * kernel_h * kernel_w, -1)
+
+
+def col2im(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """Inverse of :func:`im2col`: scatter-add patch columns back to images."""
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    chans, rows, cols_idx, out_h, out_w = _patch_indices(c, h, w, kernel_h, kernel_w, stride, pad)
+    reshaped = cols.reshape(c * kernel_h * kernel_w, out_h * out_w, n).transpose(2, 0, 1)
+    np.add.at(padded, (slice(None), chans, rows, cols_idx), reshaped)
+    if pad == 0:
+        return padded
+    return padded[:, :, pad:-pad, pad:-pad]

@@ -1,0 +1,65 @@
+"""Weight initialisers.
+
+Each initialiser takes the parameter shape and an RNG and returns a new
+``float64`` array. The Gaussian standard deviation is itself one of the
+hyper-parameters tuned in the paper's Section 7.1 experiments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "zeros_init",
+    "constant_init",
+    "gaussian_init",
+    "glorot_uniform_init",
+    "he_normal_init",
+]
+
+
+def zeros_init(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+    """All-zeros (the conventional bias initialiser)."""
+    return np.zeros(shape, dtype=np.float64)
+
+
+def constant_init(value: float):
+    """Return an initialiser filling the array with ``value``."""
+
+    def _init(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
+        return np.full(shape, float(value), dtype=np.float64)
+
+    return _init
+
+
+def gaussian_init(std: float = 0.01, mean: float = 0.0):
+    """Gaussian initialiser with tunable standard deviation."""
+
+    def _init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+        return rng.normal(mean, std, size=shape)
+
+    return _init
+
+
+def _fan_in_out(shape: tuple[int, ...]) -> tuple[int, int]:
+    """Fan-in/fan-out for dense ``(in, out)`` and conv ``(out, in, kh, kw)`` shapes."""
+    if len(shape) == 2:
+        return shape[0], shape[1]
+    if len(shape) == 4:
+        receptive = shape[2] * shape[3]
+        return shape[1] * receptive, shape[0] * receptive
+    size = int(np.prod(shape))
+    return size, size
+
+
+def glorot_uniform_init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = _fan_in_out(shape)
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)
+
+
+def he_normal_init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+    """He normal initialisation (suited to ReLU networks)."""
+    fan_in, _ = _fan_in_out(shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)

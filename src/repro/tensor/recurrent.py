@@ -1,0 +1,122 @@
+"""Sequence layers: embedding lookup and a vanilla RNN.
+
+Figure 2's built-in table lists CharacterRNN among the sentiment
+models; these layers let such models be expressed on the engine. The
+RNN consumes ``(N, T, D)`` sequences and emits either the final hidden
+state ``(N, H)`` (sequence classification) or the full state sequence
+``(N, T, H)``. Backpropagation-through-time is explicit and exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.tensor.initializers import glorot_uniform_init, zeros_init
+from repro.tensor.layers import Layer
+
+__all__ = ["Embedding", "RNN"]
+
+
+class Embedding(Layer):
+    """Token-id lookup table: ``(N, T)`` ints -> ``(N, T, D)`` floats."""
+
+    def __init__(self, vocab_size: int, dim: int, name: str | None = None,
+                 weight_init=glorot_uniform_init):
+        super().__init__(name)
+        if vocab_size < 1 or dim < 1:
+            raise ConfigurationError("vocab_size and dim must be >= 1")
+        self.vocab_size = int(vocab_size)
+        self.dim = int(dim)
+        self.weight_init = weight_init
+        self._ids: np.ndarray | None = None
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> tuple[int, ...]:
+        if len(input_shape) != 1:
+            raise ConfigurationError(f"Embedding expects (T,) token input, got {input_shape}")
+        self.params["W"] = self.weight_init((self.vocab_size, self.dim), rng)
+        self.grads["W"] = np.zeros_like(self.params["W"])
+        self.built = True
+        return (input_shape[0], self.dim)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        ids = np.asarray(x, dtype=np.int64)
+        if ids.min() < 0 or ids.max() >= self.vocab_size:
+            raise ConfigurationError(
+                f"token ids must be in [0, {self.vocab_size}), got "
+                f"[{ids.min()}, {ids.max()}]"
+            )
+        self._ids = ids
+        return self.params["W"][ids]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._ids is not None
+        np.add.at(self.grads["W"], self._ids, grad_out)
+        # token ids are not differentiable; return zeros of input shape
+        return np.zeros(self._ids.shape, dtype=np.float64)
+
+
+class RNN(Layer):
+    """Vanilla tanh RNN: ``h_t = tanh(x_t Wx + h_{t-1} Wh + b)``."""
+
+    def __init__(self, hidden: int, return_sequences: bool = False,
+                 name: str | None = None, weight_init=glorot_uniform_init,
+                 bias_init=zeros_init):
+        super().__init__(name)
+        if hidden < 1:
+            raise ConfigurationError(f"hidden must be >= 1, got {hidden}")
+        self.hidden = int(hidden)
+        self.return_sequences = bool(return_sequences)
+        self.weight_init = weight_init
+        self.bias_init = bias_init
+        self._x: np.ndarray | None = None
+        self._states: np.ndarray | None = None
+
+    def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> tuple[int, ...]:
+        if len(input_shape) != 2:
+            raise ConfigurationError(f"RNN expects (T, D) input, got {input_shape}")
+        steps, dim = input_shape
+        self.params["Wx"] = self.weight_init((dim, self.hidden), rng)
+        self.params["Wh"] = self.weight_init((self.hidden, self.hidden), rng)
+        self.params["b"] = self.bias_init((self.hidden,), rng)
+        for key in ("Wx", "Wh", "b"):
+            self.grads[key] = np.zeros_like(self.params[key])
+        self.built = True
+        if self.return_sequences:
+            return (steps, self.hidden)
+        return (self.hidden,)
+
+    def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
+        n, steps, _dim = x.shape
+        self._x = x
+        states = np.zeros((n, steps + 1, self.hidden), dtype=np.float64)
+        wx, wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
+        for t in range(steps):
+            states[:, t + 1] = np.tanh(x[:, t] @ wx + states[:, t] @ wh + b)
+        self._states = states
+        if self.return_sequences:
+            return states[:, 1:]
+        return states[:, -1]
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        assert self._x is not None and self._states is not None
+        x, states = self._x, self._states
+        n, steps, dim = x.shape
+        wx, wh = self.params["Wx"], self.params["Wh"]
+        grad_x = np.zeros_like(x)
+        grad_h_next = np.zeros((n, self.hidden))
+        for t in range(steps - 1, -1, -1):
+            if self.return_sequences:
+                grad_h = grad_out[:, t] + grad_h_next
+            elif t == steps - 1:
+                grad_h = grad_out + grad_h_next
+            else:
+                grad_h = grad_h_next
+            h_t = states[:, t + 1]
+            grad_pre = grad_h * (1.0 - h_t**2)
+            self.grads["Wx"] += x[:, t].T @ grad_pre
+            self.grads["Wh"] += states[:, t].T @ grad_pre
+            self.grads["b"] += grad_pre.sum(axis=0)
+            grad_x[:, t] = grad_pre @ wx.T
+            grad_h_next = grad_pre @ wh.T
+        return grad_x

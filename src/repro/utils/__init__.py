@@ -1,0 +1,21 @@
+"""Shared utilities: deterministic RNG streams, validation helpers."""
+
+from repro.utils.rng import RngStream, derive_rng, spawn_rng
+from repro.utils.validation import (
+    check_in,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RngStream",
+    "derive_rng",
+    "spawn_rng",
+    "check_in",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

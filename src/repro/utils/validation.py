@@ -1,0 +1,58 @@
+"""Small argument-validation helpers used across the library.
+
+These raise :class:`~repro.exceptions.ConfigurationError` with a uniform
+message format so user-facing errors always name the offending argument.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in",
+    "check_type",
+]
+
+
+def check_positive(name: str, value: float) -> float:
+    """Return ``value`` if strictly positive, else raise."""
+    if not value > 0:
+        raise ConfigurationError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Return ``value`` if >= 0, else raise."""
+    if value < 0:
+        raise ConfigurationError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Return ``value`` if in [0, 1], else raise."""
+    if not 0.0 <= value <= 1.0:
+        raise ConfigurationError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_in(name: str, value: Any, allowed: Iterable[Any]) -> Any:
+    """Return ``value`` if it is one of ``allowed``, else raise."""
+    allowed = list(allowed)
+    if value not in allowed:
+        raise ConfigurationError(f"{name} must be one of {allowed!r}, got {value!r}")
+    return value
+
+
+def check_type(name: str, value: Any, types: type | tuple[type, ...]) -> Any:
+    """Return ``value`` if it is an instance of ``types``, else raise."""
+    if not isinstance(value, types):
+        wanted = types.__name__ if isinstance(types, type) else "/".join(t.__name__ for t in types)
+        raise ConfigurationError(
+            f"{name} must be of type {wanted}, got {type(value).__name__}"
+        )
+    return value

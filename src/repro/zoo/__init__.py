@@ -1,0 +1,44 @@
+"""Model zoo: Figure 3 model cards, builders, task registry, ensembles.
+
+* :mod:`repro.zoo.profiles` — the 16 pretrained ConvNet cards of
+  Figure 3 and the affine latency model ``c(m, b)``;
+* :mod:`repro.zoo.builders` — trainable architectures on the
+  :mod:`repro.tensor` engine;
+* :mod:`repro.zoo.registry` — task -> models mapping (Figure 2's table)
+  and the diverse-set model-selection strategy of Section 4.1;
+* :mod:`repro.zoo.correlated` — the calibrated ensemble-accuracy
+  simulator behind Figure 6 and the serving reward ``a(M[v])``.
+"""
+
+from repro.zoo.bandit import ArmStats, UCBModelSelector
+from repro.zoo.builders import (
+    BUILDERS,
+    build_mlp,
+    build_resnet_mini,
+    build_snoek_convnet,
+    build_squeeze_mini,
+    build_vgg_mini,
+)
+from repro.zoo.correlated import EnsembleAccuracyModel, majority_vote
+from repro.zoo.profiles import PROFILES, ModelProfile, get_profile, list_profiles
+from repro.zoo.registry import ModelEntry, TaskRegistry, default_registry
+
+__all__ = [
+    "ModelProfile",
+    "PROFILES",
+    "get_profile",
+    "list_profiles",
+    "EnsembleAccuracyModel",
+    "majority_vote",
+    "ModelEntry",
+    "TaskRegistry",
+    "default_registry",
+    "UCBModelSelector",
+    "ArmStats",
+    "BUILDERS",
+    "build_snoek_convnet",
+    "build_vgg_mini",
+    "build_resnet_mini",
+    "build_squeeze_mini",
+    "build_mlp",
+]

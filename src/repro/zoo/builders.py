@@ -1,0 +1,186 @@
+"""Builders for trainable networks on the :mod:`repro.tensor` engine.
+
+These supply the "built-in models" of the paper's Figure 2 table at a
+CPU-trainable scale: several ConvNet architectures with distinct shapes
+(the model-selection strategy wants *diverse* architectures with
+similar performance) plus MLPs for non-image tasks.
+
+``build_snoek_convnet`` mirrors the 8-convolution-layer architecture of
+Snoek et al. (Table 5 of [29]), the fixed architecture of the paper's
+Section 7.1 tuning experiments, scaled down by a width factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.tensor import (
+    AvgPool2D,
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    MaxPool2D,
+    Network,
+    ReLU,
+)
+from repro.tensor.initializers import gaussian_init
+
+__all__ = [
+    "build_snoek_convnet",
+    "build_vgg_mini",
+    "build_resnet_mini",
+    "build_squeeze_mini",
+    "build_mlp",
+    "BUILDERS",
+]
+
+
+def build_snoek_convnet(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    rng: np.random.Generator,
+    width: int = 8,
+    dropout: float = 0.5,
+    init_std: float = 0.05,
+    name: str = "snoek8",
+) -> Network:
+    """8 convolution layers in 4 blocks, then dropout and a classifier.
+
+    Inputs smaller than 32x32 get fewer pooling blocks so the feature
+    map never collapses (each block halves the spatial size).
+    """
+    if width < 1:
+        raise ConfigurationError(f"width must be >= 1, got {width}")
+    init = gaussian_init(std=init_std)
+    layers = []
+    filters = width
+    blocks = 0
+    size = min(input_shape[1], input_shape[2])
+    while blocks < 4 and size >= 4:
+        blocks += 1
+        size //= 2
+    for block in range(blocks):
+        layers += [
+            Conv2D(filters, 3, name=f"{name}/conv{2*block+1}", weight_init=init),
+            ReLU(name=f"{name}/relu{2*block+1}"),
+            Conv2D(filters, 3, name=f"{name}/conv{2*block+2}", weight_init=init),
+            ReLU(name=f"{name}/relu{2*block+2}"),
+            MaxPool2D(2, name=f"{name}/pool{block+1}"),
+        ]
+        filters *= 2
+    layers += [
+        Flatten(name=f"{name}/flatten"),
+        Dropout(dropout, name=f"{name}/dropout"),
+        Dense(num_classes, name=f"{name}/fc", weight_init=init),
+    ]
+    return Network(layers, name=name).build(input_shape, rng)
+
+
+def build_vgg_mini(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    rng: np.random.Generator,
+    width: int = 8,
+    dropout: float = 0.3,
+    name: str = "vgg-mini",
+) -> Network:
+    """A VGG-flavoured stack: 3x3 conv pairs with max pooling."""
+    layers = [
+        Conv2D(width, 3, name=f"{name}/conv1"),
+        ReLU(name=f"{name}/relu1"),
+        MaxPool2D(2, name=f"{name}/pool1"),
+        Conv2D(width * 2, 3, name=f"{name}/conv2"),
+        ReLU(name=f"{name}/relu2"),
+        MaxPool2D(2, name=f"{name}/pool2"),
+        Flatten(name=f"{name}/flatten"),
+        Dense(width * 8, name=f"{name}/fc1"),
+        ReLU(name=f"{name}/relu3"),
+        Dropout(dropout, name=f"{name}/dropout"),
+        Dense(num_classes, name=f"{name}/fc2"),
+    ]
+    return Network(layers, name=name).build(input_shape, rng)
+
+
+def build_resnet_mini(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    rng: np.random.Generator,
+    width: int = 8,
+    name: str = "resnet-mini",
+) -> Network:
+    """A batch-normalised ConvNet (ResNet-flavoured: BN + global pooling)."""
+    height = input_shape[1]
+    pool_to = max(height // 4, 1)
+    layers = [
+        Conv2D(width, 3, name=f"{name}/conv1"),
+        BatchNorm(name=f"{name}/bn1"),
+        ReLU(name=f"{name}/relu1"),
+        MaxPool2D(2, name=f"{name}/pool1"),
+        Conv2D(width * 2, 3, name=f"{name}/conv2"),
+        BatchNorm(name=f"{name}/bn2"),
+        ReLU(name=f"{name}/relu2"),
+        MaxPool2D(2, name=f"{name}/pool2"),
+        Conv2D(width * 4, 3, name=f"{name}/conv3"),
+        ReLU(name=f"{name}/relu3"),
+        AvgPool2D(pool_to, name=f"{name}/gap"),
+        Flatten(name=f"{name}/flatten"),
+        Dense(num_classes, name=f"{name}/fc"),
+    ]
+    return Network(layers, name=name).build(input_shape, rng)
+
+
+def build_squeeze_mini(
+    input_shape: tuple[int, int, int],
+    num_classes: int,
+    rng: np.random.Generator,
+    width: int = 4,
+    name: str = "squeeze-mini",
+) -> Network:
+    """A parameter-lean ConvNet (SqueezeNet-flavoured: 1x1 squeezes)."""
+    layers = [
+        Conv2D(width * 2, 3, name=f"{name}/conv1"),
+        ReLU(name=f"{name}/relu1"),
+        MaxPool2D(2, name=f"{name}/pool1"),
+        Conv2D(width, 1, name=f"{name}/squeeze1"),
+        ReLU(name=f"{name}/srelu1"),
+        Conv2D(width * 4, 3, name=f"{name}/expand1"),
+        ReLU(name=f"{name}/erelu1"),
+        MaxPool2D(2, name=f"{name}/pool2"),
+        Flatten(name=f"{name}/flatten"),
+        Dense(num_classes, name=f"{name}/fc"),
+    ]
+    return Network(layers, name=name).build(input_shape, rng)
+
+
+def build_mlp(
+    input_shape: tuple[int, ...],
+    num_classes: int,
+    rng: np.random.Generator,
+    hidden: tuple[int, ...] = (64, 32),
+    dropout: float = 0.0,
+    name: str = "mlp",
+) -> Network:
+    """A plain MLP for flat inputs (sentiment vectors, RL policies)."""
+    layers: list = []
+    if len(input_shape) > 1:
+        layers.append(Flatten(name=f"{name}/flatten"))
+    for i, units in enumerate(hidden):
+        layers.append(Dense(units, name=f"{name}/fc{i+1}"))
+        layers.append(ReLU(name=f"{name}/relu{i+1}"))
+        if dropout > 0:
+            layers.append(Dropout(dropout, name=f"{name}/dropout{i+1}"))
+    layers.append(Dense(num_classes, name=f"{name}/out"))
+    return Network(layers, name=name).build(input_shape, rng)
+
+
+#: Builder registry keyed by architecture name, used by the task registry.
+BUILDERS = {
+    "snoek8": build_snoek_convnet,
+    "vgg-mini": build_vgg_mini,
+    "resnet-mini": build_resnet_mini,
+    "squeeze-mini": build_squeeze_mini,
+    "mlp": build_mlp,
+}

@@ -1,0 +1,34 @@
+"""Shared fixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import make_image_classification
+from repro.utils.rng import RngStream
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def rng_stream() -> RngStream:
+    return RngStream(1234)
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small, learnable image dataset shared across tests."""
+    return make_image_classification(
+        name="tiny",
+        num_classes=3,
+        image_shape=(3, 8, 8),
+        train_per_class=16,
+        val_per_class=6,
+        test_per_class=6,
+        difficulty=0.3,
+        seed=7,
+    )

@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_tune_defaults(self):
+        args = build_parser().parse_args(["tune"])
+        assert args.trials == 60
+        assert args.advisor == "random"
+        assert not args.collaborative
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestCommands:
+    def test_profiles(self, capsys):
+        assert main(["profiles"]) == 0
+        out = capsys.readouterr().out
+        assert "mobilenet_v1" in out
+        assert "nasnet_large" in out
+
+    def test_ensemble(self, capsys):
+        assert main(["ensemble", "--examples", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "inception_resnet_v2" in out
+        assert out.count("\n") >= 16  # 15 subsets + header
+
+    def test_tune_study(self, capsys):
+        assert main(["tune", "--trials", "6", "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "Study with random search" in out
+        assert "best accuracy" in out
+
+    def test_tune_costudy_bayesian(self, capsys):
+        assert main([
+            "tune", "--trials", "6", "--advisor", "bayesian", "--collaborative",
+        ]) == 0
+        assert "CoStudy with bayesian" in capsys.readouterr().out
+
+    def test_demo(self, capsys):
+        assert main(["demo", "--classes", "2", "--trials", "2"]) == 0
+        assert "test accuracy" in capsys.readouterr().out
+
+    def test_sql(self, capsys):
+        assert main(["sql"]) == 0
+        out = capsys.readouterr().out
+        assert "GROUP BY" in out
+        assert "UDF calls" in out

@@ -1,0 +1,196 @@
+"""Tests for the data store (HDFS substitute) and batch loader."""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.data import BatchLoader, DataStore, make_image_classification
+from repro.exceptions import ConfigurationError, DatasetNotFoundError, StorageError
+
+
+class TestDatasets:
+    def test_put_get_roundtrip(self, tiny_dataset):
+        store = DataStore()
+        handle = store.put_dataset(tiny_dataset)
+        assert handle.name == "tiny"
+        assert handle.num_classes == 3
+        fetched = store.get_dataset("tiny")
+        np.testing.assert_array_equal(fetched.train_x, tiny_dataset.train_x)
+
+    def test_missing_dataset_raises(self):
+        with pytest.raises(DatasetNotFoundError):
+            DataStore().get_dataset("nope")
+
+    def test_list_and_delete(self, tiny_dataset):
+        store = DataStore()
+        store.put_dataset(tiny_dataset)
+        assert store.list_datasets() == ["tiny"]
+        store.delete_dataset("tiny")
+        assert store.list_datasets() == []
+        with pytest.raises(DatasetNotFoundError):
+            store.delete_dataset("tiny")
+
+    def test_io_accounting(self, tiny_dataset):
+        store = DataStore()
+        store.put_dataset(tiny_dataset)
+        written = store.bytes_written
+        assert written > 0
+        store.get_dataset("tiny")
+        assert store.bytes_read > 0
+
+
+class TestImportImages:
+    def _make_folder(self, tmp_path, labels=("noodle", "rice"), per_label=6,
+                     shape=(3, 4, 4)):
+        rng = np.random.default_rng(0)
+        for label in labels:
+            folder = tmp_path / label
+            folder.mkdir()
+            for i in range(per_label):
+                np.save(folder / f"img{i}.npy", rng.normal(size=shape))
+        return str(tmp_path)
+
+    def test_labels_from_subfolders(self, tmp_path):
+        directory = self._make_folder(tmp_path)
+        store = DataStore()
+        handle = store.import_images(directory, val_fraction=0.25)
+        assert handle.labels == ("noodle", "rice")
+        assert handle.num_examples == 12
+        ds = store.get_dataset(handle.name)
+        assert ds.num_classes == 2
+        assert ds.train_x.shape[0] + ds.val_x.shape[0] == 12
+
+    def test_split_fractions(self, tmp_path):
+        directory = self._make_folder(tmp_path, per_label=10)
+        store = DataStore()
+        handle = store.import_images(directory, val_fraction=0.2, test_fraction=0.1)
+        ds = store.get_dataset(handle.name)
+        assert ds.val_x.shape[0] == 4
+        assert ds.test_x.shape[0] == 2
+        assert ds.train_x.shape[0] == 14
+
+    def test_rejects_missing_directory(self):
+        with pytest.raises(StorageError, match="not a directory"):
+            DataStore().import_images("/definitely/not/here")
+
+    def test_rejects_empty_directory(self, tmp_path):
+        with pytest.raises(StorageError, match="no label sub-folders"):
+            DataStore().import_images(str(tmp_path))
+
+    def test_rejects_inconsistent_shapes(self, tmp_path):
+        folder = tmp_path / "a"
+        folder.mkdir()
+        np.save(folder / "x.npy", np.zeros((3, 4, 4)))
+        np.save(folder / "y.npy", np.zeros((3, 5, 5)))
+        with pytest.raises(StorageError, match="inconsistent"):
+            DataStore().import_images(str(tmp_path))
+
+    def test_rejects_bad_dimensionality(self, tmp_path):
+        folder = tmp_path / "a"
+        folder.mkdir()
+        np.save(folder / "x.npy", np.zeros((4, 4)))
+        with pytest.raises(StorageError, match="CHW"):
+            DataStore().import_images(str(tmp_path))
+
+    def test_rejects_all_validation_split(self, tmp_path):
+        directory = self._make_folder(tmp_path, per_label=2)
+        with pytest.raises(StorageError, match="no training data"):
+            DataStore().import_images(directory, val_fraction=1.0)
+
+
+class TestBlobs:
+    def test_roundtrip(self):
+        store = DataStore()
+        store.put_blob("params/a", b"hello")
+        assert store.get_blob("params/a") == b"hello"
+
+    def test_list_by_prefix(self):
+        store = DataStore()
+        store.put_blob("params/a", b"1")
+        store.put_blob("params/b", b"2")
+        store.put_blob("other/c", b"3")
+        assert store.list_blobs("params/") == ["params/a", "params/b"]
+
+    def test_delete(self):
+        store = DataStore()
+        store.put_blob("x", b"1")
+        store.delete_blob("x")
+        assert not store.has_blob("x")
+        with pytest.raises(DatasetNotFoundError):
+            store.get_blob("x")
+
+
+class TestBatchLoader:
+    def test_covers_all_examples(self, rng):
+        x = np.arange(10).reshape(10, 1).astype(float)
+        y = np.arange(10)
+        loader = BatchLoader(x, y, batch_size=3, rng=rng)
+        seen = np.concatenate([labels for _, labels in loader])
+        assert sorted(seen) == list(range(10))
+
+    def test_len(self, rng):
+        loader = BatchLoader(np.zeros((10, 1)), np.zeros(10), batch_size=3)
+        assert len(loader) == 4
+        loader = BatchLoader(np.zeros((10, 1)), np.zeros(10), batch_size=3, drop_last=True)
+        assert len(loader) == 3
+
+    def test_drop_last(self, rng):
+        loader = BatchLoader(np.zeros((10, 1)), np.zeros(10), batch_size=3,
+                             drop_last=True, shuffle=False)
+        batches = [b for b, _ in loader]
+        assert all(b.shape[0] == 3 for b in batches)
+        assert len(batches) == 3
+
+    def test_no_shuffle_preserves_order(self):
+        x = np.arange(6).reshape(6, 1).astype(float)
+        loader = BatchLoader(x, np.arange(6), batch_size=2, shuffle=False)
+        first_batch, first_labels = next(iter(loader))
+        np.testing.assert_array_equal(first_labels, [0, 1])
+
+    def test_reshuffles_per_epoch(self):
+        loader = BatchLoader(np.zeros((50, 1)), np.arange(50), batch_size=50,
+                             rng=np.random.default_rng(0))
+        _, first = next(iter(loader))
+        _, second = next(iter(loader))
+        assert not np.array_equal(first, second)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchLoader(np.zeros((3, 1)), np.zeros(4), batch_size=2)
+
+
+class TestExportImages:
+    def test_roundtrip_through_filesystem(self, tiny_dataset, tmp_path):
+        store = DataStore()
+        store.put_dataset(tiny_dataset, labels=("noodle", "rice", "salad"))
+        written = store.export_images("tiny", str(tmp_path / "out"))
+        assert written == len(tiny_dataset)
+
+        other = DataStore()
+        handle = other.import_images(str(tmp_path / "out"), val_fraction=0.25)
+        assert handle.labels == ("noodle", "rice", "salad")
+        assert handle.num_examples == len(tiny_dataset)
+        # per-class counts survive the roundtrip
+        reimported = other.get_dataset(handle.name)
+        all_labels = np.concatenate(
+            [reimported.train_y, reimported.val_y, reimported.test_y]
+        )
+        original = np.concatenate(
+            [tiny_dataset.train_y, tiny_dataset.val_y, tiny_dataset.test_y]
+        )
+        np.testing.assert_array_equal(
+            np.bincount(all_labels, minlength=3), np.bincount(original, minlength=3)
+        )
+
+    def test_export_without_label_names_uses_class_ids(self, tiny_dataset, tmp_path):
+        store = DataStore()
+        store.put_dataset(tiny_dataset)
+        store.export_images("tiny", str(tmp_path / "out"))
+        import os
+
+        assert sorted(os.listdir(tmp_path / "out")) == ["class0", "class1", "class2"]
+
+    def test_export_unknown_dataset(self, tmp_path):
+        with pytest.raises(DatasetNotFoundError):
+            DataStore().export_images("ghost", str(tmp_path))

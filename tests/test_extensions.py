@@ -1,0 +1,152 @@
+"""Tests for the extension features: UCB model selection (Ease.ml-style)
+and the Clipper-style prediction cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.serve import PredictionCache
+from repro.core.system import Rafiki
+from repro.core.tune import HyperConf
+from repro.data import make_image_classification
+from repro.exceptions import ConfigurationError
+from repro.zoo import UCBModelSelector
+
+
+class TestUCBModelSelector:
+    def test_every_arm_tried_once_first(self):
+        selector = UCBModelSelector(["a", "b", "c"], rng=np.random.default_rng(0))
+        first_three = set()
+        for _ in range(3):
+            model = selector.select()
+            first_three.add(model)
+            selector.report(model, 0.5)
+        assert first_three == {"a", "b", "c"}
+
+    def test_budget_concentrates_on_best_arm(self):
+        rng = np.random.default_rng(1)
+        selector = UCBModelSelector(["weak", "strong"], exploration=0.3, rng=rng)
+        true_means = {"weak": 0.55, "strong": 0.80}
+        for _ in range(60):
+            model = selector.select()
+            selector.report(model, true_means[model] + rng.normal(0, 0.03))
+        allocation = selector.allocation()
+        assert allocation["strong"] > 2 * allocation["weak"]
+        assert selector.best_model() == "strong"
+
+    def test_under_performers_still_get_some_pulls(self):
+        """UCB never fully starves an arm (exploration bonus grows)."""
+        rng = np.random.default_rng(2)
+        selector = UCBModelSelector(["a", "b"], exploration=1.0, rng=rng)
+        means = {"a": 0.4, "b": 0.8}
+        for _ in range(100):
+            model = selector.select()
+            selector.report(model, means[model] + rng.normal(0, 0.02))
+        assert selector.allocation()["a"] >= 3
+
+    def test_report_unknown_model_rejected(self):
+        selector = UCBModelSelector(["a"])
+        with pytest.raises(ConfigurationError):
+            selector.report("ghost", 0.5)
+
+    def test_empty_and_duplicate_candidates_rejected(self):
+        with pytest.raises(ConfigurationError):
+            UCBModelSelector([])
+        with pytest.raises(ConfigurationError):
+            UCBModelSelector(["a", "a"])
+
+
+class TestPredictionCache:
+    def test_repeated_input_hits_cache(self, rng):
+        calls = []
+
+        def predict(x):
+            calls.append(1)
+            return float(x.sum())
+
+        cache = PredictionCache(predict, capacity=8)
+        image = rng.normal(size=(3, 4, 4))
+        first = cache.query(image)
+        second = cache.query(image)
+        assert first == second
+        assert len(calls) == 1
+        assert cache.hits == 1
+        assert cache.hit_rate == 0.5
+
+    def test_distinct_inputs_miss(self, rng):
+        cache = PredictionCache(lambda x: float(x.sum()), capacity=8)
+        cache.query(rng.normal(size=(2, 2)))
+        cache.query(rng.normal(size=(2, 2)))
+        assert cache.misses == 2
+        assert cache.hits == 0
+
+    def test_lru_eviction(self, rng):
+        cache = PredictionCache(lambda x: float(x.sum()), capacity=2)
+        a, b, c = (rng.normal(size=(2,)) for _ in range(3))
+        cache.query(a)
+        cache.query(b)
+        cache.query(c)  # evicts a
+        assert len(cache) == 2
+        cache.query(a)
+        assert cache.misses == 4
+
+    def test_shape_is_part_of_the_key(self):
+        cache = PredictionCache(lambda x: x.shape, capacity=8)
+        flat = np.zeros(4)
+        square = np.zeros((2, 2))
+        assert cache.query(flat) == (4,)
+        assert cache.query(square) == (2, 2)
+        assert cache.misses == 2
+
+    def test_invalidate_all(self, rng):
+        cache = PredictionCache(lambda x: 1, capacity=8)
+        image = rng.normal(size=(2,))
+        cache.query(image)
+        cache.invalidate_all()
+        cache.query(image)
+        assert cache.misses == 2
+
+    def test_bad_capacity(self):
+        with pytest.raises(ConfigurationError):
+            PredictionCache(lambda x: 1, capacity=0)
+
+
+class TestFacadeQueryCache:
+    def test_repeated_queries_served_from_cache(self):
+        system = Rafiki(seed=8)
+        dataset = make_image_classification(
+            name="d", num_classes=2, image_shape=(3, 8, 8),
+            train_per_class=10, val_per_class=4, test_per_class=4,
+            difficulty=0.3, seed=8,
+        )
+        system.import_images(dataset)
+        job_id = system.create_train_job(
+            "t", "ImageClassification", "d",
+            hyper=HyperConf(max_trials=2, max_epochs_per_trial=3),
+        )
+        infer_id = system.create_inference_job(system.get_models(job_id))
+        info = system.get_inference_job(infer_id)
+        image = dataset.test_x[0]
+        first = system.query(infer_id, image)
+        second = system.query(infer_id, image)
+        assert first["label"] == second["label"]
+        assert info.cache.hits == 1
+        assert info.queries_served == 2
+
+    def test_cache_can_be_disabled(self):
+        system = Rafiki(seed=8)
+        dataset = make_image_classification(
+            name="d", num_classes=2, image_shape=(3, 8, 8),
+            train_per_class=10, val_per_class=4, test_per_class=4,
+            difficulty=0.3, seed=8,
+        )
+        system.import_images(dataset)
+        job_id = system.create_train_job(
+            "t", "ImageClassification", "d",
+            hyper=HyperConf(max_trials=2, max_epochs_per_trial=3),
+        )
+        infer_id = system.create_inference_job(
+            system.get_models(job_id), enable_cache=False
+        )
+        assert system.get_inference_job(infer_id).cache is None
+        result = system.query(infer_id, dataset.test_x[0])
+        assert "label" in result

@@ -1,0 +1,89 @@
+"""Tests for the successive-halving extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.tune import (
+    HalvingMaster,
+    SuccessiveHalvingAdvisor,
+    SurrogateTrainer,
+    halving_conf,
+    make_workers,
+    run_study,
+    section71_space,
+)
+from repro.core.tune.trial import InitKind
+from repro.exceptions import ConfigurationError
+from repro.paramserver import ParameterServer
+
+
+def run_halving(initial_trials=8, initial_epochs=2, eta=2, max_rungs=3,
+                num_workers=3, seed=0):
+    advisor = SuccessiveHalvingAdvisor(
+        section71_space(), initial_trials=initial_trials,
+        initial_epochs=initial_epochs, eta=eta, max_rungs=max_rungs,
+        rng=np.random.default_rng(seed), checkpoint_prefix="sh",
+    )
+    conf = halving_conf(advisor)
+    ps = ParameterServer()
+    master = HalvingMaster("sh", conf, advisor, ps)
+    workers = make_workers(master, SurrogateTrainer(seed=seed), ps, conf, num_workers)
+    report = run_study(master, workers)
+    return advisor, report, ps
+
+
+class TestAdvisor:
+    def test_rung_budgets_grow_by_eta(self):
+        advisor = SuccessiveHalvingAdvisor(section71_space(), initial_trials=4,
+                                           initial_epochs=3, eta=2)
+        assert advisor._rung_budget(0) == 3
+        assert advisor._rung_budget(1) == 6
+        assert advisor._rung_budget(2) == 12
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            SuccessiveHalvingAdvisor(section71_space(), initial_trials=1, eta=2)
+        with pytest.raises(ConfigurationError):
+            SuccessiveHalvingAdvisor(section71_space(), eta=1)
+
+
+class TestHalvingStudy:
+    def test_trial_counts_match_the_schedule(self):
+        advisor, report, _ = run_halving(initial_trials=8, eta=2, max_rungs=3)
+        # 8 + 4 + 2 = 14 trials in total
+        assert len(report.results) == 14
+
+    def test_budgets_are_exact_per_rung(self):
+        advisor, report, _ = run_halving(initial_trials=8, initial_epochs=2,
+                                         eta=2, max_rungs=3)
+        epochs = sorted(r.epochs for r in report.results)
+        assert epochs.count(2) == 8
+        assert epochs.count(4) == 4
+        assert epochs.count(8) == 2
+
+    def test_survivors_warm_start_from_their_own_checkpoints(self):
+        advisor, report, ps = run_halving()
+        continuations = [
+            r for r in report.results if r.trial.init_kind is InitKind.WARM_START
+        ]
+        assert continuations
+        for result in continuations:
+            assert result.trial.init_key.startswith("sh/trial/")
+            assert ps.has(result.trial.init_key)
+
+    def test_later_rungs_score_higher(self):
+        """Halving spends its budget on the best configurations."""
+        advisor, report, _ = run_halving(initial_trials=16, max_rungs=3, seed=2)
+        rung0 = [r.performance for r in report.results if r.epochs == 2]
+        final = [r.performance for r in report.results if r.epochs == 8]
+        assert np.mean(final) > np.mean(rung0)
+        assert max(final) == pytest.approx(report.best_performance, abs=1e-9)
+
+    def test_single_worker_also_completes(self):
+        _, report, _ = run_halving(num_workers=1)
+        assert len(report.results) == 14
+
+    def test_more_workers_than_rung_width(self):
+        """Workers park at the rung barrier and resume afterwards."""
+        _, report, _ = run_halving(initial_trials=4, max_rungs=3, num_workers=6)
+        assert len(report.results) == 4 + 2 + 1

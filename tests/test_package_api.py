@@ -1,0 +1,28 @@
+"""Tests for the top-level package surface."""
+
+import pytest
+
+
+class TestLazySdkExports:
+    def test_version(self):
+        import repro
+
+        assert repro.__version__ == "1.0.0"
+
+    def test_figure2_symbols_resolve(self):
+        import repro
+
+        for name in ("import_images", "HyperConf", "Train", "Inference",
+                     "get_models", "query", "connect"):
+            assert callable(getattr(repro, name))
+
+    def test_rafiki_facade_reachable(self):
+        import repro
+
+        assert repro.Rafiki.__name__ == "Rafiki"
+
+    def test_unknown_attribute_raises(self):
+        import repro
+
+        with pytest.raises(AttributeError, match="no attribute"):
+            repro.definitely_not_a_symbol

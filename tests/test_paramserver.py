@@ -1,0 +1,138 @@
+"""Tests for the parameter server and LRU cache."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ParameterNotFoundError
+from repro.paramserver import LRUCache, ParameterServer
+
+
+def state(value: float, shape=(4, 4)) -> dict:
+    return {"layer/W": np.full(shape, value), "layer/b": np.full(shape[0], value)}
+
+
+class TestLRUCache:
+    def _cache(self, capacity=100):
+        return LRUCache(capacity, size_of=lambda v: len(v))
+
+    def test_hit_and_miss(self):
+        cache = self._cache()
+        cache.put("a", b"12345")
+        assert cache.get("a") == b"12345"
+        assert cache.get("b") is None
+        assert cache.hits == 1
+        assert cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_eviction_lru_order(self):
+        cache = self._cache(capacity=10)
+        cache.put("a", b"12345")
+        cache.put("b", b"12345")
+        cache.get("a")  # a is now most-recent
+        cache.put("c", b"12345")  # evicts b
+        assert "a" in cache
+        assert "b" not in cache
+        assert "c" in cache
+        assert cache.evictions == 1
+
+    def test_oversized_value_not_cached(self):
+        cache = self._cache(capacity=3)
+        cache.put("big", b"12345")
+        assert "big" not in cache
+
+    def test_overwrite_updates_budget(self):
+        cache = self._cache(capacity=10)
+        cache.put("a", b"12345")
+        cache.put("a", b"12")
+        assert cache.used_bytes == 2
+
+    def test_invalidate(self):
+        cache = self._cache()
+        cache.put("a", b"123")
+        cache.invalidate("a")
+        assert "a" not in cache
+        assert cache.used_bytes == 0
+
+
+class TestParameterServer:
+    def test_put_get_roundtrip(self):
+        ps = ParameterServer()
+        ps.put("m/best", state(1.0))
+        fetched = ps.get("m/best")
+        np.testing.assert_allclose(fetched["layer/W"], 1.0)
+
+    def test_get_returns_copy(self):
+        ps = ParameterServer()
+        ps.put("k", state(1.0))
+        fetched = ps.get("k")
+        fetched["layer/W"][...] = 99.0
+        np.testing.assert_allclose(ps.get("k")["layer/W"], 1.0)
+
+    def test_versioning(self):
+        ps = ParameterServer()
+        ps.put("k", state(1.0))
+        ps.put("k", state(2.0))
+        assert ps.versions("k") == 2
+        np.testing.assert_allclose(ps.get("k")["layer/W"], 2.0)  # latest
+        np.testing.assert_allclose(ps.get("k", version=1)["layer/W"], 1.0)
+
+    def test_missing_key_raises(self):
+        with pytest.raises(ParameterNotFoundError):
+            ParameterServer().get("nope")
+        ps = ParameterServer()
+        ps.put("k", state(1.0))
+        with pytest.raises(ParameterNotFoundError):
+            ps.get("k", version=7)
+
+    def test_delete(self):
+        ps = ParameterServer()
+        ps.put("k", state(1.0))
+        ps.delete("k")
+        assert not ps.has("k")
+        with pytest.raises(ParameterNotFoundError):
+            ps.delete("k")
+
+    def test_cold_read_after_cache_eviction(self):
+        """Evicted parameters are reloaded from the backing store."""
+        ps = ParameterServer(cache_bytes=200)  # fits barely one state
+        ps.put("a", state(1.0))
+        ps.put("b", state(2.0))  # evicts a from the cache
+        np.testing.assert_allclose(ps.get("a")["layer/W"], 1.0)
+
+    def test_cache_hits_on_hot_key(self):
+        ps = ParameterServer()
+        ps.put("hot", state(1.0))
+        before = ps.cache.hits
+        for _ in range(5):
+            ps.get("hot")
+        assert ps.cache.hits == before + 5
+
+    def test_put_if_better(self):
+        ps = ParameterServer()
+        assert ps.put_if_better("k", state(1.0), performance=0.5)
+        assert not ps.put_if_better("k", state(2.0), performance=0.4)
+        assert ps.put_if_better("k", state(3.0), performance=0.6)
+        np.testing.assert_allclose(ps.get("k")["layer/W"], 3.0)
+        assert ps.get_entry("k").performance == 0.6
+
+    def test_fetch_shape_pool(self):
+        ps = ParameterServer()
+        ps.put("k", {"a": np.zeros((2, 3)), "b": np.ones((2, 3)), "c": np.zeros(5)})
+        pool = ps.fetch_shape_pool("k")
+        assert len(pool[(2, 3)]) == 2
+        assert len(pool[(5,)]) == 1
+
+    def test_find_pretrained_prefers_public_other_dataset(self):
+        ps = ParameterServer()
+        ps.put("a", state(1.0), model="resnet", dataset="cifar", performance=0.9,
+               public=True)
+        ps.put("b", state(2.0), model="resnet", dataset="imagenet", performance=0.95,
+               public=False)
+        ps.put("c", state(3.0), model="resnet", dataset="food", performance=0.8,
+               public=True)
+        best = ps.find_pretrained("resnet", exclude_dataset="cifar")
+        assert best is not None
+        assert best.dataset == "food"  # the private 0.95 entry is skipped
+
+    def test_find_pretrained_none(self):
+        assert ParameterServer().find_pretrained("x") is None

@@ -1,0 +1,70 @@
+"""Tests for study-report persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core.tune import (
+    HyperConf,
+    RandomSearchAdvisor,
+    CoStudyMaster,
+    SurrogateTrainer,
+    load_report,
+    make_workers,
+    report_from_dict,
+    report_to_dict,
+    run_study,
+    save_report,
+    section71_space,
+)
+from repro.exceptions import ConfigurationError
+from repro.paramserver import ParameterServer
+
+
+@pytest.fixture(scope="module")
+def report():
+    conf = HyperConf(max_trials=8, max_epochs_per_trial=10)
+    ps = ParameterServer()
+    master = CoStudyMaster(
+        "persist", conf, RandomSearchAdvisor(section71_space(),
+                                             rng=np.random.default_rng(1)), ps,
+        rng=np.random.default_rng(2),
+    )
+    workers = make_workers(master, SurrogateTrainer(seed=1), ps, conf, 2)
+    return run_study(master, workers)
+
+
+class TestRoundtrip:
+    def test_dict_roundtrip_preserves_everything(self, report):
+        rebuilt = report_from_dict(report_to_dict(report))
+        assert rebuilt.study_name == report.study_name
+        assert rebuilt.total_epochs == report.total_epochs
+        assert rebuilt.wall_time == report.wall_time
+        assert len(rebuilt.results) == len(report.results)
+        for a, b in zip(rebuilt.results, report.results):
+            assert a.performance == b.performance
+            assert a.trial.params == b.trial.params
+            assert a.trial.init_kind == b.trial.init_kind
+        assert rebuilt.best_performance == report.best_performance
+        assert rebuilt.best_so_far_curve() == report.best_so_far_curve()
+
+    def test_file_roundtrip(self, report, tmp_path):
+        path = tmp_path / "nested" / "report.json"
+        save_report(report, str(path))
+        rebuilt = load_report(str(path))
+        assert rebuilt.best_performance == report.best_performance
+        assert len(rebuilt.history) == len(report.history)
+
+    def test_json_is_plain_text(self, report, tmp_path):
+        import json
+
+        path = tmp_path / "report.json"
+        save_report(report, str(path))
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        assert payload["study_name"] == "persist"
+
+    def test_unknown_version_rejected(self, report):
+        payload = report_to_dict(report)
+        payload["version"] = 99
+        with pytest.raises(ConfigurationError, match="version"):
+            report_from_dict(payload)

@@ -1,0 +1,94 @@
+"""Tests for the deployed-network latency profiler."""
+
+import numpy as np
+import pytest
+
+from repro.core.serve import fit_affine_latency, profile_network
+from repro.core.system import Rafiki
+from repro.core.tune import HyperConf
+from repro.data import make_image_classification
+from repro.exceptions import ConfigurationError
+from repro.zoo.builders import build_mlp, build_vgg_mini
+
+
+class TestAffineFit:
+    def test_recovers_exact_affine(self):
+        sizes = [1, 8, 16, 32]
+        times = [0.01 + 0.002 * b for b in sizes]
+        overhead, per_image = fit_affine_latency(sizes, times)
+        assert overhead == pytest.approx(0.01, rel=1e-6)
+        assert per_image == pytest.approx(0.002, rel=1e-6)
+
+    def test_robust_to_noise(self):
+        rng = np.random.default_rng(0)
+        sizes = np.arange(1, 65)
+        times = 0.05 + 0.003 * sizes + rng.normal(0, 1e-4, size=sizes.size)
+        overhead, per_image = fit_affine_latency(sizes, times)
+        assert overhead == pytest.approx(0.05, abs=0.005)
+        assert per_image == pytest.approx(0.003, rel=0.05)
+
+    def test_negative_intercept_clamped(self):
+        overhead, per_image = fit_affine_latency([1, 2], [0.001, 0.005])
+        assert overhead >= 0.0
+        assert per_image > 0.0
+
+    def test_too_few_points_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fit_affine_latency([1], [0.1])
+
+
+class TestProfileNetwork:
+    def test_profile_shape_and_positivity(self, rng):
+        net = build_mlp((12,), 3, rng, hidden=(16,))
+        profile = profile_network(net, "mlp", batch_sizes=(1, 4, 16), iterations=3)
+        assert profile.name == "mlp"
+        assert profile.overhead_s >= 0.0
+        assert profile.per_image_s > 0.0
+        assert profile.memory_mb > 0.0
+        assert profile.inference_time(16) > profile.inference_time(1)
+
+    def test_deterministic_with_fake_clock(self, rng):
+        """A fake clock makes the measured times exact."""
+        net = build_mlp((4,), 2, rng, hidden=(8,))
+        ticks = iter(np.arange(0, 1000, 0.5))
+
+        def fake_clock():
+            return float(next(ticks))
+
+        profile = profile_network(net, "m", batch_sizes=(1, 2, 4), iterations=2,
+                                  clock=fake_clock)
+        # every timed span is exactly 0.5 fake seconds, so the fit is flat
+        assert profile.per_image_s == pytest.approx(1e-9)
+
+    def test_unbuilt_network_rejected(self):
+        from repro.tensor import Dense, Network
+
+        with pytest.raises(ConfigurationError, match="built"):
+            profile_network(Network([Dense(3, name="d")]), "x")
+
+    def test_conv_profile_scales_with_batch(self, rng, tiny_dataset):
+        net = build_vgg_mini(tiny_dataset.image_shape, tiny_dataset.num_classes,
+                             rng, width=4)
+        profile = profile_network(net, "vgg", batch_sizes=(1, 8, 16), iterations=3)
+        assert profile.throughput(16) > profile.throughput(1)
+
+
+class TestFacadeProfiling:
+    def test_profile_deployed_job(self):
+        system = Rafiki(seed=6)
+        dataset = make_image_classification(
+            name="d", num_classes=2, image_shape=(3, 8, 8),
+            train_per_class=10, val_per_class=4, test_per_class=4,
+            difficulty=0.3, seed=6,
+        )
+        system.import_images(dataset)
+        job_id = system.create_train_job(
+            "t", "ImageClassification", "d",
+            hyper=HyperConf(max_trials=2, max_epochs_per_trial=2),
+        )
+        infer_id = system.create_inference_job(system.get_models(job_id))
+        profiles = system.profile_inference_job(infer_id, batch_sizes=(1, 4, 8))
+        assert len(profiles) == len(system.get_models(job_id))
+        for profile, spec in zip(profiles, system.get_models(job_id)):
+            assert profile.top1_accuracy == pytest.approx(spec.performance)
+            assert profile.inference_time(8) > 0

@@ -1,0 +1,173 @@
+"""Property-based tests (hypothesis) over core data structures."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.serve import RequestQueue, SineArrival
+from repro.core.tune import HyperSpace
+from repro.paramserver import LRUCache
+from repro.sim import Simulator
+from repro.zoo import majority_vote
+
+
+class TestLRUCacheProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from("abcdef"), st.integers(1, 20)),
+            max_size=60,
+        ),
+        st.integers(10, 50),
+    )
+    def test_never_exceeds_capacity(self, operations, capacity):
+        cache = LRUCache(capacity, size_of=lambda v: v)
+        for key, size in operations:
+            cache.put(key, size)
+            assert cache.used_bytes <= capacity
+
+    @given(st.lists(st.sampled_from("abcd"), min_size=1, max_size=40))
+    def test_get_after_put_without_eviction(self, keys):
+        cache = LRUCache(10_000, size_of=lambda v: 1)
+        stored = {}
+        for i, key in enumerate(keys):
+            cache.put(key, i)
+            stored[key] = i
+        for key, value in stored.items():
+            assert cache.get(key) == value
+
+    @given(st.lists(st.sampled_from("abcdef"), max_size=40))
+    def test_hit_plus_miss_equals_gets(self, keys):
+        cache = LRUCache(3, size_of=lambda v: 1)
+        cache.put("a", 1)
+        for key in keys:
+            cache.get(key)
+        assert cache.hits + cache.misses == len(keys)
+
+
+class TestRequestQueueProperties:
+    @given(st.lists(st.floats(0, 1e6), max_size=50), st.integers(1, 20))
+    def test_fifo_returns_in_arrival_order(self, times, pop):
+        queue = RequestQueue()
+        ordered = sorted(times)
+        for t in ordered:
+            queue.push(t)
+        popped = queue.pop_oldest(pop)
+        assert list(popped) == ordered[: len(popped)]
+
+    @given(st.lists(st.integers(1, 30), max_size=20), st.integers(1, 100))
+    def test_capacity_accounting(self, batches, capacity):
+        queue = RequestQueue(capacity=capacity)
+        for count in batches:
+            queue.push(0.0, count=count)
+        assert len(queue) <= capacity
+        assert queue.total_enqueued + queue.total_dropped == sum(batches)
+
+    @given(st.lists(st.floats(0, 100), min_size=1, max_size=30), st.integers(1, 40))
+    def test_waiting_times_are_non_negative_and_sorted(self, times, window):
+        queue = RequestQueue()
+        for t in sorted(times):
+            queue.push(t)
+        now = max(times)
+        waits = queue.waiting_times(now, window)
+        observed = waits[: min(len(times), window)]
+        assert np.all(waits >= 0)
+        # oldest first => non-increasing waits over the real entries
+        assert np.all(np.diff(observed) <= 1e-12)
+
+
+class TestSimulatorProperties:
+    @given(st.lists(st.floats(0, 1000), max_size=40))
+    def test_events_fire_in_time_order(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, lambda d=delay: fired.append(sim.now))
+        sim.run_all()
+        assert fired == sorted(fired)
+        assert len(fired) == len(delays)
+
+    @given(st.lists(st.floats(0.1, 10), min_size=1, max_size=10))
+    def test_process_clock_accumulates_delays(self, delays):
+        sim = Simulator()
+        seen = []
+
+        def proc():
+            for delay in delays:
+                yield delay
+                seen.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run_all()
+        np.testing.assert_allclose(seen, np.cumsum(delays))
+
+
+class TestMajorityVoteProperties:
+    @given(st.integers(1, 5), st.integers(1, 30), st.integers(0, 10_000))
+    def test_unanimous_always_wins(self, num_models, num_examples, seed):
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, 10, size=num_examples)
+        votes = np.tile(labels, (num_models, 1))
+        out = majority_vote(votes, rng.random(num_models))
+        np.testing.assert_array_equal(out, labels)
+
+    @given(st.integers(0, 10_000))
+    def test_winner_unchanged_by_extra_agreeing_model(self, seed):
+        rng = np.random.default_rng(seed)
+        votes = rng.integers(0, 4, size=(3, 20))
+        accuracies = rng.random(3)
+        winners = majority_vote(votes, accuracies)
+        # add a fourth model that votes exactly the current winner
+        boosted = np.vstack([votes, winners])
+        out = majority_vote(boosted, np.append(accuracies, 0.0))
+        np.testing.assert_array_equal(out, winners)
+
+    @given(st.integers(0, 10_000))
+    def test_prediction_is_someones_vote(self, seed):
+        rng = np.random.default_rng(seed)
+        votes = rng.integers(0, 5, size=(4, 15))
+        out = majority_vote(votes, rng.random(4))
+        for i in range(15):
+            assert out[i] in votes[:, i]
+
+
+class TestHyperSpaceProperties:
+    @settings(max_examples=30)
+    @given(
+        st.lists(
+            st.tuples(st.floats(-100, 100), st.floats(0.1, 100)),
+            min_size=1,
+            max_size=5,
+        ),
+        st.integers(0, 10_000),
+    )
+    def test_samples_respect_every_domain(self, domains, seed):
+        space = HyperSpace()
+        for i, (low, width) in enumerate(domains):
+            space.add_range_knob(f"k{i}", "float", low, low + width)
+        trial = space.sample(np.random.default_rng(seed))
+        for i, (low, width) in enumerate(domains):
+            assert low <= trial[f"k{i}"] < low + width
+
+    @settings(max_examples=30)
+    @given(st.integers(0, 10_000))
+    def test_encode_is_unit_cube(self, seed):
+        space = HyperSpace()
+        space.add_range_knob("a", "float", 1e-4, 10.0, log_scale=True)
+        space.add_range_knob("b", "int", 1, 100)
+        space.add_categorical_knob("c", "str", ["x", "y", "z"])
+        point = space.encode(space.sample(np.random.default_rng(seed)))
+        assert np.all(point >= 0.0) and np.all(point <= 1.0)
+
+
+class TestSineArrivalProperties:
+    @given(st.floats(1, 5000), st.floats(10, 2000))
+    def test_rate_bounded_by_peak(self, target, period):
+        arrival = SineArrival(target, period)
+        for t in np.linspace(0, 2 * period, 50):
+            rate = arrival.rate(t)
+            assert 0.0 <= rate <= arrival.peak_rate() + 1e-9
+
+    @given(st.floats(1, 1000), st.integers(0, 1000))
+    def test_counts_are_non_negative(self, target, seed):
+        arrival = SineArrival(target, 100.0, rng=np.random.default_rng(seed))
+        assert all(arrival.count(t * 0.1, 0.1) >= 0 for t in range(100))

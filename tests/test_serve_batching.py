@@ -1,0 +1,106 @@
+"""Tests for Algorithm 3 (greedy batching)."""
+
+import pytest
+
+from repro.core.serve import GreedyBatcher, RequestQueue
+from repro.exceptions import ConfigurationError
+from repro.zoo import get_profile
+
+
+def make_batcher(tau=0.56, backoff=None):
+    profile = get_profile("inception_v3")
+    return GreedyBatcher(
+        batch_sizes=(16, 32, 48, 64), latency=profile.inference_time,
+        tau=tau, backoff=backoff,
+    )
+
+
+def queue_with(arrivals):
+    queue = RequestQueue()
+    for t in arrivals:
+        queue.push(t)
+    return queue
+
+
+class TestConstruction:
+    def test_requires_latency_model(self):
+        with pytest.raises(ConfigurationError):
+            GreedyBatcher(latency=None)
+
+    def test_default_backoff_is_tenth_of_tau(self):
+        batcher = make_batcher(tau=1.0)
+        assert batcher.backoff == pytest.approx(0.1)
+
+    def test_batch_sizes_sorted_deduped(self):
+        batcher = GreedyBatcher(batch_sizes=(64, 16, 16, 32), latency=lambda b: 0.1)
+        assert batcher.batch_sizes == (16, 32, 64)
+
+
+class TestDecide:
+    def test_empty_queue_waits(self):
+        decision = make_batcher().decide(RequestQueue(), now=0.0)
+        assert not decision.dispatch
+
+    def test_full_batch_dispatches_immediately(self):
+        queue = queue_with([0.0] * 70)
+        decision = make_batcher().decide(queue, now=0.0)
+        assert decision.dispatch
+        assert decision.batch_size == 64
+        assert decision.take == 64
+
+    def test_partial_batch_waits_until_deadline(self):
+        queue = queue_with([0.0] * 32)
+        batcher = make_batcher(tau=0.56)
+        early = batcher.decide(queue, now=0.01)
+        assert not early.dispatch
+        # c(32) ~ 0.125; trigger when 0.125 + w + 0.056 >= 0.56 -> w ~ 0.38
+        late = batcher.decide(queue, now=0.40)
+        assert late.dispatch
+        assert late.batch_size == 32
+
+    def test_fit_batch_picks_largest_that_fits(self):
+        batcher = make_batcher()
+        assert batcher.fit_batch(70) == 64
+        assert batcher.fit_batch(63) == 48
+        assert batcher.fit_batch(16) == 16
+        assert batcher.fit_batch(15) is None
+
+    def test_leftover_requests_wait_until_overdue(self):
+        """Queues shorter than min(B) have no valid batch (Algorithm 3
+        line 7); they are served - already late - after tau."""
+        queue = queue_with([0.0] * 10)
+        batcher = make_batcher(tau=0.56)
+        assert not batcher.decide(queue, now=0.5).dispatch
+        decision = batcher.decide(queue, now=0.57)
+        assert decision.dispatch
+        assert decision.batch_size == 16  # padded batch
+        assert decision.take == 10
+
+    def test_backoff_dispatches_earlier(self):
+        queue = queue_with([0.0] * 32)
+        eager = make_batcher(backoff=0.3)
+        lazy = make_batcher(backoff=0.0)
+        now = 0.2
+        assert eager.decide(queue, now).dispatch
+        assert not lazy.decide(queue, now).dispatch
+
+
+class TestNextDeadline:
+    def test_empty_queue_none(self):
+        assert make_batcher().next_deadline(RequestQueue(), 0.0) is None
+
+    def test_deadline_matches_decide_boundary(self):
+        queue = queue_with([0.0] * 32)
+        batcher = make_batcher()
+        wake = batcher.next_deadline(queue, now=0.0)
+        assert not batcher.decide(queue, now=wake - 1e-6).dispatch
+        assert batcher.decide(queue, now=wake + 1e-9).dispatch
+
+    def test_leftover_deadline_is_tau(self):
+        queue = queue_with([2.0] * 5)
+        batcher = make_batcher(tau=0.56)
+        assert batcher.next_deadline(queue, now=2.0) == pytest.approx(2.56)
+
+    def test_deadline_never_in_past(self):
+        queue = queue_with([0.0] * 32)
+        assert make_batcher().next_deadline(queue, now=100.0) == 100.0

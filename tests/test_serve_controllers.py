@@ -1,0 +1,171 @@
+"""Tests for controller decision logic, including RL's gated dispatch."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import CheckpointStore
+from repro.core.serve import (
+    DEFAULT_BATCH_SIZES,
+    Dispatch,
+    EnsembleScorer,
+    GreedySyncController,
+    RLController,
+    RequestQueue,
+    ServingEnv,
+    SineArrival,
+    Wait,
+)
+from repro.zoo import get_profile
+
+TAU = 0.56
+PROFILE = get_profile("inception_v3")
+
+
+class _FakeEnv:
+    """A minimal env view for driving controllers directly."""
+
+    def __init__(self, arrivals, now, busy_until=None, num_models=1):
+        self.queue = RequestQueue()
+        for t in arrivals:
+            self.queue.push(t)
+        self.now = now
+        self.busy_until = busy_until if busy_until is not None else [0.0] * num_models
+
+    def model_idle(self, index):
+        return self.busy_until[index] <= self.now + 1e-12
+
+
+class TestRLImmediateDispatch:
+    def _controller(self):
+        return RLController([PROFILE], DEFAULT_BATCH_SIZES, TAU, seed=0)
+
+    def test_dispatches_immediately_with_queue_and_idle_model(self):
+        controller = self._controller()
+        env = _FakeEnv(arrivals=[0.0] * 4, now=0.01)
+        decision = controller.decide(env)
+        assert isinstance(decision, Dispatch)
+        assert decision.take == min(decision.batch_size, 4)
+        assert decision.batch_size in DEFAULT_BATCH_SIZES
+
+    def test_take_never_exceeds_queue(self):
+        controller = self._controller()
+        for length in (1, 5, 40, 200):
+            env = _FakeEnv(arrivals=[0.0] * length, now=0.01)
+            decision = controller.decide(env)
+            controller.notify_reward(0.0)
+            assert isinstance(decision, Dispatch)
+            assert decision.take <= length
+
+    def test_busy_model_waits_without_sampling(self):
+        controller = self._controller()
+        env = _FakeEnv(arrivals=[0.0] * 100, now=0.0, busy_until=[5.0])
+        decision = controller.decide(env)
+        assert isinstance(decision, Wait)
+        assert controller._last_token is None
+
+    def test_empty_queue_waits(self):
+        controller = self._controller()
+        env = _FakeEnv(arrivals=[], now=0.0)
+        assert isinstance(controller.decide(env), Wait)
+
+    def test_reward_routing_is_per_dispatch(self):
+        from repro.exceptions import ConfigurationError
+
+        controller = self._controller()
+        env = _FakeEnv(arrivals=[0.0] * 8, now=0.01)
+        decision = controller.decide(env)
+        assert isinstance(decision, Dispatch)
+        controller.notify_reward(0.5)
+        with pytest.raises(ConfigurationError):
+            controller.notify_reward(0.5)  # no dispatched action open
+
+    def test_reward_pairs_with_dispatched_action(self):
+        """Every dispatch is followed by exactly one reward."""
+        profiles = [PROFILE]
+        arrival = SineArrival(150.0, period=100.0, rng=np.random.default_rng(0))
+        controller = RLController(profiles, DEFAULT_BATCH_SIZES, TAU, seed=0)
+        env = ServingEnv(profiles, controller, arrival, TAU, DEFAULT_BATCH_SIZES)
+        metrics = env.run(horizon=50.0)
+        # the learner saw one (state, action, reward) per dispatch
+        total_transitions = (
+            controller.learner.decisions
+        )
+        assert total_transitions >= len(metrics.dispatches)
+
+
+class TestSyncControllerEdge:
+    def test_waits_when_any_model_busy(self):
+        profiles = [get_profile(n) for n in ("inception_v3", "inception_v4")]
+        controller = GreedySyncController(profiles, DEFAULT_BATCH_SIZES, TAU)
+        env = _FakeEnv(arrivals=[0.0] * 100, now=0.0, busy_until=[0.0, 3.0],
+                       num_models=2)
+        assert isinstance(controller.decide(env), Wait)
+
+
+class TestServingMasterRecovery:
+    """Section 6.3: the inference master's RL state is checkpointed."""
+
+    def test_actor_critic_state_survives_restart(self):
+        profiles = [get_profile(n) for n in
+                    ("inception_v3", "inception_v4", "inception_resnet_v2")]
+        scorer = EnsembleScorer(tuple(p.name for p in profiles))
+        arrival = SineArrival(120.0, period=100.0, rng=np.random.default_rng(1))
+        controller = RLController(profiles, DEFAULT_BATCH_SIZES, TAU, seed=1)
+        env = ServingEnv(profiles, controller, arrival, TAU, DEFAULT_BATCH_SIZES,
+                         scorer=scorer)
+        env.run(horizon=60.0)
+
+        store = CheckpointStore()
+        store.save("serve-master", controller.learner.state_dict())
+
+        # "restart": a fresh controller restored from the checkpoint
+        replacement = RLController(profiles, DEFAULT_BATCH_SIZES, TAU, seed=99)
+        replacement.learner.load_state_dict(store.restore("serve-master"))
+        state = np.zeros(controller.state_builder.dim)
+        np.testing.assert_allclose(
+            controller.learner.masked_probs(state, None),
+            replacement.learner.masked_probs(state, None),
+        )
+
+
+class TestAIMDController:
+    """Clipper-style adaptive batching (Section 2.3's related work)."""
+
+    def _run(self, target_rate, horizon=120.0, seed=0):
+        from repro.core.serve import AIMDController, ServingEnv, SineArrival
+
+        arrival = SineArrival(target_rate, period=100.0,
+                              rng=np.random.default_rng(seed))
+        controller = AIMDController(PROFILE, TAU, max_batch=64)
+        env = ServingEnv([PROFILE], controller, arrival, TAU, DEFAULT_BATCH_SIZES)
+        metrics = env.run(horizon)
+        return controller, metrics
+
+    def test_batch_grows_under_light_load(self):
+        controller, metrics = self._run(target_rate=100.0)
+        # plenty of headroom: additive increase pushes toward the cap
+        assert controller.batch_size > 16
+        assert metrics.overdue_fraction() < 0.05
+
+    def test_batch_bounded_by_cap(self):
+        controller, _ = self._run(target_rate=250.0)
+        assert 1 <= controller.batch_size <= 64
+
+    def test_misses_shrink_the_batch(self):
+        from repro.core.serve import AIMDController
+
+        controller = AIMDController(PROFILE, TAU, max_batch=64)
+        controller.batch_size = 32
+        controller._last_dispatch = (32, 0.0)
+        # a no-miss reward grows the batch additively
+        full_reward = PROFILE.top1_accuracy * 32 / 64
+        controller.notify_reward(full_reward)
+        assert controller.batch_size == 34
+        # a lossy reward halves it
+        controller._last_dispatch = (34, 0.0)
+        controller.notify_reward(full_reward * 0.5)
+        assert controller.batch_size == 17
+
+    def test_serves_entire_workload(self):
+        _, metrics = self._run(target_rate=150.0)
+        assert metrics.total_served == metrics.total_arrived

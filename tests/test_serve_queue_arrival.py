@@ -1,0 +1,108 @@
+"""Tests for the request queue and the sine arrival process."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.serve import RequestQueue, SineArrival, solve_sine_coefficients
+from repro.exceptions import QueueOverflowError
+
+
+class TestRequestQueue:
+    def test_fifo_pop(self):
+        queue = RequestQueue()
+        queue.push(1.0)
+        queue.push(2.0)
+        queue.push(3.0)
+        np.testing.assert_allclose(queue.pop_oldest(2), [1.0, 2.0])
+        assert len(queue) == 1
+
+    def test_pop_more_than_available(self):
+        queue = RequestQueue()
+        queue.push(1.0, count=3)
+        assert queue.pop_oldest(10).shape == (3,)
+
+    def test_capacity_drops(self):
+        queue = RequestQueue(capacity=5)
+        accepted = queue.push(0.0, count=8)
+        assert accepted == 5
+        assert queue.total_dropped == 3
+        assert len(queue) == 5
+
+    def test_oldest_wait(self):
+        queue = RequestQueue()
+        queue.push(10.0)
+        assert queue.oldest_wait(now=12.5) == pytest.approx(2.5)
+
+    def test_empty_oldest_raises(self):
+        with pytest.raises(QueueOverflowError):
+            RequestQueue().oldest_arrival()
+
+    def test_waiting_times_pad_and_truncate(self):
+        queue = RequestQueue()
+        for t in (1.0, 2.0, 3.0):
+            queue.push(t)
+        padded = queue.waiting_times(now=4.0, length=5)
+        np.testing.assert_allclose(padded, [3.0, 2.0, 1.0, 0.0, 0.0])
+        truncated = queue.waiting_times(now=4.0, length=2)
+        np.testing.assert_allclose(truncated, [3.0, 2.0])
+
+    def test_counters(self):
+        queue = RequestQueue()
+        queue.push(0.0, count=4)
+        queue.pop_oldest(3)
+        assert queue.total_enqueued == 4
+        assert queue.total_dequeued == 3
+
+
+class TestSineCoefficients:
+    @given(st.floats(min_value=1.0, max_value=10_000.0))
+    def test_equations_hold(self, target):
+        """Eq 8: r(T/4 +/- 0.1T) = target; Eq 9: peak = 1.1 target."""
+        gamma, intercept = solve_sine_coefficients(target)
+        assert gamma + intercept == pytest.approx(1.1 * target, rel=1e-9)
+        band = gamma * math.cos(0.2 * math.pi) + intercept
+        assert band == pytest.approx(target, rel=1e-9)
+
+    def test_rate_never_negative(self):
+        arrival = SineArrival(100.0, period=500.0)
+        times = np.linspace(0, 1000, 500)
+        assert all(arrival.rate(t) >= 0 for t in times)
+
+    def test_above_target_for_20_percent_of_cycle(self):
+        arrival = SineArrival(100.0, period=500.0)
+        times = np.linspace(0, 500, 100_000, endpoint=False)
+        above = np.mean([arrival.rate(t) > 100.0 for t in times])
+        assert above == pytest.approx(0.2, abs=0.005)
+
+    def test_peak_and_trough(self):
+        arrival = SineArrival(200.0, period=100.0)
+        assert arrival.peak_rate() == pytest.approx(220.0)
+        assert arrival.trough_rate() >= 0.0
+
+
+class TestSineCounts:
+    def test_mean_count_tracks_rate(self):
+        arrival = SineArrival(100.0, period=500.0, noise_std=0.0,
+                              rng=np.random.default_rng(0))
+        total = sum(arrival.count(t * 0.1, 0.1) for t in range(5000))  # one cycle
+        expected = arrival.intercept * 500.0  # sine integrates to zero
+        assert total == pytest.approx(expected, rel=0.02)
+
+    def test_carry_preserves_fractions(self):
+        arrival = SineArrival(1.0, period=100.0, noise_std=0.0)
+        # rate ~ around 0.6/s; over 100 x 0.1s spans we should not lose
+        # the fractional arrivals to rounding
+        total = sum(arrival.count(t * 0.1, 0.1) for t in range(1000))
+        assert total > 30
+
+    def test_noise_changes_realisation_not_mean(self):
+        quiet = SineArrival(100.0, 500.0, noise_std=0.0, rng=np.random.default_rng(1))
+        noisy = SineArrival(100.0, 500.0, noise_std=0.1, rng=np.random.default_rng(1))
+        quiet_total = sum(quiet.count(t * 0.1, 0.1) for t in range(5000))
+        noisy_total = sum(noisy.count(t * 0.1, 0.1) for t in range(5000))
+        assert noisy_total != quiet_total
+        assert noisy_total == pytest.approx(quiet_total, rel=0.05)

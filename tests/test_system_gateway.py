@@ -1,0 +1,193 @@
+"""Tests for the Rafiki facade, gateway, and SDK."""
+
+import numpy as np
+import pytest
+
+import repro as rafiki
+from repro.api.gateway import Gateway
+from repro.api.sdk import connect
+from repro.core.system import Rafiki
+from repro.core.tune import HyperConf, SurrogateTrainer
+from repro.data import make_image_classification
+from repro.exceptions import ConfigurationError, GatewayError, JobNotFoundError
+
+
+@pytest.fixture()
+def system():
+    return Rafiki(seed=5)
+
+
+@pytest.fixture()
+def dataset():
+    return make_image_classification(
+        name="food", num_classes=3, image_shape=(3, 8, 8),
+        train_per_class=12, val_per_class=6, test_per_class=6,
+        difficulty=0.3, seed=11,
+    )
+
+
+def quick_hyper():
+    return HyperConf(max_trials=2, max_epochs_per_trial=3, early_stop_patience=3)
+
+
+def surrogate_factory(entry, data):
+    return SurrogateTrainer(seed=1)
+
+
+class TestFacadeTraining:
+    def test_train_job_lifecycle(self, system, dataset):
+        system.import_images(dataset)
+        job_id = system.create_train_job(
+            "t", "ImageClassification", "food", hyper=quick_hyper(),
+            backend_factory=surrogate_factory,
+        )
+        info = system.get_train_job(job_id)
+        assert info.status == "completed"
+        assert len(info.model_names) == 2
+        assert info.best_performance > 0
+
+    def test_get_models_returns_param_keys(self, system, dataset):
+        system.import_images(dataset)
+        job_id = system.create_train_job(
+            "t", "ImageClassification", "food", hyper=quick_hyper(),
+            backend_factory=surrogate_factory,
+        )
+        specs = system.get_models(job_id)
+        assert specs
+        for spec in specs:
+            assert system.param_server.has(spec.param_key)
+
+    def test_input_shape_validated(self, system, dataset):
+        system.import_images(dataset)
+        with pytest.raises(ConfigurationError, match="input_shape"):
+            system.create_train_job(
+                "t", "ImageClassification", "food", input_shape=(3, 256, 256),
+                hyper=quick_hyper(), backend_factory=surrogate_factory,
+            )
+
+    def test_output_shape_validated(self, system, dataset):
+        system.import_images(dataset)
+        with pytest.raises(ConfigurationError, match="output_shape"):
+            system.create_train_job(
+                "t", "ImageClassification", "food", output_shape=(120,),
+                hyper=quick_hyper(), backend_factory=surrogate_factory,
+            )
+
+    def test_unknown_job_raises(self, system):
+        with pytest.raises(JobNotFoundError):
+            system.get_train_job("ghost")
+
+    def test_cluster_resources_released_after_training(self, system, dataset):
+        system.import_images(dataset)
+        system.create_train_job(
+            "t", "ImageClassification", "food", hyper=quick_hyper(),
+            backend_factory=surrogate_factory,
+        )
+        assert all(node.allocated.gpus == 0 for node in system.cluster.nodes.values())
+
+    def test_master_state_checkpointed(self, system, dataset):
+        system.import_images(dataset)
+        job_id = system.create_train_job(
+            "t", "ImageClassification", "food", hyper=quick_hyper(),
+            backend_factory=surrogate_factory,
+        )
+        info = system.get_train_job(job_id)
+        study_name = f"{job_id}/{info.model_names[0]}"
+        assert system.checkpoints.has(study_name)
+
+
+class TestFacadeInference:
+    def _trained(self, system, dataset):
+        system.import_images(dataset)
+        job_id = system.create_train_job(
+            "t", "ImageClassification", "food", hyper=quick_hyper(), num_workers=2
+        )
+        return system.get_models(job_id)
+
+    def test_deploy_and_query_real_models(self, system, dataset):
+        specs = self._trained(system, dataset)
+        infer_id = system.create_inference_job(specs)
+        result = system.query(infer_id, dataset.test_x[0])
+        assert 0 <= result["label"] < 3
+        assert len(result["votes"]) == len(specs)
+
+    def test_batch_query(self, system, dataset):
+        specs = self._trained(system, dataset)
+        infer_id = system.create_inference_job(specs)
+        result = system.query(infer_id, dataset.test_x[:4])
+        assert len(result["label"]) == 4
+
+    def test_stopped_job_rejects_queries(self, system, dataset):
+        specs = self._trained(system, dataset)
+        infer_id = system.create_inference_job(specs)
+        system.stop_inference_job(infer_id)
+        with pytest.raises(ConfigurationError, match="not running"):
+            system.query(infer_id, dataset.test_x[0])
+
+    def test_empty_model_list_rejected(self, system):
+        with pytest.raises(ConfigurationError):
+            system.create_inference_job([])
+
+
+class TestGateway:
+    def test_unknown_route_404(self, system):
+        gateway = Gateway(system)
+        response = gateway.handle("GET", "/nope")
+        assert response.status == 404
+
+    def test_bad_train_body_400(self, system):
+        gateway = Gateway(system)
+        response = gateway.handle("POST", "/train", {"name": "x"})
+        assert response.status == 400
+        assert "task" in response.body["error"]
+
+    def test_unknown_job_404(self, system):
+        gateway = Gateway(system)
+        response = gateway.handle("GET", "/train/ghost")
+        assert response.status == 404
+
+    def test_non_json_body_rejected(self, system):
+        gateway = Gateway(system)
+        response = gateway.handle("POST", "/train", {"x": object()})
+        assert response.status == 400
+
+    def test_dataset_routes(self, system, dataset, tmp_path):
+        # write a real folder so the JSON route is exercised end to end
+        for label in ("a", "b"):
+            folder = tmp_path / label
+            folder.mkdir()
+            for i in range(4):
+                np.save(folder / f"{i}.npy", np.zeros((3, 4, 4)))
+        gateway = Gateway(system)
+        response = gateway.handle("POST", "/datasets", {"directory": str(tmp_path)})
+        assert response.ok
+        assert response.body["num_classes"] == 2
+        listing = gateway.handle("GET", "/datasets")
+        assert response.body["name"] in listing.body["datasets"]
+
+
+class TestSDK:
+    def test_figure2_flow(self, system, dataset):
+        connect(system)
+        name = rafiki.import_images(dataset)
+        hyper = rafiki.HyperConf(max_trials=2, max_epochs_per_trial=3)
+        job = rafiki.Train(
+            name="train", data=name, task="ImageClassification",
+            input_shape=(3, 8, 8), output_shape=(3,), hyper=hyper,
+        )
+        job_id = job.run()
+        models = rafiki.get_models(job_id)
+        assert models
+        infer_id = rafiki.Inference(models).run()
+        result = rafiki.query(job=infer_id, data={"img": dataset.test_x[0]})
+        assert "label" in result
+
+    def test_query_without_img_rejected(self, system):
+        connect(system)
+        with pytest.raises(GatewayError):
+            rafiki.query(job="x", data={})
+
+    def test_gateway_error_surfaces(self, system):
+        connect(system)
+        with pytest.raises(GatewayError, match="HTTP 404"):
+            rafiki.get_models("ghost")

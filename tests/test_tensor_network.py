@@ -1,0 +1,179 @@
+"""Tests for the Network container: params, warm start, serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.tensor import Conv2D, Dense, Flatten, Network, ReLU
+
+
+def make_net(rng, name="net", units=(6, 3)):
+    return Network(
+        [Dense(units[0], name="d1"), ReLU(name="r"), Dense(units[1], name="d2")],
+        name=name,
+    ).build((4,), rng)
+
+
+class TestConstruction:
+    def test_duplicate_layer_names_rejected(self, rng):
+        with pytest.raises(ConfigurationError, match="duplicate"):
+            Network([Dense(3, name="d"), Dense(3, name="d")])
+
+    def test_forward_before_build_rejected(self, rng):
+        net = Network([Dense(3, name="d")])
+        with pytest.raises(ConfigurationError, match="not built"):
+            net.forward(np.zeros((1, 4)))
+
+    def test_output_shape_propagates(self, rng):
+        net = Network(
+            [Conv2D(4, 3, name="c"), Flatten(name="f"), Dense(2, name="d")]
+        ).build((3, 8, 8), rng)
+        assert net.output_shape == (2,)
+
+    def test_param_count(self, rng):
+        net = make_net(rng)
+        # d1: 4*6+6, d2: 6*3+3
+        assert net.param_count() == 4 * 6 + 6 + 6 * 3 + 3
+
+    def test_summary_mentions_layers(self, rng):
+        text = make_net(rng).summary()
+        assert "d1" in text and "total parameters" in text
+
+
+class TestParams:
+    def test_params_are_live_views(self, rng):
+        net = make_net(rng)
+        net.params["d1/W"][...] = 0.0
+        assert np.all(net.params["d1/W"] == 0.0)
+
+    def test_state_dict_is_a_copy(self, rng):
+        net = make_net(rng)
+        state = net.state_dict()
+        state["d1/W"][...] = 99.0
+        assert not np.any(net.params["d1/W"] == 99.0)
+
+    def test_load_state_dict_roundtrip(self, rng):
+        a = make_net(rng, "a")
+        b = make_net(rng, "b")
+        b.load_state_dict(a.state_dict())
+        x = rng.normal(size=(3, 4))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_load_missing_key_strict(self, rng):
+        net = make_net(rng)
+        state = net.state_dict()
+        del state["d1/W"]
+        with pytest.raises(ConfigurationError, match="missing"):
+            net.load_state_dict(state)
+
+    def test_load_shape_mismatch(self, rng):
+        net = make_net(rng)
+        state = net.state_dict()
+        state["d1/W"] = np.zeros((2, 2))
+        with pytest.raises(ConfigurationError, match="shape"):
+            net.load_state_dict(state)
+
+    def test_save_load_bytes(self, rng):
+        a = make_net(rng, "a")
+        blob = a.save_bytes()
+        b = make_net(rng, "b")
+        b.load_bytes(blob)
+        x = rng.normal(size=(2, 4))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+
+class TestWarmStart:
+    def test_exact_architecture_transfers_everything(self, rng):
+        a = make_net(rng, "a")
+        b = make_net(rng, "b")
+        loaded = b.warm_start(a.state_dict())
+        assert sorted(loaded) == sorted(b.params)
+        x = rng.normal(size=(2, 4))
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_partial_shape_match(self, rng):
+        """Only same-shape layers transfer across different architectures.
+
+        This is the Section 4.2.2 rule: ConvNet a's layer initialises
+        ConvNet b's layer when their shapes agree.
+        """
+        a = make_net(rng, "a", units=(6, 3))
+        b = make_net(rng, "b", units=(6, 5))  # d2 differs
+        loaded = b.warm_start(a.state_dict())
+        assert "d1/W" in loaded and "d1/b" in loaded
+        assert "d2/W" not in loaded
+        np.testing.assert_allclose(b.params["d1/W"], a.params["d1/W"])
+
+    def test_no_match_loads_nothing(self, rng):
+        a = make_net(rng, "a")
+        b = Network([Dense(9, name="z")], name="b").build((7,), rng)
+        assert b.warm_start(a.state_dict()) == []
+
+    def test_pool_not_reused_twice(self, rng):
+        """Each checkpoint array initialises at most one parameter."""
+        a = Network([Dense(4, name="d1")], name="a").build((4,), rng)
+        b = Network(
+            [Dense(4, name="d1"), ReLU(name="r"), Dense(4, name="d2")], name="b"
+        ).build((4,), rng)
+        loaded = b.warm_start(a.state_dict())
+        # a has one (4,4) matrix; b has two. Only one may be initialised.
+        assert sum(1 for name in loaded if name.endswith("/W")) == 1
+
+
+class TestPredict:
+    def test_probabilities_sum_to_one(self, rng):
+        net = make_net(rng)
+        probs = net.predict(rng.normal(size=(5, 4)))
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_labels_match_argmax(self, rng):
+        net = make_net(rng)
+        x = rng.normal(size=(5, 4))
+        np.testing.assert_array_equal(
+            net.predict_labels(x), np.argmax(net.predict(x), axis=1)
+        )
+
+
+class TestBuffers:
+    """Batch-norm running statistics travel with the state dict."""
+
+    def _bn_net(self, rng, name="net"):
+        from repro.tensor import BatchNorm
+
+        return Network(
+            [Dense(4, name="d"), BatchNorm(name="bn")], name=name
+        ).build((4,), rng)
+
+    def test_state_dict_includes_running_stats(self, rng):
+        net = self._bn_net(rng)
+        state = net.state_dict()
+        assert "bn/running_mean" in state
+        assert "bn/running_var" in state
+
+    def test_running_stats_survive_roundtrip(self, rng):
+        a = self._bn_net(rng, "a")
+        x = rng.normal(3.0, 2.0, size=(64, 4))
+        a.forward(x, training=True)  # updates running stats
+        b = self._bn_net(rng, "b")
+        b.load_state_dict(a.state_dict())
+        np.testing.assert_allclose(a.forward(x), b.forward(x))
+
+    def test_warm_start_carries_running_stats(self, rng):
+        a = self._bn_net(rng, "a")
+        a.forward(rng.normal(5.0, 1.0, size=(32, 4)), training=True)
+        b = self._bn_net(rng, "b")
+        loaded = b.warm_start(a.state_dict())
+        assert "bn/running_mean" in loaded
+        np.testing.assert_allclose(b.buffers["bn/running_mean"],
+                                   a.buffers["bn/running_mean"])
+
+    def test_buffers_never_match_weights(self, rng):
+        """A (C,)-shaped running stat must not initialise a (C,) bias."""
+        a = self._bn_net(rng, "a")
+        a.forward(rng.normal(50.0, 1.0, size=(32, 4)), training=True)
+        plain = Network([Dense(4, name="d")], name="p").build((4,), rng)
+        before = plain.params["d/b"].copy()
+        state = {k: v for k, v in a.state_dict().items() if "running" in k}
+        loaded = plain.warm_start(state)
+        assert loaded == []
+        np.testing.assert_allclose(plain.params["d/b"], before)

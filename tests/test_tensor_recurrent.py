@@ -1,0 +1,138 @@
+"""Tests for the sequence layers (Embedding, RNN)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.tensor import Dense, Embedding, Network, RNN, SGD, SoftmaxCrossEntropy
+
+
+class TestEmbedding:
+    def test_lookup_shape_and_values(self, rng):
+        layer = Embedding(10, 4, name="e")
+        Network([layer]).build((5,), rng)
+        ids = np.array([[0, 1, 2, 3, 9]])
+        out = layer.forward(ids)
+        assert out.shape == (1, 5, 4)
+        np.testing.assert_allclose(out[0, 0], layer.params["W"][0])
+        np.testing.assert_allclose(out[0, 4], layer.params["W"][9])
+
+    def test_gradient_accumulates_per_token(self, rng):
+        layer = Embedding(6, 3, name="e")
+        Network([layer]).build((4,), rng)
+        ids = np.array([[2, 2, 1, 0]])
+        layer.forward(ids)
+        grad_out = np.ones((1, 4, 3))
+        layer.backward(grad_out)
+        np.testing.assert_allclose(layer.grads["W"][2], 2.0)  # appeared twice
+        np.testing.assert_allclose(layer.grads["W"][1], 1.0)
+        np.testing.assert_allclose(layer.grads["W"][5], 0.0)
+
+    def test_out_of_range_ids_rejected(self, rng):
+        layer = Embedding(4, 2, name="e")
+        Network([layer]).build((2,), rng)
+        with pytest.raises(ConfigurationError, match="token ids"):
+            layer.forward(np.array([[0, 4]]))
+
+    def test_bad_construction(self):
+        with pytest.raises(ConfigurationError):
+            Embedding(0, 4)
+
+
+class TestRNN:
+    def test_output_shapes(self, rng):
+        final = Network([RNN(7, name="r")]).build((5, 3), rng)
+        assert final.output_shape == (7,)
+        seq = Network([RNN(7, return_sequences=True, name="r")]).build((5, 3), rng)
+        assert seq.output_shape == (5, 7)
+
+    def test_forward_matches_manual_recurrence(self, rng):
+        layer = RNN(2, return_sequences=True, name="r")
+        Network([layer]).build((3, 2), rng)
+        x = rng.normal(size=(1, 3, 2))
+        out = layer.forward(x)
+        wx, wh, b = layer.params["Wx"], layer.params["Wh"], layer.params["b"]
+        h = np.zeros(2)
+        for t in range(3):
+            h = np.tanh(x[0, t] @ wx + h @ wh + b)
+            np.testing.assert_allclose(out[0, t], h)
+
+    @pytest.mark.parametrize("return_sequences", [False, True])
+    def test_bptt_gradients_match_numeric(self, rng, return_sequences):
+        layers = [RNN(4, return_sequences=return_sequences, name="r")]
+        if return_sequences:
+            from repro.tensor import Flatten
+
+            layers.append(Flatten(name="f"))
+        layers.append(Dense(2, name="d"))
+        net = Network(layers).build((5, 3), rng)
+        x = rng.normal(size=(4, 5, 3))
+        y = rng.integers(0, 2, size=4)
+        loss = SoftmaxCrossEntropy()
+
+        def forward():
+            return loss.forward(net.forward(x, training=True), y)
+
+        net.zero_grads()
+        forward()
+        net.backward(loss.backward())
+        for pname in ("r/Wx", "r/Wh", "r/b"):
+            analytic = net.grads[pname].copy()
+            param = net.params[pname]
+            flat_index = (0,) * param.ndim
+            eps = 1e-6
+            param[flat_index] += eps
+            plus = forward()
+            param[flat_index] -= 2 * eps
+            minus = forward()
+            param[flat_index] += eps
+            numeric = (plus - minus) / (2 * eps)
+            assert analytic[flat_index] == pytest.approx(numeric, abs=1e-6), pname
+
+    def test_learns_parity_of_short_sequences(self, rng):
+        """An RNN can learn a sequential task an MLP on sums cannot."""
+        n, steps = 256, 6
+        x_bits = rng.integers(0, 2, size=(n, steps))
+        y = x_bits.sum(axis=1) % 2
+        x = x_bits[:, :, None].astype(np.float64)
+        from repro.tensor import Adam
+
+        net = Network([RNN(16, name="r"), Dense(2, name="d")]).build((steps, 1), rng)
+        loss = SoftmaxCrossEntropy()
+        optimizer = Adam(lr=0.01)
+        for _ in range(250):
+            net.zero_grads()
+            loss.forward(net.forward(x, training=True), y)
+            net.backward(loss.backward())
+            optimizer.step(net.params, net.grads)
+        accuracy = float(np.mean(net.predict_labels(x) == y))
+        assert accuracy > 0.9
+
+    def test_bad_input_rank(self, rng):
+        with pytest.raises(ConfigurationError, match=r"\(T, D\)"):
+            Network([RNN(4, name="r")]).build((5,), rng)
+
+
+class TestEmbeddingRNNPipeline:
+    def test_character_model_trains(self, rng):
+        """An Embedding->RNN->Dense 'CharacterRNN' learns a toy rule:
+        class = most frequent of two marker tokens."""
+        vocab, steps, n = 8, 10, 200
+        tokens = rng.integers(2, vocab, size=(n, steps))
+        labels = rng.integers(0, 2, size=n)
+        # plant marker tokens 0/1 according to the label
+        for i in range(n):
+            positions = rng.choice(steps, size=4, replace=False)
+            tokens[i, positions] = labels[i]
+        net = Network(
+            [Embedding(vocab, 8, name="e"), RNN(12, name="r"), Dense(2, name="d")]
+        ).build((steps,), rng)
+        loss = SoftmaxCrossEntropy()
+        optimizer = SGD(lr=0.1, momentum=0.9)
+        for _ in range(80):
+            net.zero_grads()
+            loss.forward(net.forward(tokens, training=True), labels)
+            net.backward(loss.backward())
+            optimizer.step(net.params, net.grads)
+        accuracy = float(np.mean(net.predict_labels(tokens) == labels))
+        assert accuracy > 0.85

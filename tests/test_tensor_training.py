@@ -1,0 +1,71 @@
+"""Training-loop tests: networks actually learn."""
+
+import numpy as np
+
+from repro.tensor import SGD, Network, SoftmaxCrossEntropy, evaluate, train_epoch
+from repro.zoo.builders import build_mlp, build_resnet_mini, build_snoek_convnet
+
+
+class TestTrainEpoch:
+    def test_loss_decreases_on_separable_data(self, rng):
+        net = build_mlp((4,), 2, rng, hidden=(16,))
+        x = np.vstack([rng.normal(-1, 0.3, size=(40, 4)), rng.normal(1, 0.3, size=(40, 4))])
+        y = np.array([0] * 40 + [1] * 40)
+        loss = SoftmaxCrossEntropy()
+        opt = SGD(lr=0.1, momentum=0.9)
+        first = train_epoch(net, loss, opt, x, y, batch_size=16, rng=rng)
+        for _ in range(15):
+            last = train_epoch(net, loss, opt, x, y, batch_size=16, rng=rng)
+        assert last < first
+        assert evaluate(net, x, y) > 0.95
+
+    def test_convnet_learns_synthetic_images(self, rng, tiny_dataset):
+        net = build_snoek_convnet(
+            tiny_dataset.image_shape, tiny_dataset.num_classes, rng,
+            width=4, dropout=0.0, init_std=0.2,
+        )
+        loss = SoftmaxCrossEntropy()
+        opt = SGD(lr=0.05, momentum=0.9)
+        for _ in range(8):
+            train_epoch(
+                net, loss, opt, tiny_dataset.train_x, tiny_dataset.train_y,
+                batch_size=16, rng=rng,
+            )
+        assert evaluate(net, tiny_dataset.val_x, tiny_dataset.val_y) > 0.6
+
+    def test_batchnorm_convnet_trains(self, rng, tiny_dataset):
+        net = build_resnet_mini(
+            tiny_dataset.image_shape, tiny_dataset.num_classes, rng, width=4
+        )
+        loss = SoftmaxCrossEntropy()
+        opt = SGD(lr=0.05, momentum=0.9)
+        first = train_epoch(
+            net, loss, opt, tiny_dataset.train_x, tiny_dataset.train_y,
+            batch_size=16, rng=rng,
+        )
+        for _ in range(6):
+            last = train_epoch(
+                net, loss, opt, tiny_dataset.train_x, tiny_dataset.train_y,
+                batch_size=16, rng=rng,
+            )
+        assert last < first
+
+    def test_augment_hook_called(self, rng):
+        net = build_mlp((2, 4, 4), 2, rng, hidden=(8,))
+        calls = []
+
+        def augment(batch, batch_rng):
+            calls.append(batch.shape[0])
+            return batch
+
+        x = rng.normal(size=(10, 2, 4, 4))
+        y = rng.integers(0, 2, size=10)
+        train_epoch(net, SoftmaxCrossEntropy(), SGD(lr=0.01), x, y,
+                    batch_size=4, rng=rng, augment=augment)
+        assert sum(calls) == 10
+
+    def test_evaluate_on_known_labels(self, rng):
+        net = build_mlp((4,), 2, rng, hidden=(4,))
+        x = rng.normal(size=(10, 4))
+        predicted = net.predict_labels(x)
+        assert evaluate(net, x, predicted) == 1.0
