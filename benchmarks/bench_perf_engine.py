@@ -1,0 +1,197 @@
+"""Engine hot-path performance: fast im2col/col2im vs the legacy path.
+
+Times the convolution hot paths twice over identical workloads:
+
+* **legacy** — the pre-optimisation engine, embedded verbatim below:
+  per-call index building, fancy-indexing gather, ``np.add.at``
+  scatter, float64 compute;
+* **fast** — the shipped engine: LRU-cached indices,
+  ``sliding_window_view`` gather, per-kernel-offset slab accumulation
+  (with the flat ``np.bincount`` scatter also measured), float32
+  compute.
+
+Writes human-readable rows to ``benchmarks/results/perf_engine.txt``
+and merges machine-readable numbers into ``BENCH_perf.json`` at the
+repository root (the committed perf baseline).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+from _harness import emit
+
+from repro.tensor import Conv2D, using_dtype
+from repro.tensor import layers as layers_module
+from repro.tensor.im2col import col2im, col2im_bincount, conv_output_size, im2col
+
+BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_perf.json")
+
+#: CIFAR-ish conv workload: batch 32, 8->16 channels, 16x16 images.
+BATCH, CHANNELS, SIZE, FILTERS, KERNEL = 32, 8, 16, 16, 3
+REPEATS = 30
+
+
+def update_bench_json(section: str, payload: dict) -> None:
+    """Merge one section into the committed BENCH_perf.json baseline."""
+    data = {}
+    if os.path.exists(BENCH_JSON):
+        with open(BENCH_JSON) as f:
+            data = json.load(f)
+    data[section] = payload
+    with open(BENCH_JSON, "w") as f:
+        json.dump(data, f, indent=2, sort_keys=True)
+        f.write("\n")
+
+
+# ----------------------------------------------------------------------
+# The pre-optimisation implementations, embedded so the comparison stays
+# reproducible after the legacy code is gone from the engine.
+# ----------------------------------------------------------------------
+
+
+def _legacy_patch_indices(channels, height, width, kernel_h, kernel_w, stride, pad):
+    out_h = conv_output_size(height, kernel_h, stride, pad)
+    out_w = conv_output_size(width, kernel_w, stride, pad)
+    i0 = np.repeat(np.arange(kernel_h), kernel_w)
+    i0 = np.tile(i0, channels)
+    i1 = stride * np.repeat(np.arange(out_h), out_w)
+    j0 = np.tile(np.arange(kernel_w), kernel_h * channels)
+    j1 = stride * np.tile(np.arange(out_w), out_h)
+    rows = i0.reshape(-1, 1) + i1.reshape(1, -1)
+    cols = j0.reshape(-1, 1) + j1.reshape(1, -1)
+    chans = np.repeat(np.arange(channels), kernel_h * kernel_w).reshape(-1, 1)
+    return chans, rows, cols, out_h, out_w
+
+
+def legacy_im2col(x, kernel_h, kernel_w, stride, pad):
+    n, c, h, w = x.shape
+    padded = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)), mode="constant")
+    chans, rows, cols, _out_h, _out_w = _legacy_patch_indices(
+        c, h, w, kernel_h, kernel_w, stride, pad
+    )
+    patches = padded[:, chans, rows, cols]
+    return patches.transpose(1, 2, 0).reshape(c * kernel_h * kernel_w, -1)
+
+
+def legacy_col2im(cols, x_shape, kernel_h, kernel_w, stride, pad):
+    n, c, h, w = x_shape
+    padded = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    chans, rows, cols_idx, out_h, out_w = _legacy_patch_indices(
+        c, h, w, kernel_h, kernel_w, stride, pad
+    )
+    reshaped = cols.reshape(c * kernel_h * kernel_w, out_h * out_w, n).transpose(2, 0, 1)
+    np.add.at(padded, (slice(None), chans, rows, cols_idx), reshaped)
+    if pad == 0:
+        return padded
+    return padded[:, :, pad:-pad, pad:-pad]
+
+
+# ----------------------------------------------------------------------
+# timing helpers
+# ----------------------------------------------------------------------
+
+
+def time_per_call(fn, repeats: int = REPEATS) -> float:
+    """Best-of-3 mean seconds per call over ``repeats`` calls."""
+    fn()  # warm caches / allocator
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(repeats):
+            fn()
+        best = min(best, (time.perf_counter() - start) / repeats)
+    return best
+
+
+def conv_step_seconds(dtype) -> float:
+    """Seconds for one Conv2D forward+backward with the *current* engine."""
+    rng = np.random.default_rng(0)
+    with using_dtype(dtype):
+        conv = Conv2D(FILTERS, kernel_size=KERNEL, name=f"bench_conv_{dtype.__name__}")
+        conv.build((CHANNELS, SIZE, SIZE), rng)
+        x = rng.standard_normal((BATCH, CHANNELS, SIZE, SIZE)).astype(dtype)
+        out = conv.forward(x, training=True)
+        grad = np.ones_like(out)
+        return time_per_call(lambda: (conv.forward(x, training=True), conv.backward(grad)))
+
+
+def legacy_conv_step_seconds(monkeypatch) -> float:
+    """Same workload through the embedded legacy kernels in float64."""
+    monkeypatch.setattr(layers_module, "im2col", legacy_im2col)
+    monkeypatch.setattr(layers_module, "col2im", legacy_col2im)
+    try:
+        return conv_step_seconds(np.float64)
+    finally:
+        monkeypatch.undo()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((BATCH, CHANNELS, SIZE, SIZE)).astype(np.float32)
+    return {"x32": x}
+
+
+def test_perf_engine(benchmark, monkeypatch, workload):
+    x32 = workload["x32"]
+    cols32 = im2col(x32, KERNEL, KERNEL, 1, 1)
+
+    timings = {
+        # equal-dtype micro comparisons isolate the algorithmic win
+        "im2col": {
+            "legacy_s": time_per_call(lambda: legacy_im2col(x32, KERNEL, KERNEL, 1, 1)),
+            "fast_s": time_per_call(lambda: im2col(x32, KERNEL, KERNEL, 1, 1)),
+        },
+        "col2im": {
+            "legacy_s": time_per_call(
+                lambda: legacy_col2im(cols32, x32.shape, KERNEL, KERNEL, 1, 1)
+            ),
+            "fast_s": time_per_call(lambda: col2im(cols32, x32.shape, KERNEL, KERNEL, 1, 1)),
+        },
+        "col2im_bincount": {
+            "legacy_s": time_per_call(
+                lambda: legacy_col2im(cols32, x32.shape, KERNEL, KERNEL, 1, 1)
+            ),
+            "fast_s": time_per_call(
+                lambda: col2im_bincount(cols32, x32.shape, KERNEL, KERNEL, 1, 1)
+            ),
+        },
+        # end-to-end: old engine (legacy kernels, float64) vs new
+        # engine (fast kernels, float32 default)
+        "conv_forward_backward": {
+            "legacy_s": legacy_conv_step_seconds(monkeypatch),
+            "fast_s": conv_step_seconds(np.float32),
+        },
+    }
+    for entry in timings.values():
+        entry["speedup"] = entry["legacy_s"] / entry["fast_s"]
+        entry["fast_ops_per_s"] = 1.0 / entry["fast_s"]
+    benchmark.pedantic(lambda: timings, rounds=1, iterations=1)
+
+    lines = [f"{'hot path':<24} {'legacy(ms)':>11} {'fast(ms)':>9} {'speedup':>8}"]
+    for name, entry in timings.items():
+        lines.append(
+            f"{name:<24} {1e3 * entry['legacy_s']:>11.3f} "
+            f"{1e3 * entry['fast_s']:>9.3f} {entry['speedup']:>7.1f}x"
+        )
+    emit("perf_engine", "\n".join(lines))
+
+    update_bench_json(
+        "engine",
+        {
+            "workload": {
+                "batch": BATCH, "channels": CHANNELS, "image": SIZE,
+                "filters": FILTERS, "kernel": KERNEL,
+            },
+            "timings": timings,
+        },
+    )
+
+    # The PR's acceptance bar: conv forward+backward at least 3x the
+    # pre-optimisation engine. The micro paths must not regress either.
+    assert timings["conv_forward_backward"]["speedup"] >= 3.0
+    assert timings["im2col"]["speedup"] >= 1.0
+    assert timings["col2im"]["speedup"] >= 2.0

@@ -1,0 +1,119 @@
+"""Multi-core trial execution: ``run_study_parallel`` vs ``run_study``.
+
+Runs one small real-training study (RealTrainer over a synthetic image
+dataset) sequentially and then with trials farmed out to 1/2/4 child
+processes. Records real wall-clock for each configuration and checks
+the hard invariant: every parallel run reproduces the sequential study
+report bit-for-bit (best accuracy, epoch counts, simulated wall time).
+
+Speedup is hardware-dependent — ``cpu_count`` is recorded next to the
+timings in ``BENCH_perf.json`` so the numbers are interpretable (on a
+single-core box the parallel runs only add IPC overhead; with 4 cores
+the 4-process run approaches the worker-level parallelism of the
+study). The determinism assertions are the portable part.
+"""
+
+import itertools
+import os
+import time
+
+import numpy as np
+from _harness import emit
+from bench_perf_engine import update_bench_json
+
+import repro.core.tune.trial as trial_module
+from repro.core.tune import (
+    HyperConf,
+    HyperSpace,
+    RandomSearchAdvisor,
+    RealTrainer,
+    StudyMaster,
+    make_workers,
+    run_study,
+    run_study_parallel,
+)
+from repro.data import make_image_classification
+from repro.paramserver import ParameterServer
+from repro.zoo.builders import build_mlp
+
+TRIALS = 4
+WORKERS = 4
+SEED = 9
+PROCESS_COUNTS = (1, 2, 4)
+
+
+def make_study(dataset):
+    trial_module._trial_ids = itertools.count(1)  # identical ids per run
+    space = HyperSpace()
+    space.add_range_knob("lr", "float", 0.01, 0.3, log_scale=True)
+    space.add_range_knob("momentum", "float", 0.0, 0.9)
+    conf = HyperConf(max_trials=TRIALS, max_epochs_per_trial=3, delta=0.005)
+    param_server = ParameterServer()
+    advisor = RandomSearchAdvisor(space, rng=np.random.default_rng(SEED))
+    master = StudyMaster("bench-parallel", conf, advisor, param_server)
+    backend = RealTrainer(dataset, build_mlp, batch_size=16,
+                          use_augmentation=False, seed=SEED)
+    workers = make_workers(master, backend, param_server, conf, WORKERS)
+    return master, workers
+
+
+def fingerprint(report) -> tuple:
+    return (
+        report.best_performance,
+        report.total_epochs,
+        report.wall_time,
+        tuple((e.index, e.performance, e.epochs) for e in report.history),
+    )
+
+
+def test_perf_parallel(benchmark):
+    dataset = make_image_classification(
+        name="bench", num_classes=3, image_shape=(3, 8, 8),
+        train_per_class=32, val_per_class=8, test_per_class=8,
+        difficulty=0.3, seed=SEED,
+    )
+
+    def run_all():
+        results = {}
+        master, workers = make_study(dataset)
+        start = time.perf_counter()
+        sequential = run_study(master, workers)
+        results["sequential"] = (fingerprint(sequential), time.perf_counter() - start)
+        for processes in PROCESS_COUNTS:
+            master, workers = make_study(dataset)
+            start = time.perf_counter()
+            report = run_study_parallel(master, workers, processes=processes)
+            results[f"parallel_{processes}"] = (
+                fingerprint(report), time.perf_counter() - start,
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    seq_print, seq_seconds = results["sequential"]
+    lines = [f"{'configuration':<16} {'wall(s)':>8} {'speedup':>8} {'identical':>10}"]
+    payload = {
+        "cpu_count": os.cpu_count(),
+        "trials": TRIALS,
+        "workers": WORKERS,
+        "sequential_s": seq_seconds,
+        "parallel_s": {},
+        "deterministic": True,
+    }
+    for label, (print_, seconds) in results.items():
+        identical = print_ == seq_print
+        payload["deterministic"] &= identical
+        if label.startswith("parallel"):
+            payload["parallel_s"][label.split("_")[1]] = seconds
+        lines.append(
+            f"{label:<16} {seconds:>8.2f} {seq_seconds / seconds:>7.2f}x "
+            f"{'yes' if identical else 'NO':>10}"
+        )
+    lines.append(f"(cpu cores: {payload['cpu_count']})")
+    emit("perf_parallel", "\n".join(lines))
+    update_bench_json("parallel", payload)
+
+    # The portable acceptance bar: parallel == sequential, always.
+    # (A >=2x wall-clock cut for 4 processes needs >=4 cores; asserting
+    # it here would make the bench fail on smaller machines.)
+    assert payload["deterministic"]

@@ -39,6 +39,11 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--collaborative", action="store_true",
                       help="use CoStudy (Algorithm 2) instead of Study")
     tune.add_argument("--seed", type=int, default=0)
+    tune.add_argument("--real", action="store_true",
+                      help="train real NumPy networks instead of the surrogate")
+    tune.add_argument("--processes", type=int, default=0, metavar="N",
+                      help="with --real: run trials on N child processes "
+                           "(multi-core; 0 = in-process)")
 
     demo = sub.add_parser("demo", help="train, deploy and query a real model")
     demo.add_argument("--classes", type=int, default=3)
@@ -79,15 +84,23 @@ def _cmd_tune(args) -> int:
         CoStudyMaster,
         HyperConf,
         RandomSearchAdvisor,
+        RealTrainer,
         StudyMaster,
         SurrogateTrainer,
         make_workers,
         run_study,
+        run_study_parallel,
         section71_space,
     )
     from repro.paramserver import ParameterServer
 
-    conf = HyperConf(max_trials=args.trials, max_epochs_per_trial=50, delta=0.005)
+    if args.processes and not args.real:
+        print("--processes requires --real (the surrogate is already instant)",
+              file=sys.stderr)
+        return 2
+    max_epochs = 6 if args.real else 50
+    conf = HyperConf(max_trials=args.trials, max_epochs_per_trial=max_epochs,
+                     delta=0.005)
     param_server = ParameterServer()
     advisor_cls = {"random": RandomSearchAdvisor, "bayesian": BayesianAdvisor}[args.advisor]
     advisor = advisor_cls(section71_space(), rng=np.random.default_rng(args.seed))
@@ -96,9 +109,24 @@ def _cmd_tune(args) -> int:
                                rng=np.random.default_rng(args.seed + 7))
     else:
         master = StudyMaster("cli", conf, advisor, param_server)
-    workers = make_workers(master, SurrogateTrainer(seed=args.seed), param_server,
-                           conf, args.workers)
-    report = run_study(master, workers)
+    if args.real:
+        from repro.data import make_image_classification
+        from repro.zoo.builders import build_mlp
+
+        dataset = make_image_classification(
+            name="tune", num_classes=3, image_shape=(3, 8, 8),
+            train_per_class=24, val_per_class=8, test_per_class=8,
+            difficulty=0.3, seed=args.seed,
+        )
+        backend = RealTrainer(dataset, build_mlp, batch_size=16,
+                              use_augmentation=False, seed=args.seed)
+    else:
+        backend = SurrogateTrainer(seed=args.seed)
+    workers = make_workers(master, backend, param_server, conf, args.workers)
+    if args.processes:
+        report = run_study_parallel(master, workers, processes=args.processes)
+    else:
+        report = run_study(master, workers)
     best = report.best
     kind = "CoStudy" if args.collaborative else "Study"
     print(f"{kind} with {args.advisor} search: {len(report.results)} trials, "

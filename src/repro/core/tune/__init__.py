@@ -70,3 +70,10 @@ from repro.core.tune.halving import (  # noqa: E402
 )
 
 __all__ += ["SuccessiveHalvingAdvisor", "HalvingMaster", "halving_conf"]
+
+from repro.core.tune.parallel import (  # noqa: E402
+    ParallelTrialExecutor,
+    run_study_parallel,
+)
+
+__all__ += ["ParallelTrialExecutor", "run_study_parallel"]

@@ -17,6 +17,7 @@ master early-stop and checkpoint workers mid-trial.
 
 from __future__ import annotations
 
+import inspect
 from typing import Any, Callable, Protocol
 
 import numpy as np
@@ -152,23 +153,24 @@ class RealTrainer:
         self.builder = builder
         self.batch_size = int(batch_size)
         self.seconds_per_epoch = float(seconds_per_epoch)
+        self.use_augmentation = bool(use_augmentation)
         self.arch_knobs = tuple(arch_knobs)
         self.seed = int(seed)
         self._augment = (
             standard_cifar_pipeline(dataset.train_x, pad=2) if use_augmentation else None
         )
+        # The builder's signature never changes; inspect it once here
+        # rather than on every start() (it is surprisingly expensive).
+        self._builder_params = frozenset(inspect.signature(builder).parameters)
         self._sessions_started = 0
 
     def start(self, trial: Trial, init_state: dict[str, np.ndarray] | None) -> _RealSession:
-        import inspect
-
         self._sessions_started += 1
         rng = derive_rng(self.seed, f"trial:{trial.trial_id}")
-        supported = set(inspect.signature(self.builder).parameters)
         kwargs: dict[str, Any] = {
             name: trial.params[name]
             for name in self.arch_knobs
-            if name in trial.params and name in supported
+            if name in trial.params and name in self._builder_params
         }
         network = self.builder(
             self.dataset.image_shape, self.dataset.num_classes, rng, **kwargs

@@ -1,0 +1,380 @@
+"""True multi-core trial execution for :class:`RealTrainer` studies.
+
+:func:`~repro.core.tune.runner.run_study` interleaves every worker's
+epochs on one core: simulated time overlaps, real time does not. For
+surrogate trials that is fine (epochs are microseconds), but a
+:class:`~repro.core.tune.backends.RealTrainer` study spends nearly all
+its real wall-clock inside ``train_epoch``. Following Ray Tune's
+observation that trial-level process parallelism is the cheapest
+scalability win for model selection, this module farms that real epoch
+work out to OS processes while leaving the master/worker message flow
+— and therefore the simulated-time :class:`StudyReport` — untouched.
+
+How it works:
+
+* :class:`ParallelTrialExecutor` is a drop-in
+  :class:`~repro.core.tune.backends.TrainerBackend`. ``start(trial,
+  init_state)`` ships ``(trial, init_state)`` to a child process —
+  nothing unpicklable crosses the pipe; the child rebuilds the
+  :class:`RealTrainer` once from a :class:`_TrainerSpec` and
+  reconstructs the session from the trial id and the trainer seed, so
+  training is bit-for-bit identical to the in-process path.
+* The child free-runs the whole trial, streaming one record per epoch;
+  the :class:`_ParallelSession` returned to the
+  :class:`~repro.core.tune.worker.TuneWorker` replays those records as
+  the simulator asks for them. While one worker waits on its next
+  epoch record, every other in-flight trial keeps training on its own
+  core — that is where the parallelism comes from.
+* Children apply the same epoch cap and (for Study-style masters) the
+  same :class:`EarlyStopper` rule as the parent worker, so they stop at
+  exactly the epoch the sequential run would have, and the final state
+  dict matches the stop-point state. For masters that early-stop
+  centrally (CoStudy), per-epoch state snapshots are streamed instead
+  so mid-trial ``kPut`` checkpoints see the exact same parameters as a
+  sequential run.
+
+:func:`run_study_parallel` wraps :func:`run_study` with the backend
+swap and process-pool lifecycle; for a fixed seed it produces the same
+report as :func:`run_study`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_mod
+from collections import deque
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.core.tune.backends import RealTrainer
+from repro.core.tune.config import HyperConf
+from repro.core.tune.early_stopping import EarlyStopper
+from repro.core.tune.runner import run_study
+from repro.core.tune.study import StudyMaster, StudyReport
+from repro.core.tune.trial import Trial
+from repro.core.tune.worker import TuneWorker
+from repro.exceptions import ConfigurationError
+from repro.sim import Simulator
+
+__all__ = ["ParallelTrialExecutor", "run_study_parallel"]
+
+
+@dataclass
+class _TrainerSpec:
+    """Everything needed to rebuild a :class:`RealTrainer` in a child.
+
+    Only plain data and module-level callables — picklable under both
+    fork and spawn start methods.
+    """
+
+    dataset: Any
+    builder: Any
+    batch_size: int
+    seconds_per_epoch: float
+    use_augmentation: bool
+    arch_knobs: tuple[str, ...]
+    seed: int
+
+    @classmethod
+    def of(cls, trainer: RealTrainer) -> "_TrainerSpec":
+        return cls(
+            dataset=trainer.dataset,
+            builder=trainer.builder,
+            batch_size=trainer.batch_size,
+            seconds_per_epoch=trainer.seconds_per_epoch,
+            use_augmentation=trainer.use_augmentation,
+            arch_knobs=trainer.arch_knobs,
+            seed=trainer.seed,
+        )
+
+    def build(self) -> RealTrainer:
+        return RealTrainer(
+            dataset=self.dataset,
+            builder=self.builder,
+            batch_size=self.batch_size,
+            seconds_per_epoch=self.seconds_per_epoch,
+            use_augmentation=self.use_augmentation,
+            arch_knobs=self.arch_knobs,
+            seed=self.seed,
+        )
+
+
+def _child_loop(
+    spec: _TrainerSpec,
+    local_early_stop: bool,
+    patience: int,
+    min_delta: float,
+    task_queue,
+    result_queue,
+) -> None:
+    """Child process body: rebuild the trainer, then run trials forever.
+
+    Per epoch it emits ``("epoch", trial_id, accuracy, state|None)``;
+    after the last epoch ``("done", trial_id, final_state)``; on any
+    exception ``("error", trial_id, repr)``.
+    """
+    trainer = spec.build()
+    while True:
+        job = task_queue.get()
+        if job is None:
+            return
+        trial, init_state, epoch_cap, snapshot = job
+        try:
+            session = trainer.start(trial, init_state)
+            stopper = (
+                EarlyStopper(patience=patience, min_delta=min_delta)
+                if local_early_stop
+                else None
+            )
+            for _ in range(epoch_cap):
+                accuracy = session.run_epoch()
+                state = session.state_dict() if snapshot else None
+                result_queue.put(("epoch", trial.trial_id, float(accuracy), state))
+                if stopper is not None and stopper.update(accuracy):
+                    break
+            result_queue.put(("done", trial.trial_id, session.state_dict()))
+        except Exception as exc:  # surface child failures in the parent
+            result_queue.put(("error", trial.trial_id, repr(exc)))
+
+
+class _ParallelSession:
+    """Session proxy replaying epoch records streamed from a child."""
+
+    def __init__(self, executor: "ParallelTrialExecutor", trial: Trial):
+        self._executor = executor
+        self._trial_id = trial.trial_id
+        self._epochs = 0
+        self._best = 0.0
+        self._state: dict[str, np.ndarray] | None = None
+
+    def run_epoch(self) -> float:
+        accuracy, state = self._executor._await_epoch(self._trial_id)
+        self._epochs += 1
+        if state is not None:
+            self._state = state
+        self._best = max(self._best, accuracy)
+        return accuracy
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        if self._state is not None:
+            return self._state
+        # Snapshots off: the child applies the same local early-stopping
+        # rule, so its final state is exactly the parent's stop point.
+        return self._executor._await_done(self._trial_id)
+
+    @property
+    def epochs(self) -> int:
+        return self._epochs
+
+    @property
+    def best_performance(self) -> float:
+        return self._best
+
+
+class ParallelTrialExecutor:
+    """A :class:`TrainerBackend` that trains trials on separate cores.
+
+    Wraps a :class:`RealTrainer`; ``start()`` enqueues the trial for a
+    pool of child processes and returns a :class:`_ParallelSession`
+    that replays the streamed per-epoch results. ``epoch_cost`` (the
+    simulated-time model) delegates to the wrapped trainer, so reports
+    land at the same simulated instants as a sequential run.
+
+    Use as a context manager, or call :meth:`shutdown` when done.
+    """
+
+    #: seconds to wait for a child record before declaring the pool dead.
+    RESULT_TIMEOUT = 600.0
+
+    def __init__(
+        self,
+        trainer: RealTrainer,
+        conf: HyperConf,
+        processes: int | None = None,
+        local_early_stop: bool = True,
+        snapshot_states: bool = False,
+        mp_context: str | None = None,
+    ):
+        if not isinstance(trainer, RealTrainer):
+            raise ConfigurationError(
+                f"ParallelTrialExecutor wraps a RealTrainer, got {type(trainer).__name__}"
+            )
+        self.trainer = trainer
+        self.conf = conf
+        self.processes = int(processes) if processes else (os.cpu_count() or 1)
+        if self.processes < 1:
+            raise ConfigurationError(f"processes must be >= 1, got {processes}")
+        self.local_early_stop = bool(local_early_stop)
+        self.snapshot_states = bool(snapshot_states)
+        if mp_context is None:
+            mp_context = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            )
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._procs: list[multiprocessing.Process] = []
+        self._task_queue = None
+        self._result_queue = None
+        #: per-trial streams of (accuracy, state-or-None) records
+        self._epoch_records: dict[int, deque] = {}
+        #: final state dict per finished trial
+        self._final_states: dict[int, dict[str, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return bool(self._procs)
+
+    def _ensure_started(self) -> None:
+        if self._procs:
+            return
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        spec = _TrainerSpec.of(self.trainer)
+        for _ in range(self.processes):
+            proc = self._ctx.Process(
+                target=_child_loop,
+                args=(
+                    spec,
+                    self.local_early_stop,
+                    self.conf.early_stop_patience,
+                    self.conf.early_stop_min_delta,
+                    self._task_queue,
+                    self._result_queue,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            self._procs.append(proc)
+
+    def shutdown(self) -> None:
+        """Stop all child processes (idempotent)."""
+        if not self._procs:
+            return
+        for _ in self._procs:
+            try:
+                self._task_queue.put(None)
+            except (OSError, ValueError):  # queue already torn down
+                break
+        for proc in self._procs:
+            proc.join(timeout=5.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        self._procs.clear()
+        self._task_queue = None
+        self._result_queue = None
+
+    def __enter__(self) -> "ParallelTrialExecutor":
+        self._ensure_started()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # ------------------------------------------------------------------
+    # TrainerBackend protocol
+    # ------------------------------------------------------------------
+
+    def start(self, trial: Trial, init_state: dict[str, np.ndarray] | None) -> _ParallelSession:
+        self._ensure_started()
+        epoch_cap = (
+            trial.max_epochs
+            if trial.max_epochs is not None
+            else self.conf.max_epochs_per_trial
+        )
+        self._epoch_records.setdefault(trial.trial_id, deque())
+        self._task_queue.put((trial, init_state, int(epoch_cap), self.snapshot_states))
+        return _ParallelSession(self, trial)
+
+    def epoch_cost(self, trial: Trial) -> float:
+        return self.trainer.epoch_cost(trial)
+
+    # ------------------------------------------------------------------
+    # record demultiplexing
+    # ------------------------------------------------------------------
+
+    def _pump(self) -> None:
+        """Block for one child record and route it to its trial buffer."""
+        try:
+            record = self._result_queue.get(timeout=self.RESULT_TIMEOUT)
+        except queue_mod.Empty:
+            dead = [p for p in self._procs if not p.is_alive()]
+            raise RuntimeError(
+                f"no trial results for {self.RESULT_TIMEOUT:.0f}s "
+                f"({len(dead)}/{len(self._procs)} child processes dead)"
+            ) from None
+        kind, trial_id = record[0], record[1]
+        if kind == "epoch":
+            self._epoch_records.setdefault(trial_id, deque()).append(
+                (record[2], record[3])
+            )
+        elif kind == "done":
+            self._final_states[trial_id] = record[2]
+        else:  # "error"
+            raise RuntimeError(f"trial {trial_id} failed in child process: {record[2]}")
+
+    def _await_epoch(self, trial_id: int) -> tuple[float, dict | None]:
+        records = self._epoch_records.setdefault(trial_id, deque())
+        while not records:
+            self._pump()
+        return records.popleft()
+
+    def _await_done(self, trial_id: int) -> dict[str, np.ndarray]:
+        while trial_id not in self._final_states:
+            self._pump()
+        return self._final_states[trial_id]
+
+
+def run_study_parallel(
+    master: StudyMaster,
+    workers: list[TuneWorker],
+    processes: int | None = None,
+    sim: Simulator | None = None,
+    max_events: int = 5_000_000,
+    snapshot_states: bool | None = None,
+) -> StudyReport:
+    """:func:`run_study`, with real epoch work spread over processes.
+
+    The workers' :class:`RealTrainer` backend is swapped for a
+    :class:`ParallelTrialExecutor` for the duration of the run (and
+    restored afterwards). Master/worker messages, simulated time and
+    the resulting :class:`StudyReport` are identical to
+    :func:`run_study` for a fixed seed; only real wall-clock shrinks.
+
+    ``processes`` defaults to one child per worker, capped by the CPU
+    count. ``snapshot_states`` (per-epoch parameter snapshots, needed
+    for masters that checkpoint mid-trial) defaults to on exactly when
+    the master early-stops centrally, i.e. for CoStudy.
+    """
+    if not workers:
+        raise ConfigurationError("run_study_parallel needs at least one worker")
+    base_backends = [worker.backend for worker in workers]
+    base = base_backends[0]
+    if isinstance(base, ParallelTrialExecutor):
+        executor = base
+    else:
+        if processes is None:
+            processes = max(1, min(len(workers), os.cpu_count() or 1))
+        if snapshot_states is None:
+            snapshot_states = not master.workers_early_stop_locally
+        executor = ParallelTrialExecutor(
+            base,
+            conf=workers[0].conf,
+            processes=processes,
+            local_early_stop=master.workers_early_stop_locally,
+            snapshot_states=snapshot_states,
+        )
+    for worker in workers:
+        worker.backend = executor
+    try:
+        with executor:
+            return run_study(master, workers, sim=sim, max_events=max_events)
+    finally:
+        for worker, backend in zip(workers, base_backends):
+            worker.backend = backend

@@ -13,6 +13,7 @@ stack. It implements the pieces Rafiki's services actually exercise:
   collaborative tuning scheme (CoStudy) relies on.
 """
 
+from repro.tensor.dtype import default_dtype, set_default_dtype, using_dtype
 from repro.tensor.initializers import (
     constant_init,
     gaussian_init,
@@ -50,6 +51,9 @@ from repro.tensor.optimizers import (
 from repro.tensor.training import TrainResult, evaluate, train_epoch
 
 __all__ = [
+    "default_dtype",
+    "set_default_dtype",
+    "using_dtype",
     "Layer",
     "Dense",
     "Conv2D",

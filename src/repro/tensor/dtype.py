@@ -1,0 +1,61 @@
+"""Default compute dtype for the tensor engine.
+
+The engine computes in ``float32`` by default: half the memory traffic
+of ``float64`` roughly doubles throughput on the memory-bound im2col /
+matmul hot paths, and training accuracy is unaffected at the scales
+this engine targets. Numerical-gradient checks and other code that
+needs double precision can switch per-process via
+:func:`set_default_dtype` (or temporarily with :func:`using_dtype`).
+
+Initialisers, layer buffers, :meth:`Network.forward` input casting and
+loss gradients all consult :func:`default_dtype`, so flipping it flows
+through the whole engine.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Iterator
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["default_dtype", "set_default_dtype", "using_dtype"]
+
+_ALLOWED = (np.float32, np.float64)
+
+_default_dtype: np.dtype = np.dtype(np.float32)
+
+
+def default_dtype() -> np.dtype:
+    """The engine-wide compute dtype (``float32`` unless overridden)."""
+    return _default_dtype
+
+
+def set_default_dtype(dtype) -> np.dtype:
+    """Set the engine-wide compute dtype; returns the previous one.
+
+    Only ``float32`` and ``float64`` are supported. Already-built
+    networks keep their existing parameter dtype; the setting applies
+    to arrays created afterwards.
+    """
+    global _default_dtype
+    resolved = np.dtype(dtype)
+    if resolved.type not in _ALLOWED:
+        raise ConfigurationError(
+            f"default dtype must be float32 or float64, got {resolved}"
+        )
+    previous = _default_dtype
+    _default_dtype = resolved
+    return previous
+
+
+@contextlib.contextmanager
+def using_dtype(dtype) -> Iterator[np.dtype]:
+    """Context manager that temporarily switches the default dtype."""
+    previous = set_default_dtype(dtype)
+    try:
+        yield _default_dtype
+    finally:
+        set_default_dtype(previous)

@@ -1,13 +1,17 @@
 """Weight initialisers.
 
 Each initialiser takes the parameter shape and an RNG and returns a new
-``float64`` array. The Gaussian standard deviation is itself one of the
-hyper-parameters tuned in the paper's Section 7.1 experiments.
+array in the engine's default compute dtype (float32 unless overridden
+via :func:`repro.tensor.set_default_dtype`). The Gaussian standard
+deviation is itself one of the hyper-parameters tuned in the paper's
+Section 7.1 experiments.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from repro.tensor.dtype import default_dtype
 
 __all__ = [
     "zeros_init",
@@ -20,14 +24,14 @@ __all__ = [
 
 def zeros_init(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
     """All-zeros (the conventional bias initialiser)."""
-    return np.zeros(shape, dtype=np.float64)
+    return np.zeros(shape, dtype=default_dtype())
 
 
 def constant_init(value: float):
     """Return an initialiser filling the array with ``value``."""
 
     def _init(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
-        return np.full(shape, float(value), dtype=np.float64)
+        return np.full(shape, float(value), dtype=default_dtype())
 
     return _init
 
@@ -36,7 +40,7 @@ def gaussian_init(std: float = 0.01, mean: float = 0.0):
     """Gaussian initialiser with tunable standard deviation."""
 
     def _init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
-        return rng.normal(mean, std, size=shape)
+        return rng.normal(mean, std, size=shape).astype(default_dtype(), copy=False)
 
     return _init
 
@@ -56,10 +60,10 @@ def glorot_uniform_init(shape: tuple[int, ...], rng: np.random.Generator) -> np.
     """Glorot/Xavier uniform initialisation."""
     fan_in, fan_out = _fan_in_out(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(default_dtype(), copy=False)
 
 
 def he_normal_init(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
     """He normal initialisation (suited to ReLU networks)."""
     fan_in, _ = _fan_in_out(shape)
-    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape)
+    return rng.normal(0.0, np.sqrt(2.0 / fan_in), size=shape).astype(default_dtype(), copy=False)

@@ -22,6 +22,7 @@ from typing import Callable
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.tensor.dtype import default_dtype
 from repro.tensor.im2col import col2im, conv_output_size, im2col
 from repro.tensor.initializers import glorot_uniform_init, zeros_init
 
@@ -374,7 +375,9 @@ class Dropout(Layer):
             self._mask = None
             return x
         keep = 1.0 - self.rate
-        self._mask = (self._rng.random(x.shape) < keep) / keep
+        mask = (self._rng.random(x.shape) < keep).astype(x.dtype)
+        mask /= keep
+        self._mask = mask
         return x * self._mask
 
     def backward(self, grad_out: np.ndarray) -> np.ndarray:
@@ -397,13 +400,14 @@ class BatchNorm(Layer):
 
     def build(self, input_shape: tuple[int, ...], rng: np.random.Generator) -> tuple[int, ...]:
         channels = input_shape[0]
+        dtype = default_dtype()
         self._ndim = len(input_shape) + 1
-        self.params["gamma"] = np.ones(channels, dtype=np.float64)
-        self.params["beta"] = np.zeros(channels, dtype=np.float64)
-        self.grads["gamma"] = np.zeros(channels, dtype=np.float64)
-        self.grads["beta"] = np.zeros(channels, dtype=np.float64)
-        self.buffers["running_mean"] = np.zeros(channels, dtype=np.float64)
-        self.buffers["running_var"] = np.ones(channels, dtype=np.float64)
+        self.params["gamma"] = np.ones(channels, dtype=dtype)
+        self.params["beta"] = np.zeros(channels, dtype=dtype)
+        self.grads["gamma"] = np.zeros(channels, dtype=dtype)
+        self.grads["beta"] = np.zeros(channels, dtype=dtype)
+        self.buffers["running_mean"] = np.zeros(channels, dtype=dtype)
+        self.buffers["running_var"] = np.ones(channels, dtype=dtype)
         self.built = True
         return input_shape
 
@@ -436,8 +440,13 @@ class BatchNorm(Layer):
             mean = x.mean(axis=axes)
             var = x.var(axis=axes)
             m = self.momentum
-            self.running_mean = m * self.running_mean + (1 - m) * mean
-            self.running_var = m * self.running_var + (1 - m) * var
+            # Update the running statistics in place so references held
+            # elsewhere (state dicts, aliasing tests) stay valid and no
+            # buffer is reallocated per batch.
+            self.running_mean *= m
+            self.running_mean += (1 - m) * mean
+            self.running_var *= m
+            self.running_var += (1 - m) * var
         else:
             mean, var = self.running_mean, self.running_var
         inv_std = 1.0 / np.sqrt(var + self.eps)

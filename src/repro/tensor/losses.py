@@ -72,7 +72,7 @@ class MeanSquaredError(Loss):
         self._diff: np.ndarray | None = None
 
     def forward(self, prediction: np.ndarray, target: np.ndarray) -> float:
-        target = np.asarray(target, dtype=np.float64)
+        target = np.asarray(target, dtype=prediction.dtype)
         if target.shape != prediction.shape:
             raise ConfigurationError(
                 f"shape mismatch: prediction {prediction.shape} vs target {target.shape}"

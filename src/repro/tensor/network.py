@@ -21,6 +21,7 @@ from typing import Iterable, Sequence
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.tensor.dtype import default_dtype
 from repro.tensor.layers import Layer
 from repro.tensor.losses import softmax
 
@@ -66,7 +67,7 @@ class Network:
 
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         self._require_built()
-        out = np.asarray(x, dtype=np.float64)
+        out = np.asarray(x, dtype=default_dtype())
         for layer in self.layers:
             out = layer.forward(out, training=training)
         return out

@@ -89,6 +89,9 @@ class Optimizer:
         self.schedule = _as_schedule(lr)
         self.weight_decay = check_non_negative("weight_decay", weight_decay)
         self.steps = 0
+        # Reused scratch buffers for the weight-decayed gradient, keyed
+        # by parameter name, so the hot loop allocates nothing per step.
+        self._decay_buf: dict[str, np.ndarray] = {}
 
     @property
     def current_lr(self) -> float:
@@ -100,7 +103,13 @@ class Optimizer:
         for name, value in params.items():
             grad = grads[name]
             if self.weight_decay and value.ndim > 1:
-                grad = grad + self.weight_decay * value
+                buf = self._decay_buf.get(name)
+                if buf is None or buf.shape != value.shape or buf.dtype != value.dtype:
+                    buf = np.empty_like(value)
+                    self._decay_buf[name] = buf
+                np.multiply(value, self.weight_decay, out=buf)
+                buf += grad
+                grad = buf
             self._update(name, value, grad, lr)
 
     def _update(self, name: str, param: np.ndarray, grad: np.ndarray, lr: float) -> None:
@@ -108,6 +117,7 @@ class Optimizer:
 
     def reset_state(self) -> None:
         """Drop per-parameter state (used when re-initialising a trial)."""
+        self._decay_buf.clear()
 
 
 class SGD(Optimizer):
@@ -143,6 +153,7 @@ class SGD(Optimizer):
             param += vel
 
     def reset_state(self) -> None:
+        super().reset_state()
         self._velocity.clear()
 
 
@@ -173,6 +184,7 @@ class RMSProp(Optimizer):
         param -= lr * grad / (np.sqrt(sq) + self.eps)
 
     def reset_state(self) -> None:
+        super().reset_state()
         self._sq.clear()
 
 
@@ -212,6 +224,7 @@ class Adam(Optimizer):
         param -= lr * m_hat / (np.sqrt(v_hat) + self.eps)
 
     def reset_state(self) -> None:
+        super().reset_state()
         self._m.clear()
         self._v.clear()
         self._t.clear()

@@ -53,7 +53,7 @@ class Embedding(Layer):
         assert self._ids is not None
         np.add.at(self.grads["W"], self._ids, grad_out)
         # token ids are not differentiable; return zeros of input shape
-        return np.zeros(self._ids.shape, dtype=np.float64)
+        return np.zeros(self._ids.shape, dtype=self.params["W"].dtype)
 
 
 class RNN(Layer):
@@ -89,7 +89,7 @@ class RNN(Layer):
     def forward(self, x: np.ndarray, training: bool = False) -> np.ndarray:
         n, steps, _dim = x.shape
         self._x = x
-        states = np.zeros((n, steps + 1, self.hidden), dtype=np.float64)
+        states = np.zeros((n, steps + 1, self.hidden), dtype=x.dtype)
         wx, wh, b = self.params["Wx"], self.params["Wh"], self.params["b"]
         for t in range(steps):
             states[:, t + 1] = np.tanh(x[:, t] @ wx + states[:, t] @ wh + b)
@@ -104,7 +104,7 @@ class RNN(Layer):
         n, steps, dim = x.shape
         wx, wh = self.params["Wx"], self.params["Wh"]
         grad_x = np.zeros_like(x)
-        grad_h_next = np.zeros((n, self.hidden))
+        grad_h_next = np.zeros((n, self.hidden), dtype=x.dtype)
         for t in range(steps - 1, -1, -1):
             if self.return_sequences:
                 grad_h = grad_out[:, t] + grad_h_next

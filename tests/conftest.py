@@ -15,6 +15,20 @@ def rng() -> np.random.Generator:
 
 
 @pytest.fixture
+def float64_engine():
+    """Run the tensor engine in float64 (for numerical-gradient checks).
+
+    Finite-difference gradients need double precision; the engine's
+    float32 default is exercised by every other test.
+    """
+    from repro.tensor import set_default_dtype
+
+    previous = set_default_dtype(np.float64)
+    yield
+    set_default_dtype(previous)
+
+
+@pytest.fixture
 def rng_stream() -> RngStream:
     return RngStream(1234)
 

@@ -20,6 +20,9 @@ from repro.tensor import (
 )
 from repro.tensor.im2col import col2im, conv_output_size, im2col
 
+# Finite-difference gradient checks need float64 precision.
+pytestmark = pytest.mark.usefixtures("float64_engine")
+
 
 def numeric_grad(f, array, index, eps=1e-6):
     array[index] += eps

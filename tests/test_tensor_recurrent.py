@@ -6,6 +6,9 @@ import pytest
 from repro.exceptions import ConfigurationError
 from repro.tensor import Dense, Embedding, Network, RNN, SGD, SoftmaxCrossEntropy
 
+# Finite-difference gradient checks need float64 precision.
+pytestmark = pytest.mark.usefixtures("float64_engine")
+
 
 class TestEmbedding:
     def test_lookup_shape_and_values(self, rng):
