@@ -18,7 +18,18 @@ __all__ = ["__version__"]
 
 
 def __getattr__(name: str):
-    """Lazily resolve SDK symbols from :mod:`repro.api.sdk`."""
+    """Lazily resolve subpackages, then SDK symbols from :mod:`repro.api.sdk`.
+
+    Subpackages are tried first (``from repro import telemetry`` must
+    work while :mod:`repro.api` is still mid-import), so resolving a
+    submodule never drags the SDK — and its import cycle — in.
+    """
+    import importlib
+
+    try:
+        return importlib.import_module(f"repro.{name}")
+    except ModuleNotFoundError:
+        pass
     from repro.api import sdk
 
     try:

@@ -17,11 +17,15 @@ from typing import Any, Callable
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.system import ModelSpec, Rafiki
 from repro.core.tune import HyperConf
 from repro.exceptions import GatewayError, RafikiError
 
 __all__ = ["Gateway", "Response"]
+
+#: gateway handler latency in seconds (in-process, so sub-millisecond).
+REQUEST_SECONDS_BUCKETS = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
 
 
 @dataclass
@@ -41,42 +45,71 @@ class Gateway:
 
     def __init__(self, system: Rafiki):
         self.system = system
-        self._routes: list[tuple[str, re.Pattern, Callable]] = [
-            ("POST", re.compile(r"^/datasets$"), self._post_dataset),
-            ("GET", re.compile(r"^/datasets$"), self._list_datasets),
-            ("POST", re.compile(r"^/train$"), self._post_train),
-            ("GET", re.compile(r"^/train/(?P<job_id>[\w\-./]+)/models$"), self._get_models),
-            ("GET", re.compile(r"^/train/(?P<job_id>[\w\-./]+)$"), self._get_train),
-            ("POST", re.compile(r"^/inference$"), self._post_inference),
-            ("GET", re.compile(r"^/inference/(?P<job_id>[\w\-./]+)$"), self._get_inference),
-            ("DELETE", re.compile(r"^/inference/(?P<job_id>[\w\-./]+)$"), self._stop_inference),
-            ("POST", re.compile(r"^/query/(?P<job_id>[\w\-./]+)$"), self._post_query),
-            ("GET", re.compile(r"^/dashboard$"), self._get_dashboard),
+        self._routes: list[tuple[str, re.Pattern, Callable, str]] = [
+            ("POST", re.compile(r"^/datasets$"), self._post_dataset, "/datasets"),
+            ("GET", re.compile(r"^/datasets$"), self._list_datasets, "/datasets"),
+            ("POST", re.compile(r"^/train$"), self._post_train, "/train"),
+            ("GET", re.compile(r"^/train/(?P<job_id>[\w\-./]+)/models$"), self._get_models,
+             "/train/{job_id}/models"),
+            ("GET", re.compile(r"^/train/(?P<job_id>[\w\-./]+)$"), self._get_train,
+             "/train/{job_id}"),
+            ("POST", re.compile(r"^/inference$"), self._post_inference, "/inference"),
+            ("GET", re.compile(r"^/inference/(?P<job_id>[\w\-./]+)$"), self._get_inference,
+             "/inference/{job_id}"),
+            ("DELETE", re.compile(r"^/inference/(?P<job_id>[\w\-./]+)$"), self._stop_inference,
+             "/inference/{job_id}"),
+            ("POST", re.compile(r"^/query/(?P<job_id>[\w\-./]+)$"), self._post_query,
+             "/query/{job_id}"),
+            ("GET", re.compile(r"^/dashboard$"), self._get_dashboard, "/dashboard"),
         ]
         self.requests_handled = 0
 
     def handle(self, method: str, path: str, body: dict[str, Any] | None = None) -> Response:
-        """Route one request. The body is round-tripped through JSON."""
+        """Route one request. The body is round-tripped through JSON.
+
+        Every request — matched or not — is counted per route template
+        and status, and its handler latency (read from the injectable
+        telemetry clock) lands in the per-route latency histogram.
+        """
+        clock = telemetry.get_clock()
+        start = clock.now()
+        route_name = "(unmatched)"
+        response = None
         self.requests_handled += 1
         try:
             payload = json.loads(json.dumps(body)) if body is not None else {}
         except (TypeError, ValueError) as exc:
-            return Response(400, {"error": f"body is not JSON-serialisable: {exc}"})
-        for route_method, pattern, handler in self._routes:
-            if route_method != method.upper():
-                continue
-            match = pattern.match(path)
-            if match:
-                try:
-                    result = handler(payload, **match.groupdict())
-                except GatewayError as exc:
-                    return Response(400, {"error": str(exc)})
-                except KeyError as exc:
-                    return Response(404, {"error": f"not found: {exc}"})
-                except RafikiError as exc:
-                    return Response(400, {"error": str(exc)})
-                return Response(200, json.loads(json.dumps(result)))
-        return Response(404, {"error": f"no route for {method} {path}"})
+            payload = None
+            response = Response(400, {"error": f"body is not JSON-serialisable: {exc}"})
+        if response is None:
+            for route_method, pattern, handler, name in self._routes:
+                if route_method != method.upper():
+                    continue
+                match = pattern.match(path)
+                if match:
+                    route_name = name
+                    try:
+                        result = handler(payload, **match.groupdict())
+                        response = Response(200, json.loads(json.dumps(result)))
+                    except GatewayError as exc:
+                        response = Response(400, {"error": str(exc)})
+                    except KeyError as exc:
+                        response = Response(404, {"error": f"not found: {exc}"})
+                    except RafikiError as exc:
+                        response = Response(400, {"error": str(exc)})
+                    break
+        if response is None:
+            response = Response(404, {"error": f"no route for {method} {path}"})
+        registry = telemetry.get_registry()
+        registry.counter(
+            "repro_gateway_requests_total", "Gateway requests, by route and status."
+        ).inc(method=method.upper(), route=route_name, status=str(response.status))
+        registry.histogram(
+            "repro_gateway_request_seconds",
+            "Gateway handler latency per route.",
+            buckets=REQUEST_SECONDS_BUCKETS,
+        ).observe(clock.now() - start, route=route_name)
+        return response
 
     # ------------------------------------------------------------------
     # handlers

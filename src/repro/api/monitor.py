@@ -3,18 +3,53 @@
 Rafiki ships a web dashboard; here the same information is rendered as
 plain-text tables (and JSON through the gateway's monitoring routes):
 training jobs with their best accuracy, deployed inference jobs with
-query counts, and per-node cluster utilisation.
+query counts, per-node cluster utilisation — and, since the telemetry
+layer landed, the live contents of the process-wide metrics registry
+(every counter/gauge/histogram the subsystems record), so the
+dashboard shows real measured activity rather than only book-keeping.
 """
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.core.system import Rafiki
 
-__all__ = ["render_dashboard", "dashboard_data"]
+__all__ = ["render_dashboard", "dashboard_data", "telemetry_summary"]
+
+
+def telemetry_summary(registry: "telemetry.MetricsRegistry | None" = None) -> dict:
+    """A flat, render-friendly view of the metrics registry.
+
+    Counters and gauges become ``{"name{labels}": value}``; histograms
+    collapse to their count/sum/mean. The full bucket detail stays
+    available through :func:`repro.telemetry.snapshot`.
+    """
+    registry = registry if registry is not None else telemetry.get_registry()
+    snap = registry.snapshot()
+    flat: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+    for section in ("counters", "gauges"):
+        for name, family in snap[section].items():
+            for labels, value in family["values"].items():
+                key = f"{name}{{{labels}}}" if labels else name
+                flat[section][key] = value
+    for name, family in snap["histograms"].items():
+        for labels, series in family["series"].items():
+            key = f"{name}{{{labels}}}" if labels else name
+            count = series["count"]
+            flat["histograms"][key] = {
+                "count": count,
+                "sum": series["sum"],
+                "mean": series["sum"] / count if count else 0.0,
+            }
+    return flat
 
 
 def dashboard_data(system: Rafiki) -> dict:
-    """The dashboard's content as a JSON-serialisable dict."""
+    """The dashboard's content as a JSON-serialisable dict.
+
+    Job/cluster tables come from the facade's book-keeping; the
+    ``telemetry`` section reads the live process-wide metrics registry.
+    """
     train_rows = [
         {
             "job_id": info.job_id,
@@ -55,6 +90,7 @@ def dashboard_data(system: Rafiki) -> dict:
             "keys": len(system.param_server.keys()),
             "cache_hit_rate": system.param_server.cache.hit_rate,
         },
+        "telemetry": telemetry_summary(),
     }
 
 
@@ -97,4 +133,17 @@ def render_dashboard(system: Rafiki) -> str:
     lines.append(
         f"parameter server: {ps['keys']} keys, cache hit rate {ps['cache_hit_rate']:.0%}"
     )
+    flat = data["telemetry"]
+    lines.append("")
+    lines.append("=== telemetry ===")
+    rows = sorted(flat["counters"].items()) + sorted(flat["gauges"].items())
+    if rows or flat["histograms"]:
+        for name, value in rows:
+            lines.append(f"{name:<58} {value:>12g}")
+        for name, stats in sorted(flat["histograms"].items()):
+            lines.append(
+                f"{name:<58} n={stats['count']} mean={stats['mean']:.6g}"
+            )
+    else:
+        lines.append("(no metrics recorded)")
     return "\n".join(lines)

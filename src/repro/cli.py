@@ -4,10 +4,13 @@ Commands:
 
 * ``profiles`` — print the Figure 3 model cards;
 * ``ensemble`` — print the Figure 6 ensemble-accuracy table;
-* ``tune`` — run a (surrogate) hyper-parameter study and report it;
+* ``tune`` — run a (surrogate) hyper-parameter study and report it
+  (``--telemetry`` dumps the metrics snapshot afterwards);
 * ``demo`` — the Figure 2 quickstart: train, deploy and query a small
   real model through the SDK;
-* ``sql`` — the Section 8 case study in miniature.
+* ``sql`` — the Section 8 case study in miniature;
+* ``telemetry`` — exercise every subsystem briefly and print the
+  unified metrics snapshot (JSON or Prometheus text exposition).
 """
 
 from __future__ import annotations
@@ -44,6 +47,8 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--processes", type=int, default=0, metavar="N",
                       help="with --real: run trials on N child processes "
                            "(multi-core; 0 = in-process)")
+    tune.add_argument("--telemetry", action="store_true",
+                      help="print the telemetry snapshot after the study")
 
     demo = sub.add_parser("demo", help="train, deploy and query a real model")
     demo.add_argument("--classes", type=int, default=3)
@@ -51,6 +56,16 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--seed", type=int, default=0)
 
     sub.add_parser("sql", help="run the Section 8 SQL/UDF case study")
+
+    tele = sub.add_parser(
+        "telemetry",
+        help="exercise tune/serve/paramserver/cluster/gateway and dump the snapshot",
+    )
+    tele.add_argument("--format", choices=("json", "prom"), default="json",
+                      help="snapshot format: JSON or Prometheus text exposition")
+    tele.add_argument("--trace", action="store_true",
+                      help="include recorded tracing spans (JSON format only)")
+    tele.add_argument("--seed", type=int, default=0)
     return parser
 
 
@@ -134,6 +149,11 @@ def _cmd_tune(args) -> int:
     print(f"best accuracy {best.performance:.4f} with:")
     for name, value in sorted(best.trial.params.items()):
         print(f"  {name:<14} {value:.5g}")
+    if args.telemetry:
+        from repro import telemetry
+
+        print()
+        print(telemetry.to_json(telemetry.get_registry()))
     return 0
 
 
@@ -188,12 +208,90 @@ def _cmd_sql(args) -> int:
     return 0
 
 
+def _cmd_telemetry(args) -> int:
+    """Drive every subsystem briefly, then print the unified snapshot.
+
+    The exercise touches tune (a small surrogate CoStudy), the
+    parameter server (the study's kPut/warm-start traffic), serve (a
+    short greedy single-model run), the cluster manager (job placement,
+    heartbeats, a failure + recovery) and the gateway (a couple of
+    routed requests), so the printed snapshot demonstrates the full
+    metric surface.
+    """
+    from repro import telemetry
+    from repro.api.gateway import Gateway
+    from repro.core.serve import (
+        DEFAULT_BATCH_SIZES,
+        GreedySingleController,
+        ServingEnv,
+        SineArrival,
+    )
+    from repro.core.system import Rafiki
+    from repro.core.tune import (
+        CoStudyMaster,
+        HyperConf,
+        RandomSearchAdvisor,
+        SurrogateTrainer,
+        make_workers,
+        run_study,
+        section71_space,
+    )
+    from repro.paramserver import ParameterServer
+    from repro.zoo import get_profile
+
+    # tune + paramserver: a small collaborative study on the surrogate.
+    conf = HyperConf(max_trials=8, max_epochs_per_trial=30, delta=0.005)
+    param_server = ParameterServer()
+    advisor = RandomSearchAdvisor(section71_space(), rng=np.random.default_rng(args.seed))
+    master = CoStudyMaster("telemetry", conf, advisor, param_server,
+                           rng=np.random.default_rng(args.seed + 7))
+    workers = make_workers(master, SurrogateTrainer(seed=args.seed), param_server,
+                           conf, num_workers=2)
+    run_study(master, workers)
+
+    # serve: a short greedy single-model run at a modest arrival rate.
+    profile = get_profile("inception_v3")
+    tau = 0.56
+    env = ServingEnv(
+        [profile],
+        GreedySingleController(profile, DEFAULT_BATCH_SIZES, tau),
+        SineArrival(150.0, period=60.0, rng=np.random.default_rng(args.seed)),
+        tau,
+        DEFAULT_BATCH_SIZES,
+    )
+    env.run(horizon=30.0)
+
+    # cluster + gateway: place jobs, heartbeat, fail/recover a node,
+    # then issue routed requests against the facade.
+    system = Rafiki(nodes=3, gpus_per_node=3, seed=args.seed)
+    for node_name in list(system.cluster.nodes):
+        system.cluster.heartbeat(node_name)
+    from repro.cluster.manager import JobKind
+
+    system.cluster.submit_job(JobKind.TRAIN, name="tele", num_workers=2)
+    victim = next(iter(system.cluster.nodes))
+    system.cluster.fail_node(victim)
+    system.cluster.recover_node(victim)
+    gateway = Gateway(system)
+    gateway.handle("GET", "/datasets")
+    gateway.handle("GET", "/dashboard")
+
+    registry = telemetry.get_registry()
+    if args.format == "prom":
+        print(telemetry.render_prometheus(registry), end="")
+    else:
+        tracer = telemetry.get_tracer() if args.trace else None
+        print(telemetry.to_json(registry, tracer))
+    return 0
+
+
 _COMMANDS = {
     "profiles": _cmd_profiles,
     "ensemble": _cmd_ensemble,
     "tune": _cmd_tune,
     "demo": _cmd_demo,
     "sql": _cmd_sql,
+    "telemetry": _cmd_telemetry,
 }
 
 

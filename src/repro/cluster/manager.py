@@ -13,6 +13,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro import telemetry
 from repro.cluster.checkpoint import CheckpointStore
 from repro.cluster.container import Container, ContainerRole, ContainerState
 from repro.cluster.node import Node, Resources
@@ -78,6 +79,32 @@ class ClusterManager:
         if node.name in self.nodes:
             raise ClusterError(f"duplicate node name {node.name!r}")
         self.nodes[node.name] = node
+        self._publish_node_gauges()
+
+    def heartbeat(self, node_name: str) -> bool:
+        """Record a liveness heartbeat from ``node_name``.
+
+        Returns whether the node is currently alive. The dashboard's
+        node table and the ``repro_cluster_heartbeats_total`` counter
+        are fed from here.
+        """
+        node = self.nodes.get(node_name)
+        if node is None:
+            raise ClusterError(f"unknown node {node_name!r}")
+        telemetry.get_registry().counter(
+            "repro_cluster_heartbeats_total", "Node liveness heartbeats received."
+        ).inc(node=node_name)
+        self._publish_node_gauges()
+        return node.alive
+
+    def _publish_node_gauges(self) -> None:
+        registry = telemetry.get_registry()
+        registry.gauge(
+            "repro_cluster_nodes_alive", "Nodes currently alive."
+        ).set(len(self.alive_nodes()))
+        registry.gauge(
+            "repro_cluster_nodes_total", "Nodes registered with the manager."
+        ).set(len(self.nodes))
 
     def alive_nodes(self) -> list[Node]:
         return [node for node in self.nodes.values() if node.alive]
@@ -131,6 +158,9 @@ class ClusterManager:
             self.containers[container.container_id] = container
         job.state = JobState.RUNNING
         self.jobs[job_id] = job
+        telemetry.get_registry().counter(
+            "repro_cluster_jobs_submitted_total", "Jobs placed on the cluster, by kind."
+        ).inc(kind=kind.value)
         return job
 
     def _plan_placement(self, containers: list[Container]) -> list[Node]:
@@ -211,6 +241,10 @@ class ClusterManager:
         if node_name not in self.nodes:
             raise ClusterError(f"unknown node {node_name!r}")
         lost_ids = self.nodes[node_name].fail()
+        telemetry.get_registry().counter(
+            "repro_cluster_node_failures_total", "Node failures observed."
+        ).inc()
+        self._publish_node_gauges()
         replacements: list[Container] = []
         for container_id in sorted(lost_ids):
             container = self.containers[container_id]
@@ -240,6 +274,10 @@ class ClusterManager:
                 job.containers.append(replacement)
                 self.containers[replacement.container_id] = replacement
                 self.recoveries += 1
+                telemetry.get_registry().counter(
+                    "repro_cluster_recoveries_total",
+                    "Containers restarted after a node failure.",
+                ).inc()
                 for hook in self._recovery_hooks:
                     hook(replacement)
                 return replacement
@@ -250,6 +288,7 @@ class ClusterManager:
         if node_name not in self.nodes:
             raise ClusterError(f"unknown node {node_name!r}")
         self.nodes[node_name].recover()
+        self._publish_node_gauges()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro import telemetry
 from repro.core.serve.request import RequestQueue
 from repro.exceptions import ConfigurationError
 
@@ -83,7 +84,15 @@ class GreedyBatcher:
         return best
 
     def decide(self, queue: RequestQueue, now: float) -> BatchDecision:
-        """One pass of Algorithm 3's loop body."""
+        """One pass of Algorithm 3's loop body (decision counted)."""
+        decision = self._decide(queue, now)
+        telemetry.get_registry().counter(
+            "repro_serve_batcher_decisions_total",
+            "Greedy batcher decisions, by action taken.",
+        ).inc(action="dispatch" if decision.dispatch else "wait")
+        return decision
+
+    def _decide(self, queue: RequestQueue, now: float) -> BatchDecision:
         if not queue:
             return BatchDecision(dispatch=False)
         if len(queue) >= self.max_batch:

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro import telemetry
 from repro.core.serve.actions import ActionSpace
 from repro.core.serve.actor_critic import ActorCritic
 from repro.exceptions import ConfigurationError
@@ -177,6 +178,9 @@ class AIMDController(Controller):
             return Wait(until=max(wake, env.now))
         take = min(self.batch_size, len(env.queue))
         self._last_dispatch = (take, env.now + env.queue.oldest_wait(env.now))
+        telemetry.get_registry().gauge(
+            "repro_serve_aimd_batch_size", "Current AIMD-adapted batch size."
+        ).set(self.batch_size)
         return Dispatch(subset=(0,), batch_size=self.batch_size, take=take)
 
     def notify_reward(self, reward: float) -> None:
@@ -250,6 +254,10 @@ class RLController(Controller):
         action = self.action_space.decode(action_index)
         self._last_token = token
         take = min(action.batch_size, len(env.queue))
+        telemetry.get_registry().counter(
+            "repro_serve_rl_actions_total",
+            "Actor-critic dispatch actions, by ensemble size.",
+        ).inc(models=str(len(action.subset)))
         return Dispatch(subset=action.subset, batch_size=action.batch_size, take=take)
 
     def notify_reward(self, reward: float) -> None:

@@ -21,6 +21,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.serve.arrival import SineArrival
 from repro.core.serve.controllers import Controller, Dispatch, Wait
 from repro.core.serve.ensemble import EnsembleScorer
@@ -114,7 +115,13 @@ class ServingEnv:
             if count:
                 accepted = self.queue.push(self.sim.now, count)
                 self.metrics.record_arrivals(self.sim.now, accepted)
+                if count > accepted:
+                    telemetry.get_registry().counter(
+                        "repro_serve_requests_dropped_total",
+                        "Arrivals rejected by a full queue.",
+                    ).inc(count - accepted)
                 self.metrics.dropped = self.queue.total_dropped
+                self._update_queue_gauge()
                 self._maybe_decide()
             yield self.arrival_span
 
@@ -138,6 +145,11 @@ class ServingEnv:
             else:  # pragma: no cover - defensive
                 raise ConfigurationError(f"bad controller decision: {decision!r}")
 
+    def _update_queue_gauge(self) -> None:
+        telemetry.get_registry().gauge(
+            "repro_serve_queue_depth", "Requests currently waiting in the queue."
+        ).set(len(self.queue))
+
     def _schedule_wake(self, when: float) -> None:
         when = max(when, self.now + 1e-6)
         if self._wake_at is not None and self._wake_at <= when + 1e-9:
@@ -158,6 +170,7 @@ class ServingEnv:
         if take <= 0:
             return
         arrivals = self.queue.pop_oldest(take)
+        self._update_queue_gauge()
         completion = self.now
         for m in subset:
             duration = self.profiles[m].inference_time(decision.batch_size)

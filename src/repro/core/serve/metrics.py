@@ -1,4 +1,11 @@
-"""Serving metrics: the time series behind Figures 10 and 13-16."""
+"""Serving metrics: the time series behind Figures 10 and 13-16.
+
+Besides the in-run time series (arrival/dispatch records that the
+figure benchmarks aggregate), every recording writes through to the
+process-wide telemetry registry, so dashboards and the ``repro
+telemetry`` snapshot see live serving counters without holding a
+reference to any particular :class:`ServingMetrics` instance.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +13,17 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.utils.reservoir import Reservoir
 
-__all__ = ["DispatchRecord", "TimelineRow", "ServingMetrics"]
+__all__ = ["DispatchRecord", "TimelineRow", "ServingMetrics",
+           "BATCH_SIZE_BUCKETS", "LATENCY_BUCKETS"]
+
+#: request batch sizes (the Section 7.2.1 candidates and their doublings).
+BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 48.0, 64.0, 128.0)
+
+#: per-request latency in seconds, bracketing the tau = 0.56 s SLO.
+LATENCY_BUCKETS = (0.05, 0.1, 0.25, 0.5, 0.56, 0.75, 1.0, 2.0, 5.0)
 
 
 @dataclass(frozen=True)
@@ -48,14 +63,42 @@ class ServingMetrics:
     latencies: Reservoir = field(default_factory=lambda: Reservoir(capacity=8192))
 
     def record_arrivals(self, time: float, count: int) -> None:
+        """Record ``count`` requests arriving at ``time``."""
         if count:
             self.arrivals.append((time, count))
+            telemetry.get_registry().counter(
+                "repro_serve_requests_arrived_total", "Requests accepted into the queue."
+            ).inc(count)
 
     def record_dispatch(self, record: DispatchRecord) -> None:
+        """Record one dispatched batch (and mirror it into the registry)."""
         self.dispatches.append(record)
+        registry = telemetry.get_registry()
+        registry.counter(
+            "repro_serve_requests_served_total", "Requests served by dispatched batches."
+        ).inc(record.served)
+        if record.overdue:
+            registry.counter(
+                "repro_serve_requests_overdue_total",
+                "Served requests that overran the SLO tau.",
+            ).inc(record.overdue)
+        registry.counter(
+            "repro_serve_dispatches_total", "Batches dispatched to models."
+        ).inc()
+        registry.histogram(
+            "repro_serve_batch_size",
+            "Hardware batch size chosen per dispatch.",
+            buckets=BATCH_SIZE_BUCKETS,
+        ).observe(record.batch_size)
 
     def record_latencies(self, values: np.ndarray) -> None:
+        """Record the per-request latencies of one completed batch."""
         self.latencies.add_many(values)
+        telemetry.get_registry().histogram(
+            "repro_serve_dispatch_latency_seconds",
+            "Per-request latency from arrival to batch completion.",
+            buckets=LATENCY_BUCKETS,
+        ).observe_many(values)
 
     def latency_quantile(self, q: float) -> float:
         """Estimated latency quantile (e.g. 0.99 for the p99) in seconds."""

@@ -15,11 +15,11 @@ accuracy/latency optimisation.
 
 from __future__ import annotations
 
-import time
 from typing import Sequence
 
 import numpy as np
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
 from repro.tensor.network import Network
 from repro.zoo.profiles import ModelProfile
@@ -50,14 +50,18 @@ def profile_network(
     iterations: int = 5,
     accuracy: float = 0.0,
     family: str = "deployed",
-    clock=time.perf_counter,
+    clock=None,
 ) -> ModelProfile:
     """Measure a network's forward latency and build a model card.
 
     ``iterations`` forward passes are timed per batch size (after one
     warm-up pass) and the per-batch median feeds the affine fit. The
-    memory figure is the parameter footprint.
+    memory figure is the parameter footprint. Timing reads the
+    injectable telemetry clock unless ``clock`` (a ``() -> seconds``
+    callable) overrides it, so tests can make the measurements exact.
     """
+    if clock is None:
+        clock = telemetry.get_clock().now
     if network.input_shape is None:
         raise ConfigurationError("network must be built before profiling")
     sizes = sorted(set(int(b) for b in batch_sizes))
@@ -65,15 +69,20 @@ def profile_network(
         raise ConfigurationError(f"need >= 2 positive batch sizes, got {batch_sizes}")
     rng = np.random.default_rng(0)
     medians = []
-    for batch in sizes:
-        x = rng.normal(size=(batch, *network.input_shape))
-        network.forward(x)  # warm-up
-        samples = []
-        for _ in range(iterations):
-            start = clock()
-            network.forward(x)
-            samples.append(clock() - start)
-        medians.append(float(np.median(samples)))
+    with telemetry.get_tracer().span("profile_network", model=name) as span:
+        for batch in sizes:
+            x = rng.normal(size=(batch, *network.input_shape))
+            network.forward(x)  # warm-up
+            samples = []
+            for _ in range(iterations):
+                start = clock()
+                network.forward(x)
+                samples.append(clock() - start)
+            medians.append(float(np.median(samples)))
+        span.tag(batch_sizes=list(sizes), iterations=iterations)
+    telemetry.get_registry().counter(
+        "repro_serve_profile_runs_total", "Deployed-network profiling runs."
+    ).inc()
     overhead, per_image = fit_affine_latency(sizes, medians)
     memory_mb = sum(p.nbytes for p in network.params.values()) / 1e6
     return ModelProfile(

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.cluster.message import Message, MessageType
 from repro.core.tune.advisors.base import TrialAdvisor
 from repro.core.tune.config import HyperConf
@@ -61,10 +62,16 @@ class CoStudyMaster(StudyMaster):
         use_random = (
             self._rng.random() < alpha or not self.param_server.has(self.best_key)
         )
+        inits = telemetry.get_registry().counter(
+            "repro_tune_costudy_inits_total",
+            "CoStudy trial initialisations, by alpha-greedy outcome.",
+        )
         if use_random:
             self.random_inits += 1
+            inits.inc(kind="random")
             return Trial(params=params, init_kind=InitKind.RANDOM)
         self.warm_inits += 1
+        inits.inc(kind="warm")
         return Trial(params=params, init_kind=InitKind.WARM_START, init_key=self.best_key)
 
     # ------------------------------------------------------------------
@@ -77,6 +84,11 @@ class CoStudyMaster(StudyMaster):
         trial = message.payload["trial"]
         if performance - self.best_p > self.conf.delta:
             self.best_p = performance
+            telemetry.get_registry().counter(
+                "repro_tune_costudy_syncs_total",
+                "kPut checkpoint syncs ordered on best-beating reports "
+                "(Algorithm 2 lines 8-10).",
+            ).inc()
             return [
                 (
                     worker,

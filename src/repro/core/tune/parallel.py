@@ -49,6 +49,7 @@ from typing import Any
 
 import numpy as np
 
+from repro import telemetry
 from repro.core.tune.backends import RealTrainer
 from repro.core.tune.config import HyperConf
 from repro.core.tune.early_stopping import EarlyStopper
@@ -251,6 +252,9 @@ class ParallelTrialExecutor:
             )
             proc.start()
             self._procs.append(proc)
+        telemetry.get_registry().gauge(
+            "repro_tune_parallel_processes", "Child processes in the trial pool."
+        ).set(len(self._procs))
 
     def shutdown(self) -> None:
         """Stop all child processes (idempotent)."""
@@ -290,6 +294,10 @@ class ParallelTrialExecutor:
         )
         self._epoch_records.setdefault(trial.trial_id, deque())
         self._task_queue.put((trial, init_state, int(epoch_cap), self.snapshot_states))
+        telemetry.get_registry().counter(
+            "repro_tune_parallel_trials_dispatched_total",
+            "Trials shipped to the child-process pool.",
+        ).inc()
         return _ParallelSession(self, trial)
 
     def epoch_cost(self, trial: Trial) -> float:
@@ -310,6 +318,10 @@ class ParallelTrialExecutor:
                 f"({len(dead)}/{len(self._procs)} child processes dead)"
             ) from None
         kind, trial_id = record[0], record[1]
+        telemetry.get_registry().counter(
+            "repro_tune_parallel_records_total",
+            "Records streamed back from child processes, by kind.",
+        ).inc(kind=kind)
         if kind == "epoch":
             self._epoch_records.setdefault(trial_id, deque()).append(
                 (record[2], record[3])

@@ -8,6 +8,7 @@ time, which is exactly what the Figure 11 scalability study measures.
 
 from __future__ import annotations
 
+from repro import telemetry
 from repro.core.tune.backends import TrainerBackend
 from repro.core.tune.config import HyperConf
 from repro.core.tune.study import StudyMaster, StudyReport
@@ -75,7 +76,20 @@ def run_study(
                     # well-behaved master, but guard against bugs.
                     return
 
-    for worker in workers:
-        sim.spawn(worker_process(worker))
-    sim.run(max_events=max_events)
-    return master.finalize(wall_time=sim.now)
+    with telemetry.get_tracer().span(
+        "run_study", study=master.study_name, workers=len(workers)
+    ) as span:
+        for worker in workers:
+            sim.spawn(worker_process(worker))
+        sim.run(max_events=max_events)
+        report = master.finalize(wall_time=sim.now)
+        span.tag(trials=len(report.results), simulated_seconds=sim.now)
+    registry = telemetry.get_registry()
+    registry.counter(
+        "repro_tune_studies_completed_total", "Studies driven to completion."
+    ).inc()
+    registry.gauge(
+        "repro_tune_study_wall_seconds",
+        "Simulated wall time of the most recent study.",
+    ).set(report.wall_time)
+    return report

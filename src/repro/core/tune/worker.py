@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import telemetry
 from repro.cluster.message import Mailbox, Message, MessageType
 from repro.core.tune.backends import TrainerBackend, TrialSession
 from repro.core.tune.config import HyperConf
@@ -18,6 +19,9 @@ from repro.core.tune.trial import InitKind, Trial, TrialStatus
 from repro.paramserver import ParameterServer
 
 __all__ = ["TuneWorker"]
+
+#: simulated seconds per training epoch — spans minutes to hours.
+EPOCH_SECONDS_BUCKETS = (0.1, 1.0, 10.0, 60.0, 300.0, 900.0, 1800.0, 3600.0, 10800.0)
 
 
 class TuneWorker:
@@ -67,6 +71,15 @@ class TuneWorker:
             return outgoing, 0.0
         cost = self.backend.epoch_cost(self._trial)
         accuracy = self._session.run_epoch()
+        registry = telemetry.get_registry()
+        registry.counter(
+            "repro_tune_epochs_total", "Training epochs run across all workers."
+        ).inc()
+        registry.histogram(
+            "repro_tune_epoch_seconds",
+            "Per-epoch duration in (simulated) seconds.",
+            buckets=EPOCH_SECONDS_BUCKETS,
+        ).observe(cost)
         outgoing.append(
             Message(
                 MessageType.REPORT,
@@ -132,6 +145,10 @@ class TuneWorker:
             min_delta=self.conf.early_stop_min_delta,
         )
         self.trials_run += 1
+        telemetry.get_registry().counter(
+            "repro_tune_trials_started_total",
+            "Trials handed to workers, by initialisation kind.",
+        ).inc(init=trial.init_kind.value)
 
     def _put_params(self, key: str, performance: float | None) -> None:
         # kPut may refer to the running session or (after kFinish, see
@@ -150,6 +167,9 @@ class TuneWorker:
     def _finish(self, status: TrialStatus, outgoing: list[Message]) -> None:
         assert self._session is not None and self._trial is not None
         self._trial.status = status
+        telemetry.get_registry().counter(
+            "repro_tune_trials_completed_total", "Trials finished, by final status."
+        ).inc(status=status.value)
         outgoing.append(
             Message(
                 MessageType.FINISH,

@@ -89,6 +89,10 @@ class GatewayError(RafikiError):
     """A REST-gateway request failed (bad route, bad payload)."""
 
 
+class TelemetryError(RafikiError):
+    """A telemetry-registry operation failed (e.g. metric type conflict)."""
+
+
 class SQLError(RafikiError):
     """Base class for the mini SQL engine errors."""
 

@@ -5,6 +5,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable
 
+from repro import telemetry
 from repro.exceptions import ConfigurationError
 
 __all__ = ["LRUCache"]
@@ -16,18 +17,36 @@ class LRUCache:
     ``size_of`` computes the cost of each value; entries are evicted
     least-recently-used-first when the budget is exceeded. A single
     value larger than the whole budget is simply not cached.
+
+    When ``name`` is given, the cache publishes its hit/miss/eviction
+    counts, byte usage and hit ratio to the telemetry registry under a
+    ``cache=<name>`` label.
     """
 
-    def __init__(self, capacity_bytes: int, size_of: Callable[[Any], int]):
+    def __init__(self, capacity_bytes: int, size_of: Callable[[Any], int],
+                 name: str | None = None):
         if capacity_bytes < 0:
             raise ConfigurationError(f"capacity_bytes must be >= 0, got {capacity_bytes}")
         self.capacity_bytes = int(capacity_bytes)
         self._size_of = size_of
+        self.name = name
         self._entries: OrderedDict[str, tuple[Any, int]] = OrderedDict()
         self._used = 0
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+
+    def _publish(self) -> None:
+        """Mirror the cache's current statistics into the registry."""
+        if self.name is None:
+            return
+        registry = telemetry.get_registry()
+        registry.gauge(
+            "repro_cache_used_bytes", "Bytes held by a named cache."
+        ).set(self._used, cache=self.name)
+        registry.gauge(
+            "repro_cache_hit_ratio", "Lifetime hit ratio of a named cache."
+        ).set(self.hit_rate, cache=self.name)
 
     @property
     def used_bytes(self) -> int:
@@ -44,9 +63,19 @@ class LRUCache:
         entry = self._entries.get(key)
         if entry is None:
             self.misses += 1
+            if self.name is not None:
+                telemetry.get_registry().counter(
+                    "repro_cache_misses_total", "Named-cache lookup misses."
+                ).inc(cache=self.name)
+                self._publish()
             return None
         self._entries.move_to_end(key)
         self.hits += 1
+        if self.name is not None:
+            telemetry.get_registry().counter(
+                "repro_cache_hits_total", "Named-cache lookup hits."
+            ).inc(cache=self.name)
+            self._publish()
         return entry[0]
 
     def put(self, key: str, value: Any) -> None:
@@ -58,10 +87,18 @@ class LRUCache:
             return
         self._entries[key] = (value, size)
         self._used += size
+        evicted = 0
         while self._used > self.capacity_bytes and self._entries:
             _evicted_key, (_value, evicted_size) = self._entries.popitem(last=False)
             self._used -= evicted_size
             self.evictions += 1
+            evicted += 1
+        if self.name is not None:
+            if evicted:
+                telemetry.get_registry().counter(
+                    "repro_cache_evictions_total", "Named-cache LRU evictions."
+                ).inc(evicted, cache=self.name)
+            self._publish()
 
     def invalidate(self, key: str) -> None:
         entry = self._entries.pop(key, None)

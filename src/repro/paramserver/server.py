@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import telemetry
 from repro.data.store import DataStore
 from repro.exceptions import ParameterNotFoundError
 from repro.paramserver.cache import LRUCache
@@ -55,8 +56,9 @@ class ParameterServer:
 
     def __init__(self, store: DataStore | None = None, cache_bytes: int = 256 * 1024 * 1024):
         self._store = store if store is not None else DataStore("ps-backing")
-        self._cache = LRUCache(cache_bytes, size_of=_state_size)
+        self._cache = LRUCache(cache_bytes, size_of=_state_size, name="paramserver")
         self._entries: dict[str, list[ParameterEntry]] = {}
+        self._stored_bytes = 0
 
     @property
     def cache(self) -> LRUCache:
@@ -96,10 +98,24 @@ class ParameterServer:
         state_copy = {name: value.copy() for name, value in state.items()}
         self._store.put_blob(entry.path, pickle.dumps(state_copy, pickle.HIGHEST_PROTOCOL))
         self._cache.put(entry.path, state_copy)
+        self._stored_bytes += entry.nbytes
+        registry = telemetry.get_registry()
+        registry.counter(
+            "repro_paramserver_push_total", "Parameter versions pushed (put)."
+        ).inc()
+        registry.gauge(
+            "repro_paramserver_stored_bytes", "Total bytes across stored versions."
+        ).set(self._stored_bytes)
+        registry.gauge(
+            "repro_paramserver_keys", "Distinct parameter keys stored."
+        ).set(len(self._entries))
         return entry
 
     def get(self, key: str, version: int | None = None) -> dict[str, np.ndarray]:
         """Fetch parameters (latest version unless specified)."""
+        telemetry.get_registry().counter(
+            "repro_paramserver_pull_total", "Parameter fetches (get)."
+        ).inc()
         entry = self.get_entry(key, version)
         cached = self._cache.get(entry.path)
         if cached is not None:
@@ -138,8 +154,16 @@ class ParameterServer:
             raise ParameterNotFoundError(key)
         for entry in versions:
             self._cache.invalidate(entry.path)
+            self._stored_bytes -= entry.nbytes
             if self._store.has_blob(entry.path):
                 self._store.delete_blob(entry.path)
+        registry = telemetry.get_registry()
+        registry.gauge(
+            "repro_paramserver_stored_bytes", "Total bytes across stored versions."
+        ).set(self._stored_bytes)
+        registry.gauge(
+            "repro_paramserver_keys", "Distinct parameter keys stored."
+        ).set(len(self._entries))
 
     # ------------------------------------------------------------------
     # collaborative-tuning support

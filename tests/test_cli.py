@@ -55,3 +55,27 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "GROUP BY" in out
         assert "UDF calls" in out
+
+    def test_telemetry_snapshot_covers_every_subsystem(self, capsys):
+        import json
+
+        assert main(["telemetry"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        names = " ".join(
+            list(snap["counters"]) + list(snap["gauges"]) + list(snap["histograms"])
+        )
+        for prefix in ("repro_tune_", "repro_serve_", "repro_paramserver_",
+                       "repro_cluster_", "repro_gateway_"):
+            assert prefix in names, f"snapshot missing {prefix} metrics"
+
+    def test_telemetry_prometheus_format(self, capsys):
+        assert main(["telemetry", "--format", "prom"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE repro_gateway_requests_total counter" in out
+        assert 'le="+Inf"' in out
+
+    def test_tune_with_telemetry_flag(self, capsys):
+        assert main(["tune", "--trials", "4", "--workers", "2", "--telemetry"]) == 0
+        out = capsys.readouterr().out
+        assert "best accuracy" in out
+        assert "repro_tune_trials_started_total" in out

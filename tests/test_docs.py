@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.core.serve",
     "repro.api",
     "repro.sqlext",
+    "repro.telemetry",
 ]
 
 

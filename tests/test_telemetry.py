@@ -1,0 +1,373 @@
+"""Telemetry layer: registry, tracer, exporters, dashboard round-trip."""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import json
+import pkgutil
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.exceptions import TelemetryError
+from repro.telemetry import (
+    ManualClock,
+    MetricsRegistry,
+    Tracer,
+    render_prometheus,
+    set_clock,
+    set_registry,
+    set_tracer,
+    snapshot,
+    to_json,
+)
+
+pytestmark = pytest.mark.telemetry
+
+
+@pytest.fixture(autouse=True)
+def fresh_telemetry():
+    """Install a fresh registry/tracer so tests never see each other."""
+    previous_registry = set_registry(MetricsRegistry())
+    previous_tracer = set_tracer(Tracer())
+    yield
+    set_registry(previous_registry)
+    set_tracer(previous_tracer)
+
+
+@pytest.fixture
+def manual_clock():
+    clock = ManualClock()
+    previous = set_clock(clock)
+    yield clock
+    set_clock(previous)
+
+
+class TestRegistry:
+    def test_counter_accumulates_per_label_set(self):
+        registry = telemetry.get_registry()
+        counter = registry.counter("reqs_total", "Requests.")
+        counter.inc(route="/a")
+        counter.inc(2, route="/a")
+        counter.inc(route="/b")
+        assert counter.value(route="/a") == 3
+        assert counter.value(route="/b") == 1
+        assert counter.value(route="/never") == 0
+
+    def test_counter_rejects_negative(self):
+        counter = telemetry.get_registry().counter("c_total")
+        with pytest.raises(TelemetryError):
+            counter.inc(-1)
+
+    def test_gauge_set_inc_dec(self):
+        gauge = telemetry.get_registry().gauge("depth")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value() == 13
+
+    def test_get_or_create_returns_same_family(self):
+        registry = telemetry.get_registry()
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_kind_mismatch_raises(self):
+        registry = telemetry.get_registry()
+        registry.counter("thing")
+        with pytest.raises(TelemetryError):
+            registry.gauge("thing")
+
+    def test_disabled_registry_records_nothing(self):
+        registry = telemetry.get_registry()
+        registry.disable()
+        registry.counter("c_total").inc()
+        registry.gauge("g").set(9)
+        registry.histogram("h", buckets=(1.0,)).observe(0.5)
+        registry.enable()
+        assert registry.counter("c_total").value() == 0
+        assert registry.gauge("g").value() == 0
+        assert registry.histogram("h").child_state() == ([0, 0], 0.0, 0)
+
+    def test_reset_drops_all_families(self):
+        registry = telemetry.get_registry()
+        registry.counter("c_total").inc()
+        registry.reset()
+        assert registry.metrics() == []
+
+
+class TestHistogramBuckets:
+    BOUNDS = (0.1, 1.0, 10.0)
+
+    def _hist(self):
+        return telemetry.get_registry().histogram("h", buckets=self.BOUNDS)
+
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus le-semantics: a bucket with bound b counts values <= b.
+        hist = self._hist()
+        hist.observe(0.1)
+        hist.observe(1.0)
+        hist.observe(10.0)
+        counts, total, count = hist.child_state()
+        assert counts == [1, 1, 1, 0]
+        assert total == pytest.approx(11.1)
+        assert count == 3
+
+    def test_above_max_bound_goes_to_inf(self):
+        hist = self._hist()
+        hist.observe(10.000001)
+        hist.observe(1e9)
+        assert hist.child_state()[0] == [0, 0, 0, 2]
+
+    def test_below_min_bound_goes_to_first_bucket(self):
+        hist = self._hist()
+        hist.observe(0.0)
+        hist.observe(-5.0)
+        assert hist.child_state()[0] == [2, 0, 0, 0]
+
+    def test_observe_many_matches_repeated_observe(self):
+        values = [0.05, 0.1, 0.5, 1.0, 1.5, 10.0, 11.0, -1.0]
+        registry = telemetry.get_registry()
+        one = registry.histogram("one", buckets=self.BOUNDS)
+        many = registry.histogram("many", buckets=self.BOUNDS)
+        for v in values:
+            one.observe(v)
+        many.observe_many(np.asarray(values))
+        assert one.child_state() == many.child_state()
+
+    def test_observe_many_empty_is_noop(self):
+        hist = self._hist()
+        hist.observe_many([])
+        assert hist.child_state() == ([0, 0, 0, 0], 0.0, 0)
+
+    def test_invalid_buckets_rejected(self):
+        registry = telemetry.get_registry()
+        with pytest.raises(TelemetryError):
+            registry.histogram("empty", buckets=())
+        with pytest.raises(TelemetryError):
+            registry.histogram("unsorted", buckets=(1.0, 0.5))
+
+    def test_bounds_fixed_by_first_creation(self):
+        registry = telemetry.get_registry()
+        first = registry.histogram("fixed", buckets=(1.0, 2.0))
+        again = registry.histogram("fixed", buckets=(9.0,))
+        assert again is first
+        assert again.buckets == (1.0, 2.0)
+
+
+class TestTracer:
+    def test_nesting_records_parent_and_exact_durations(self, manual_clock):
+        tracer = telemetry.get_tracer()
+        with tracer.span("outer", study="s") as outer:
+            manual_clock.advance(1.0)
+            with tracer.span("inner") as inner:
+                manual_clock.advance(0.25)
+            manual_clock.advance(0.5)
+        assert inner.parent_id == outer.span_id
+        assert outer.parent_id is None
+        assert inner.duration == pytest.approx(0.25)
+        assert outer.duration == pytest.approx(1.75)
+
+    def test_export_orders_parents_before_children(self, manual_clock):
+        tracer = telemetry.get_tracer()
+        with tracer.span("outer"):
+            manual_clock.advance(1.0)
+            with tracer.span("inner"):
+                manual_clock.advance(1.0)
+        exported = tracer.export()
+        assert [s["name"] for s in exported] == ["outer", "inner"]
+        assert json.loads(json.dumps(exported)) == exported
+
+    def test_span_closes_on_exception(self, manual_clock):
+        tracer = telemetry.get_tracer()
+        with pytest.raises(RuntimeError):
+            with tracer.span("boom"):
+                manual_clock.advance(2.0)
+                raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.duration == pytest.approx(2.0)
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = telemetry.get_tracer()
+        tracer.enabled = False
+        with tracer.span("ghost") as span:
+            span.tag(extra=1)
+        assert tracer.spans == []
+
+    def test_overflow_drops_oldest(self, manual_clock):
+        tracer = Tracer(clock=manual_clock, max_spans=2)
+        for name in ("a", "b", "c"):
+            with tracer.span(name):
+                manual_clock.advance(1.0)
+        assert [s.name for s in tracer.spans] == ["b", "c"]
+        assert tracer.dropped == 1
+
+
+def _golden_registry() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    counter = registry.counter("repro_demo_requests_total", "Demo requests.")
+    counter.inc(2, route="/a")
+    counter.inc(route="/b")
+    registry.gauge("repro_demo_depth", "Demo queue depth.").set(3)
+    hist = registry.histogram("repro_demo_seconds", "Demo latency.",
+                              buckets=(0.1, 1.0))
+    hist.observe(0.05)
+    hist.observe(0.5)
+    hist.observe(2.0)
+    return registry
+
+
+class TestExporters:
+    def test_json_snapshot_golden(self):
+        assert snapshot(_golden_registry()) == {
+            "counters": {
+                "repro_demo_requests_total": {
+                    "help": "Demo requests.",
+                    "values": {"route=/a": 2.0, "route=/b": 1.0},
+                }
+            },
+            "gauges": {
+                "repro_demo_depth": {
+                    "help": "Demo queue depth.",
+                    "values": {"": 3.0},
+                }
+            },
+            "histograms": {
+                "repro_demo_seconds": {
+                    "help": "Demo latency.",
+                    "bounds": [0.1, 1.0],
+                    "series": {
+                        "": {"buckets": [1, 1, 1], "sum": 2.55, "count": 3}
+                    },
+                }
+            },
+        }
+
+    def test_to_json_is_deterministic_and_parseable(self):
+        text = to_json(_golden_registry())
+        assert text == to_json(_golden_registry())
+        assert json.loads(text) == snapshot(_golden_registry())
+
+    def test_to_json_includes_spans_when_tracer_given(self, manual_clock):
+        tracer = Tracer(clock=manual_clock)
+        with tracer.span("op"):
+            manual_clock.advance(1.0)
+        data = json.loads(to_json(MetricsRegistry(), tracer))
+        assert data["spans"][0]["name"] == "op"
+        assert data["spans"][0]["duration"] == 1.0
+
+    def test_prometheus_exposition_golden(self):
+        assert render_prometheus(_golden_registry()) == (
+            "# HELP repro_demo_depth Demo queue depth.\n"
+            "# TYPE repro_demo_depth gauge\n"
+            "repro_demo_depth 3\n"
+            "# HELP repro_demo_requests_total Demo requests.\n"
+            "# TYPE repro_demo_requests_total counter\n"
+            'repro_demo_requests_total{route="/a"} 2\n'
+            'repro_demo_requests_total{route="/b"} 1\n'
+            "# HELP repro_demo_seconds Demo latency.\n"
+            "# TYPE repro_demo_seconds histogram\n"
+            'repro_demo_seconds_bucket{le="0.1"} 1\n'
+            'repro_demo_seconds_bucket{le="1"} 2\n'
+            'repro_demo_seconds_bucket{le="+Inf"} 3\n'
+            "repro_demo_seconds_sum 2.55\n"
+            "repro_demo_seconds_count 3\n"
+        )
+
+    def test_prometheus_escapes_label_values(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc(path='a"b\\c\nd')
+        assert r'path="a\"b\\c\nd"' in render_prometheus(registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+
+class TestDashboardIntegration:
+    def test_dashboard_data_round_trips_with_telemetry(self):
+        from repro.api.monitor import dashboard_data, render_dashboard
+        from repro.core.system import Rafiki
+
+        system = Rafiki(nodes=2, gpus_per_node=2, seed=0)
+        for node_name in list(system.cluster.nodes):
+            system.cluster.heartbeat(node_name)
+        data = dashboard_data(system)
+        assert json.loads(json.dumps(data)) == data
+        flat = data["telemetry"]
+        assert flat["counters"]["repro_cluster_heartbeats_total{node=node-a}"] == 1
+        assert flat["gauges"]["repro_cluster_nodes_alive"] == 2
+        text = render_dashboard(system)
+        assert "=== telemetry ===" in text
+        assert "repro_cluster_heartbeats_total" in text
+
+    def test_gateway_requests_recorded_per_route(self, manual_clock):
+        from repro.api.gateway import Gateway
+        from repro.core.system import Rafiki
+
+        gateway = Gateway(Rafiki(nodes=1, gpus_per_node=1, seed=0))
+
+        def timed_handle(*request):
+            manual_clock.advance(0.002)
+            return gateway.handle(*request)
+
+        assert timed_handle("GET", "/datasets").status == 200
+        assert timed_handle("GET", "/train/nope").status == 404
+        assert timed_handle("GET", "/no/such/route").status == 404
+        registry = telemetry.get_registry()
+        counter = registry.counter("repro_gateway_requests_total")
+        assert counter.value(method="GET", route="/datasets", status="200") == 1
+        assert counter.value(method="GET", route="/train/{job_id}", status="404") == 1
+        assert counter.value(method="GET", route="(unmatched)", status="404") == 1
+        hist = registry.histogram("repro_gateway_request_seconds")
+        assert hist.child_state(route="/datasets")[2] == 1
+
+    def test_serve_clock_injection_is_honoured(self, manual_clock):
+        # Satellite fix: profiler timing flows through the telemetry
+        # clock, so a manual clock makes measurements deterministic.
+        from repro.core.serve.profiler import profile_network
+        from repro.zoo.builders import build_mlp
+
+        network = build_mlp((12,), 3, np.random.default_rng(0), hidden=(8,))
+        profile = profile_network(network, "mlp", batch_sizes=(1, 2),
+                                  iterations=1, clock=manual_clock.now)
+        assert profile.overhead_s == 0.0
+        assert profile.per_image_s > 0.0
+        spans = [s for s in telemetry.get_tracer().spans
+                 if s.name == "profile_network"]
+        assert spans and spans[-1].tags["model"] == "mlp"
+
+
+class TestTelemetryDocstrings:
+    """Satellite: every public item under repro.telemetry is documented."""
+
+    def _modules(self):
+        package = importlib.import_module("repro.telemetry")
+        yield package
+        for mod in pkgutil.walk_packages(package.__path__, prefix="repro.telemetry."):
+            yield importlib.import_module(mod.name)
+
+    def test_every_module_documented(self):
+        undocumented = [m.__name__ for m in self._modules() if not m.__doc__]
+        assert undocumented == []
+
+    def test_every_public_member_documented(self):
+        undocumented = []
+        for module in self._modules():
+            exported = getattr(module, "__all__", None)
+            names = exported if exported is not None else [
+                n for n in vars(module) if not n.startswith("_")
+            ]
+            for name in names:
+                obj = getattr(module, name)
+                if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                    continue
+                if getattr(obj, "__module__", "").startswith("repro.telemetry"):
+                    if not inspect.getdoc(obj):
+                        undocumented.append(f"{module.__name__}.{name}")
+                    if inspect.isclass(obj):
+                        for mname, member in inspect.getmembers(obj, inspect.isfunction):
+                            if mname.startswith("_"):
+                                continue
+                            if not inspect.getdoc(member):
+                                undocumented.append(f"{obj.__name__}.{mname}")
+        assert sorted(set(undocumented)) == []
