@@ -17,10 +17,10 @@ from typing import Any, Callable
 
 import numpy as np
 
-from repro import telemetry
+from repro import chaos, telemetry
 from repro.core.system import ModelSpec, Rafiki
 from repro.core.tune import HyperConf
-from repro.exceptions import GatewayError, RafikiError
+from repro.exceptions import DroppedResponse, GatewayError, InjectedFault, RafikiError
 
 __all__ = ["Gateway", "Response"]
 
@@ -75,6 +75,7 @@ class Gateway:
         start = clock.now()
         route_name = "(unmatched)"
         response = None
+        injected_latency = 0.0
         self.requests_handled += 1
         try:
             payload = json.loads(json.dumps(body)) if body is not None else {}
@@ -89,8 +90,17 @@ class Gateway:
                 if match:
                     route_name = name
                     try:
+                        # The gateway.dispatch fault point models a
+                        # backend that crashes (503) or whose response
+                        # is lost (504); either way the gateway answers
+                        # instead of crashing the server loop.
+                        injected_latency = chaos.fire("gateway.dispatch")
                         result = handler(payload, **match.groupdict())
                         response = Response(200, json.loads(json.dumps(result)))
+                    except DroppedResponse as exc:
+                        response = Response(504, {"error": f"response dropped: {exc}"})
+                    except InjectedFault as exc:
+                        response = Response(503, {"error": f"backend unavailable: {exc}"})
                     except GatewayError as exc:
                         response = Response(400, {"error": str(exc)})
                     except KeyError as exc:
@@ -108,7 +118,7 @@ class Gateway:
             "repro_gateway_request_seconds",
             "Gateway handler latency per route.",
             buckets=REQUEST_SECONDS_BUCKETS,
-        ).observe(clock.now() - start, route=route_name)
+        ).observe(clock.now() - start + injected_latency, route=route_name)
         return response
 
     # ------------------------------------------------------------------

@@ -1,0 +1,149 @@
+"""Chaos/robustness layer: deterministic fault injection + resilience.
+
+Rafiki's tuning and serving jobs are long-running distributed programs
+that must keep making progress while nodes, parameter-server shards and
+model replicas fail underneath them. This package provides the
+machinery that *proves* it:
+
+* :class:`FaultPlan` / :class:`FaultRule` — seeded, deterministic fault
+  injection (exceptions, latency, dropped responses) at named fault
+  points wired into the paramserver, gateway, serve and tune paths;
+* :func:`set_plan` / :func:`get_plan` / :func:`fire` — the process-wide
+  plan installation mirroring the telemetry registry pattern, so tests
+  swap a plan in and instrumented code pays one ``None`` check when
+  chaos is off;
+* re-exports of :class:`~repro.utils.retry.RetryPolicy` and
+  :class:`~repro.utils.retry.CircuitBreaker`, the policies the
+  instrumented subsystems recover with.
+
+End-to-end seeded scenarios live in :mod:`repro.chaos.scenarios`
+(imported explicitly by the CLI and tests — not here, to keep this
+package import-light).
+
+Fault-point names currently wired in:
+
+==========================  ====================================================
+``paramserver.push``        :meth:`ParameterServer.put` entry
+``paramserver.pull``        :meth:`ParameterServer.get` entry
+``gateway.dispatch``        route-handler invocation in :meth:`Gateway.handle`
+``serve.dispatch``          batch dispatch in :class:`ServingEnv`
+``serve.model.<name>``      per-replica model execution in :meth:`Rafiki.query`
+``tune.trial``              per-epoch trial execution in :class:`TuneWorker`
+==========================  ====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.chaos.faults import FaultEvent, FaultKind, FaultPlan, FaultRule
+from repro.exceptions import (
+    ChaosError,
+    CircuitOpenError,
+    DroppedResponse,
+    InjectedFault,
+    RetryExhaustedError,
+)
+from repro.utils.retry import CircuitBreaker, RetryPolicy
+
+__all__ = [
+    "FaultEvent",
+    "FaultKind",
+    "FaultPlan",
+    "FaultRule",
+    "ChaosError",
+    "InjectedFault",
+    "DroppedResponse",
+    "RetryExhaustedError",
+    "CircuitOpenError",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "get_plan",
+    "set_plan",
+    "fire",
+    "active",
+    "protected",
+]
+
+_plan: FaultPlan | None = None
+
+
+def get_plan() -> FaultPlan | None:
+    """The currently installed fault plan (None when chaos is off)."""
+    return _plan
+
+
+def set_plan(plan: FaultPlan | None) -> FaultPlan | None:
+    """Install ``plan`` process-wide; returns the previous plan.
+
+    Pass ``None`` to turn fault injection off entirely.
+    """
+    global _plan
+    previous = _plan
+    _plan = plan
+    return previous
+
+
+def fire(point: str) -> float:
+    """Evaluate the active plan at ``point`` (no-op without a plan).
+
+    Returns injected latency in seconds; raises
+    :class:`InjectedFault` / :class:`DroppedResponse` when a fault
+    fires. This is the one call instrumented subsystems make.
+    """
+    if _plan is None:
+        return 0.0
+    return _plan.fire(point)
+
+
+class active:
+    """Context manager installing a plan for the ``with`` block.
+
+    ::
+
+        with chaos.active(FaultPlan([rule], seed=0)) as plan:
+            ...
+        assert plan.faults_injected() > 0
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._previous: FaultPlan | None = None
+
+    def __enter__(self) -> FaultPlan:
+        """Install the plan; returns it for trace inspection."""
+        self._previous = set_plan(self.plan)
+        return self.plan
+
+    def __exit__(self, *exc_info) -> None:
+        """Restore whatever plan was installed before."""
+        set_plan(self._previous)
+
+
+def protected(point: str, breaker: CircuitBreaker | None = None) -> Callable:
+    """Decorator wrapping a callable in a fault point (and breaker).
+
+    Mostly a convenience for tests and examples; library call sites
+    inline :func:`fire` instead.
+    """
+
+    def wrap(fn: Callable) -> Callable:
+        def inner(*args, **kwargs):
+            if breaker is not None:
+                breaker.check()
+            try:
+                fire(point)
+                result = fn(*args, **kwargs)
+            except InjectedFault:
+                if breaker is not None:
+                    breaker.record_failure()
+                raise
+            if breaker is not None:
+                breaker.record_success()
+            return result
+
+        inner.__name__ = getattr(fn, "__name__", "protected")
+        inner.__doc__ = fn.__doc__
+        return inner
+
+    return wrap

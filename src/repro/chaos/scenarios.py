@@ -1,0 +1,307 @@
+"""Seeded end-to-end chaos scenarios.
+
+One function, :func:`run_chaos_scenario`, drives every instrumented
+subsystem under one deterministic :class:`~repro.chaos.faults.FaultPlan`:
+
+1. **tune over the cluster** — a distributed surrogate study survives
+   two mid-study node failures, per-epoch trial crashes
+   (``tune.trial``) restarted from checkpoints, and parameter-server
+   pushes dropped with probability 0.1 behind a retry policy;
+2. **serve** — the batcher re-queues batches whose dispatch fails
+   (``serve.dispatch`` exceptions) and absorbs injected latency, with
+   SLO accounting intact;
+3. **the facade + gateway** — real models are trained and deployed,
+   one replica is made to fail repeatedly (``serve.model.<name>``)
+   until its circuit breaker drops it from the ensemble, the breaker
+   re-admits it after the recovery window (on the injectable manual
+   clock), and gateway requests absorb injected 503/504 failures.
+
+Everything — fault decisions, retry jitter, model training — is a pure
+function of the seed, so the returned *recovery trace* (the fault log
+plus the retry/circuit counters) is bit-identical across runs with the
+same seed. That property is what the chaos tests and the ``repro
+chaos`` CLI command assert.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro import chaos, telemetry
+from repro.chaos.faults import FaultKind, FaultPlan, FaultRule
+from repro.exceptions import InjectedFault
+from repro.utils.retry import RetryPolicy
+
+__all__ = ["build_default_plan", "run_chaos_scenario"]
+
+#: counter prefixes that make up the trace's counter section — the
+#: retry/recovery bookkeeping that must replay identically per seed.
+TRACE_METRIC_PREFIXES = (
+    "repro_chaos_",
+    "repro_retry_",
+    "repro_circuit_",
+    "repro_tune_trial_crashes_total",
+    "repro_tune_trials_reissued_total",
+    "repro_serve_replica_errors_total",
+    "repro_serve_dispatch_retries_total",
+    "repro_cluster_recoveries_total",
+    "repro_cluster_node_failures_total",
+)
+
+
+def build_default_plan(seed: int, flaky_model: str) -> FaultPlan:
+    """The scenario's fault schedule: three kinds across four subsystems."""
+    rules = [
+        # tune: occasional per-epoch trial crashes, capped so the study
+        # always terminates; workers restart from checkpoints.
+        FaultRule("tune.trial", FaultKind.EXCEPTION, probability=0.02, max_faults=4),
+        # paramserver: every push is dropped with p = 0.1; the server's
+        # retry policy re-sends until it lands.
+        FaultRule("paramserver.push", FaultKind.DROP, probability=0.1),
+        # serve: dispatches gain latency sometimes and fail outright a
+        # few times; the batcher re-queues the in-flight requests.
+        FaultRule("serve.dispatch", FaultKind.LATENCY, probability=0.2, latency=0.02),
+        FaultRule("serve.dispatch", FaultKind.EXCEPTION, probability=0.05, max_faults=6),
+        # one replica fails three times in a row, opening its breaker.
+        FaultRule(f"serve.model.{flaky_model}", FaultKind.EXCEPTION, max_faults=3),
+        # gateway: one backend crash (503) and one lost response (504).
+        FaultRule("gateway.dispatch", FaultKind.EXCEPTION, after=2, max_faults=1),
+        FaultRule("gateway.dispatch", FaultKind.DROP, after=4, max_faults=1),
+    ]
+    return FaultPlan(rules, seed=seed)
+
+
+def _reset_id_counters() -> None:
+    """Rewind the process-global id counters the scenario's objects draw from.
+
+    Trial sessions seed their RNG from ``trial.trial_id``, and job and
+    container names carry their sequence numbers into metric labels —
+    so a second scenario run in the same process would diverge unless
+    the counters restart from 1. The counters stay rewound afterwards
+    (ids remain unique within any single study/manager, which is all
+    the library relies on).
+    """
+    import itertools
+
+    from repro.cluster import container as container_mod
+    from repro.cluster import manager as manager_mod
+    from repro.cluster import message as message_mod
+    from repro.core import system as system_mod
+    from repro.core.tune import trial as trial_mod
+
+    trial_mod._trial_ids = itertools.count(1)
+    container_mod._container_ids = itertools.count(1)
+    manager_mod._job_ids = itertools.count(1)
+    message_mod._message_ids = itertools.count(1)
+    system_mod._train_job_ids = itertools.count(1)
+    system_mod._infer_job_ids = itertools.count(1)
+
+
+def run_chaos_scenario(seed: int = 0) -> dict[str, Any]:
+    """Run the full chaos scenario; return results plus the recovery trace.
+
+    Installs a fresh metrics registry, a manual telemetry clock and the
+    default fault plan for the duration (previous globals restored on
+    exit), and rewinds the process-global id counters, so back-to-back
+    invocations with the same seed are fully isolated and produce
+    bit-identical traces.
+    """
+    from repro.zoo import default_registry
+
+    _reset_id_counters()
+    flaky_model = default_registry().select_diverse("ImageClassification", k=2)[0].name
+    plan = build_default_plan(seed, flaky_model)
+    registry = telemetry.MetricsRegistry()
+    clock = telemetry.ManualClock()
+    previous_registry = telemetry.set_registry(registry)
+    previous_clock = telemetry.set_clock(clock)
+    previous_plan = chaos.set_plan(plan)
+    try:
+        results = {
+            "tune": _tune_phase(seed),
+            "serve": _serve_phase(seed),
+            "facade": _facade_phase(seed, clock, flaky_model),
+        }
+        trace = {
+            "faults": plan.trace(),
+            "counters": _trace_counters(registry),
+        }
+        return {
+            "seed": seed,
+            "flaky_model": flaky_model,
+            "results": results,
+            "points_hit": plan.points_hit(),
+            "kinds_hit": plan.kinds_hit(),
+            "faults_injected": plan.faults_injected(),
+            "trace": trace,
+        }
+    finally:
+        chaos.set_plan(previous_plan)
+        telemetry.set_clock(previous_clock)
+        telemetry.set_registry(previous_registry)
+
+
+def _trace_counters(registry: telemetry.MetricsRegistry) -> dict[str, Any]:
+    """The retry/recovery counter values, filtered from a full snapshot."""
+    full = telemetry.snapshot(registry)
+    return {
+        name: data["values"]
+        for section in ("counters", "gauges")
+        for name, data in sorted(full.get(section, {}).items())
+        if any(name.startswith(prefix) for prefix in TRACE_METRIC_PREFIXES)
+    }
+
+
+def _tune_phase(seed: int) -> dict[str, Any]:
+    """Distributed study under node failures, trial crashes, dropped pushes."""
+    from repro.cluster import ClusterManager, Node
+    from repro.cluster.node import Resources
+    from repro.core.tune import (
+        HyperConf,
+        RandomSearchAdvisor,
+        StudyMaster,
+        SurrogateTrainer,
+        section71_space,
+    )
+    from repro.core.tune.distributed import run_cluster_study
+    from repro.paramserver import ParameterServer
+
+    manager = ClusterManager()
+    for i in range(3):
+        manager.add_node(
+            Node(f"n{i}", capacity=Resources(cpus=8, gpus=3, memory_gb=64))
+        )
+    param_server = ParameterServer(
+        retry=RetryPolicy(
+            max_attempts=4, jitter=0.0, retry_on=(InjectedFault,), seed=seed
+        )
+    )
+    conf = HyperConf(max_trials=16, max_epochs_per_trial=20)
+    master = StudyMaster(
+        "chaos",
+        conf,
+        RandomSearchAdvisor(section71_space(), rng=np.random.default_rng(seed)),
+        param_server,
+    )
+    report = run_cluster_study(
+        manager,
+        master,
+        SurrogateTrainer(seed=seed),
+        param_server,
+        conf,
+        num_workers=3,
+        failure_plan=[(150.0, "n0", 900.0), (400.0, "n1", None)],
+        trial_retry=RetryPolicy(max_attempts=3, jitter=0.0, seed=seed),
+    )
+    best = report.best
+    reissued = telemetry.get_registry().counter(
+        "repro_tune_trials_reissued_total",
+        "In-flight trials re-issued to replacement workers.",
+    )
+    return {
+        "trials": len(report.results),
+        "total_epochs": report.total_epochs,
+        "best_performance": report.best_performance,
+        "best_trial_id": best.trial.trial_id if best is not None else None,
+        "recoveries": manager.recoveries,
+        "reissued": int(sum(reissued.snapshot().values())),
+        "wall_time": report.wall_time,
+    }
+
+
+def _serve_phase(seed: int) -> dict[str, Any]:
+    """Serving run with failed/slowed dispatches and batch resubmission."""
+    from repro.core.serve import (
+        DEFAULT_BATCH_SIZES,
+        GreedySingleController,
+        ServingEnv,
+        SineArrival,
+    )
+    from repro.zoo import get_profile
+
+    profile = get_profile("inception_v3")
+    tau = 0.56
+    env = ServingEnv(
+        [profile],
+        GreedySingleController(profile, DEFAULT_BATCH_SIZES, tau),
+        SineArrival(80.0, period=60.0, rng=np.random.default_rng(seed)),
+        tau,
+        DEFAULT_BATCH_SIZES,
+        dispatch_retry=RetryPolicy(
+            max_attempts=4, base_delay=0.005, max_delay=0.1, jitter=0.0, seed=seed
+        ),
+    )
+    metrics = env.run(horizon=30.0)
+    served = metrics.total_served
+    overdue = sum(record.overdue for record in metrics.dispatches)
+    return {
+        "arrived": metrics.total_arrived,
+        "served": served,
+        "overdue": overdue,
+        "dropped": metrics.dropped,
+        "requeued": env.queue.total_requeued,
+        "slo_fraction": (served - overdue) / served if served else 1.0,
+    }
+
+
+def _facade_phase(seed: int, clock, flaky_model: str) -> dict[str, Any]:
+    """Train/deploy real models; flap one replica; hit the gateway.
+
+    The flaky replica's circuit breaker opens after three consecutive
+    injected failures (dropping it from the ensemble vote) and, once the
+    manual clock advances past the recovery window, re-admits it on a
+    successful half-open probe.
+    """
+    from repro.api.gateway import Gateway
+    from repro.core.system import Rafiki
+    from repro.core.tune import HyperConf
+    from repro.data import make_image_classification
+
+    dataset = make_image_classification(
+        name="chaos-ds", num_classes=3, image_shape=(3, 8, 8),
+        train_per_class=12, val_per_class=6, test_per_class=6,
+        difficulty=0.3, seed=seed,
+    )
+    system = Rafiki(seed=seed)
+    # The facade's parameter server must survive the dropped-push rule.
+    system.param_server.retry = RetryPolicy(
+        max_attempts=4, jitter=0.0, retry_on=(InjectedFault,), seed=seed
+    )
+    system.import_images(dataset)
+    job_id = system.create_train_job(
+        "chaos", "ImageClassification", "chaos-ds",
+        hyper=HyperConf(max_trials=2, max_epochs_per_trial=3),
+        num_workers=2,
+    )
+    specs = system.get_models(job_id)
+    infer_id = system.create_inference_job(specs)
+    info = system.get_inference_job(infer_id)
+    gateway = Gateway(system)
+
+    statuses: list[int] = []
+    for i in range(6):
+        response = gateway.handle(
+            "POST", f"/query/{infer_id}", {"img": dataset.test_x[i].tolist()}
+        )
+        statuses.append(response.status)
+    live_during_outage = len(info.live_replicas())
+    flaky_breaker = next(
+        (b for b in info.breakers if b.name.endswith(f"/{flaky_model}")), None
+    )
+    # Let the breaker's recovery window elapse, then probe it closed.
+    clock.advance(31.0)
+    for i in range(2):
+        response = gateway.handle(
+            "POST", f"/query/{infer_id}", {"img": dataset.test_x[6 + i].tolist()}
+        )
+        statuses.append(response.status)
+    return {
+        "models": [spec.model_name for spec in specs],
+        "statuses": statuses,
+        "live_during_outage": live_during_outage,
+        "live_after_recovery": len(info.live_replicas()),
+        "breaker_opened": flaky_breaker.opened_count if flaky_breaker else 0,
+        "breaker_state": flaky_breaker.state if flaky_breaker else "missing",
+    }

@@ -10,7 +10,10 @@ Commands:
   real model through the SDK;
 * ``sql`` — the Section 8 case study in miniature;
 * ``telemetry`` — exercise every subsystem briefly and print the
-  unified metrics snapshot (JSON or Prometheus text exposition).
+  unified metrics snapshot (JSON or Prometheus text exposition);
+* ``chaos`` — run the seeded fault-injection scenario across tune,
+  serve, the parameter server and the gateway, and report the recovery
+  trace (``--verify`` re-runs it and asserts the trace is identical).
 """
 
 from __future__ import annotations
@@ -66,6 +69,16 @@ def build_parser() -> argparse.ArgumentParser:
     tele.add_argument("--trace", action="store_true",
                       help="include recorded tracing spans (JSON format only)")
     tele.add_argument("--seed", type=int, default=0)
+
+    chaos_cmd = sub.add_parser(
+        "chaos",
+        help="run the seeded chaos scenario and print the recovery trace",
+    )
+    chaos_cmd.add_argument("--seed", type=int, default=0)
+    chaos_cmd.add_argument("--json", action="store_true",
+                           help="print the full result (trace included) as JSON")
+    chaos_cmd.add_argument("--verify", action="store_true",
+                           help="run the scenario twice and require identical traces")
     return parser
 
 
@@ -285,6 +298,42 @@ def _cmd_telemetry(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Run the seeded chaos scenario and summarise the recovery trace."""
+    import json
+
+    from repro.chaos.scenarios import run_chaos_scenario
+
+    out = run_chaos_scenario(seed=args.seed)
+    if args.verify:
+        again = run_chaos_scenario(seed=args.seed)
+        if again["trace"] != out["trace"]:
+            print("FAIL: recovery traces differ across same-seed runs",
+                  file=sys.stderr)
+            return 1
+    if args.json:
+        print(json.dumps(out, indent=2, sort_keys=True))
+        return 0
+    tune, serve, facade = (out["results"][k] for k in ("tune", "serve", "facade"))
+    print(f"chaos scenario (seed {out['seed']}): "
+          f"{out['faults_injected']} faults injected")
+    print(f"  kinds:  {', '.join(out['kinds_hit'])}")
+    print(f"  points: {', '.join(out['points_hit'])}")
+    print(f"tune:   {tune['trials']} trials, best {tune['best_performance']:.4f} "
+          f"(trial {tune['best_trial_id']}), {tune['recoveries']} container "
+          f"recoveries, {tune['wall_time'] / 3600:.1f} simulated hours")
+    print(f"serve:  {serve['served']} served, {serve['requeued']} re-queued after "
+          f"failed dispatch, {serve['dropped']} dropped, "
+          f"SLO fraction {serve['slo_fraction']:.3f}")
+    print(f"facade: statuses {facade['statuses']}; replicas live "
+          f"{facade['live_during_outage']} during outage, "
+          f"{facade['live_after_recovery']} after recovery "
+          f"(breaker {facade['breaker_state']})")
+    if args.verify:
+        print("verify: recovery trace identical across two same-seed runs")
+    return 0
+
+
 _COMMANDS = {
     "profiles": _cmd_profiles,
     "ensemble": _cmd_ensemble,
@@ -292,6 +341,7 @@ _COMMANDS = {
     "demo": _cmd_demo,
     "sql": _cmd_sql,
     "telemetry": _cmd_telemetry,
+    "chaos": _cmd_chaos,
 }
 
 

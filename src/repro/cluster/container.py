@@ -41,6 +41,9 @@ class Container:
     node_name: str | None = None
     state: ContainerState = ContainerState.PENDING
     restarts: int = 0
+    #: container this one replaced after a node failure — lets recovery
+    #: hooks hand the replacement its predecessor's in-flight work.
+    predecessor: str | None = None
 
     @property
     def running(self) -> bool:

@@ -45,14 +45,21 @@ class FailureInjector:
                         mean_downtime: float = 30.0) -> int:
         """Poisson failure process over alive nodes until ``horizon``.
 
-        Returns how many failures were scheduled.
+        Targets are drawn from the nodes alive *at scheduling time*
+        (dead nodes cannot fail again; ``_fail_if_alive`` re-checks at
+        fire time in case the schedule raced a recovery). Scheduling
+        stops early if every node is already dead, and an empty cluster
+        or a zero rate schedules nothing. Returns how many failures
+        were scheduled.
         """
         check_non_negative("horizon", horizon)
         check_probability("rate_per_second (as prob density must be small)", min(rate_per_second, 1.0))
         scheduled = 0
         t = float(self._rng.exponential(1.0 / rate_per_second)) if rate_per_second > 0 else horizon + 1
         while t < horizon:
-            names = sorted(self.manager.nodes)
+            names = sorted(node.name for node in self.manager.alive_nodes())
+            if not names:
+                break
             node_name = names[int(self._rng.integers(0, len(names)))]
             downtime = float(self._rng.exponential(mean_downtime))
             sim.schedule(t, self._fail_if_alive, node_name, downtime, sim)

@@ -35,6 +35,10 @@ class JobState(enum.Enum):
     COMPLETED = "completed"
     FAILED = "failed"
     STOPPED = "stopped"
+    #: running with fewer containers than requested — a failed container
+    #: could not be restarted for lack of capacity and is queued until a
+    #: node recovers (graceful degradation instead of failing the job).
+    DEGRADED = "degraded"
 
 
 @dataclass
@@ -70,6 +74,10 @@ class ClusterManager:
         self.checkpoints = checkpoint_store if checkpoint_store is not None else CheckpointStore()
         self.recoveries = 0
         self._recovery_hooks: list[Callable[[Container], None]] = []
+        #: failed containers waiting for capacity, oldest first.
+        self._pending_restarts: list[Container] = []
+        #: last heartbeat per node, on the injectable telemetry clock.
+        self.last_heartbeat: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # cluster topology
@@ -79,6 +87,7 @@ class ClusterManager:
         if node.name in self.nodes:
             raise ClusterError(f"duplicate node name {node.name!r}")
         self.nodes[node.name] = node
+        self.last_heartbeat[node.name] = telemetry.get_clock().now()
         self._publish_node_gauges()
 
     def heartbeat(self, node_name: str) -> bool:
@@ -91,11 +100,31 @@ class ClusterManager:
         node = self.nodes.get(node_name)
         if node is None:
             raise ClusterError(f"unknown node {node_name!r}")
+        self.last_heartbeat[node_name] = telemetry.get_clock().now()
         telemetry.get_registry().counter(
             "repro_cluster_heartbeats_total", "Node liveness heartbeats received."
         ).inc(node=node_name)
         self._publish_node_gauges()
         return node.alive
+
+    def detect_failures(self, timeout: float) -> list[str]:
+        """Fail every alive node whose last heartbeat is older than ``timeout``.
+
+        This is the push-based failure detector: nodes heartbeat into
+        the manager, and a silence longer than ``timeout`` seconds (on
+        the injectable telemetry clock) is treated as a node failure —
+        the node's containers are recovered exactly as in
+        :meth:`fail_node`. Returns the names of newly failed nodes.
+        """
+        now = telemetry.get_clock().now()
+        stale = [
+            name
+            for name, node in sorted(self.nodes.items())
+            if node.alive and now - self.last_heartbeat.get(name, now) > timeout
+        ]
+        for name in stale:
+            self.fail_node(name)
+        return stale
 
     def _publish_node_gauges(self) -> None:
         registry = telemetry.get_registry()
@@ -236,7 +265,8 @@ class ClusterManager:
         Stateless workers (and masters, whose small state lives in the
         checkpoint store) are restarted as *new* containers on surviving
         nodes. Returns the replacement containers. Containers that do
-        not fit anywhere remain FAILED and their job is marked FAILED.
+        not fit anywhere stay queued, their job runs DEGRADED, and the
+        restart is retried when capacity returns (:meth:`recover_node`).
         """
         if node_name not in self.nodes:
             raise ClusterError(f"unknown node {node_name!r}")
@@ -256,7 +286,7 @@ class ClusterManager:
 
     def _restart(self, failed: Container) -> Container | None:
         job = self.jobs.get(failed.job_id)
-        if job is None or job.state is not JobState.RUNNING:
+        if job is None or job.state not in (JobState.RUNNING, JobState.DEGRADED):
             return None
         replacement = Container(
             image=failed.image,
@@ -264,6 +294,7 @@ class ClusterManager:
             job_id=failed.job_id,
             request=failed.request,
             restarts=failed.restarts + 1,
+            predecessor=failed.container_id,
         )
         for node in self._nodes_by_free():
             if node.can_host(replacement.request):
@@ -281,14 +312,48 @@ class ClusterManager:
                 for hook in self._recovery_hooks:
                     hook(replacement)
                 return replacement
-        job.state = JobState.FAILED
+        # Insufficient capacity: degrade instead of failing the whole
+        # job, and queue the restart for when a node comes back.
+        job.state = JobState.DEGRADED
+        self._pending_restarts.append(failed)
+        telemetry.get_registry().gauge(
+            "repro_cluster_pending_restarts",
+            "Failed containers waiting for cluster capacity.",
+        ).set(len(self._pending_restarts))
         return None
 
-    def recover_node(self, node_name: str) -> None:
+    def recover_node(self, node_name: str) -> list[Container]:
+        """Bring a node back and drain queued restarts onto it.
+
+        Jobs whose queued containers all restart successfully move back
+        from DEGRADED to RUNNING. Returns the containers started from
+        the pending-restart queue.
+        """
         if node_name not in self.nodes:
             raise ClusterError(f"unknown node {node_name!r}")
         self.nodes[node_name].recover()
+        self.last_heartbeat[node_name] = telemetry.get_clock().now()
         self._publish_node_gauges()
+        pending, self._pending_restarts = self._pending_restarts, []
+        started: list[Container] = []
+        for failed in pending:
+            replacement = self._restart(failed)
+            if replacement is not None:
+                started.append(replacement)
+        restarted_ids = {c.predecessor for c in started}
+        for failed in pending:
+            if failed.container_id not in restarted_ids:
+                continue
+            job = self.jobs.get(failed.job_id)
+            if job is None or job.state is not JobState.DEGRADED:
+                continue
+            if not any(q.job_id == job.job_id for q in self._pending_restarts):
+                job.state = JobState.RUNNING
+        telemetry.get_registry().gauge(
+            "repro_cluster_pending_restarts",
+            "Failed containers waiting for cluster capacity.",
+        ).set(len(self._pending_restarts))
+        return started
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

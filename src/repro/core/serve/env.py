@@ -21,14 +21,15 @@ from typing import Sequence
 
 import numpy as np
 
-from repro import telemetry
+from repro import chaos, telemetry
 from repro.core.serve.arrival import SineArrival
 from repro.core.serve.controllers import Controller, Dispatch, Wait
 from repro.core.serve.ensemble import EnsembleScorer
 from repro.core.serve.metrics import DispatchRecord, ServingMetrics
 from repro.core.serve.request import RequestQueue
-from repro.exceptions import ConfigurationError
+from repro.exceptions import ConfigurationError, InjectedFault
 from repro.sim import Simulator
+from repro.utils.retry import RetryPolicy
 from repro.zoo.profiles import ModelProfile
 
 __all__ = ["ServingEnv"]
@@ -51,6 +52,7 @@ class ServingEnv:
         beta: float = 1.0,
         reward_shaping: str = "batch",
         shaping_beta: float | None = None,
+        dispatch_retry: RetryPolicy | None = None,
     ):
         if not profiles:
             raise ConfigurationError("at least one model is required")
@@ -83,6 +85,16 @@ class ServingEnv:
         self.busy_until = [0.0] * len(self.profiles)
         self._wake_at: float | None = None
         self._max_batch = self.batch_sizes[-1]
+        #: policy for re-dispatching a batch whose execution failed at
+        #: the ``serve.dispatch`` fault point; after ``max_attempts``
+        #: consecutive failures the batch is shed (counted as dropped)
+        #: so one poisoned batch cannot stall the whole queue.
+        self.dispatch_retry = (
+            dispatch_retry
+            if dispatch_retry is not None
+            else RetryPolicy(max_attempts=4, base_delay=0.005, max_delay=0.1, jitter=0.0)
+        )
+        self._dispatch_failures = 0
 
     # ------------------------------------------------------------------
     # views used by controllers
@@ -137,7 +149,11 @@ class ServingEnv:
         while self.queue:
             decision = self.controller.decide(self)
             if isinstance(decision, Dispatch):
-                self._dispatch(decision)
+                if not self._dispatch(decision):
+                    # Failed dispatch: the requests were re-queued (or
+                    # shed) and a retry wake-up is scheduled; stop
+                    # deciding at this instant to let backoff apply.
+                    return
             elif isinstance(decision, Wait):
                 if decision.until is not None:
                     self._schedule_wake(decision.until)
@@ -162,18 +178,54 @@ class ServingEnv:
             self._wake_at = None
         self._maybe_decide()
 
-    def _dispatch(self, decision: Dispatch) -> None:
+    def _dispatch(self, decision: Dispatch) -> bool:
+        """Execute one dispatch; returns whether the batch was served.
+
+        The batch passes through the ``serve.dispatch`` fault point: an
+        injected exception/drop re-queues the in-flight requests at the
+        front of the queue and schedules a backoff retry (the batcher's
+        resubmission path); injected latency stretches the batch's
+        completion time instead.
+        """
         subset = tuple(sorted(decision.subset))
         if not subset:
             raise ConfigurationError("dispatch must select at least one model")
         take = min(decision.take, len(self.queue))
         if take <= 0:
-            return
+            return True
         arrivals = self.queue.pop_oldest(take)
         self._update_queue_gauge()
+        try:
+            injected_latency = chaos.fire("serve.dispatch")
+        except InjectedFault:
+            self._dispatch_failures += 1
+            registry = telemetry.get_registry()
+            registry.counter(
+                "repro_serve_dispatch_retries_total",
+                "Dispatched batches that failed and were resubmitted.",
+            ).inc()
+            if self._dispatch_failures >= self.dispatch_retry.max_attempts:
+                # Shed the batch: repeated failures must not stall the
+                # queue behind one poisoned dispatch.
+                self.queue.total_dropped += take
+                self.metrics.dropped = self.queue.total_dropped
+                registry.counter(
+                    "repro_serve_requests_dropped_total",
+                    "Arrivals rejected by a full queue.",
+                ).inc(take, reason="dispatch_failed")
+                self._dispatch_failures = 0
+                self._schedule_wake(self.now + self.dispatch_retry.base_delay)
+                return False
+            self.queue.push_front(arrivals)
+            self._update_queue_gauge()
+            self._schedule_wake(
+                self.now + self.dispatch_retry.delay(self._dispatch_failures - 1)
+            )
+            return False
+        self._dispatch_failures = 0
         completion = self.now
         for m in subset:
-            duration = self.profiles[m].inference_time(decision.batch_size)
+            duration = self.profiles[m].inference_time(decision.batch_size) + injected_latency
             start = max(self.busy_until[m], self.now)
             self.busy_until[m] = start + duration
             completion = max(completion, self.busy_until[m])
@@ -204,6 +256,7 @@ class ServingEnv:
             )
         )
         self.controller.notify_reward(shaped)
+        return True
 
     def _on_model_free(self) -> None:
         self._maybe_decide()

@@ -27,6 +27,7 @@ class RequestQueue:
         self.total_enqueued = 0
         self.total_dequeued = 0
         self.total_dropped = 0
+        self.total_requeued = 0
 
     def __len__(self) -> int:
         return len(self._arrivals)
@@ -50,6 +51,19 @@ class RequestQueue:
             self._arrivals.append(arrival_time)
         self.total_enqueued += accepted
         return accepted
+
+    def push_front(self, arrivals: np.ndarray) -> None:
+        """Re-queue already-admitted requests at the head (FIFO order).
+
+        Used when a dispatched batch fails before completing: the
+        in-flight requests keep their original arrival times (their SLO
+        clocks keep running) and go back to the front of the queue, so
+        the retry serves them first. Capacity is not re-checked — these
+        requests were admitted once already.
+        """
+        for arrival in reversed(np.asarray(arrivals, dtype=np.float64)):
+            self._arrivals.appendleft(float(arrival))
+        self.total_requeued += len(arrivals)
 
     def pop_oldest(self, count: int) -> np.ndarray:
         """Dequeue the ``count`` oldest arrival times (``q[0:b]``)."""

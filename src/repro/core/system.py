@@ -23,6 +23,7 @@ from typing import Any, Sequence
 
 import numpy as np
 
+from repro import chaos, telemetry
 from repro.cluster import CheckpointStore, ClusterManager, Node
 from repro.cluster.manager import JobKind
 from repro.core.tune import (
@@ -40,9 +41,15 @@ from repro.core.tune import (
     section71_space,
 )
 from repro.data import DataStore, ImageDataset
-from repro.exceptions import ConfigurationError, JobNotFoundError
+from repro.exceptions import (
+    ConfigurationError,
+    InjectedFault,
+    JobNotFoundError,
+    ServingError,
+)
 from repro.paramserver import ParameterServer
 from repro.tensor import Network
+from repro.utils.retry import CircuitBreaker
 from repro.utils.rng import RngStream
 from repro.zoo import TaskRegistry, default_registry, majority_vote
 
@@ -101,6 +108,16 @@ class InferenceJobInfo:
     cluster_job_id: str | None = None
     #: optional Clipper-style result cache for single-image queries.
     cache: Any = None
+    #: one circuit breaker per deployed replica; a replica whose
+    #: breaker is open is dropped from the ensemble vote and re-admitted
+    #: when the breaker half-opens after its recovery window.
+    breakers: list[CircuitBreaker] = field(default_factory=list)
+
+    def live_replicas(self) -> list[int]:
+        """Indices of replicas currently admitted to the ensemble."""
+        if not self.breakers:
+            return list(range(len(self.networks)))
+        return [i for i, b in enumerate(self.breakers) if b.state != "open"]
 
 
 class Rafiki:
@@ -311,6 +328,13 @@ class Rafiki:
                     f"under {spec.param_key!r}"
                 )
             info.networks.append(network)
+            info.breakers.append(
+                CircuitBreaker(
+                    name=f"{job_id}/{spec.model_name}",
+                    failure_threshold=3,
+                    recovery_time=30.0,
+                )
+            )
         if enable_cache:
             from repro.core.serve.pred_cache import PredictionCache
 
@@ -354,9 +378,49 @@ class Rafiki:
         return result
 
     def _predict(self, info: InferenceJobInfo, batch: np.ndarray):
-        votes = np.vstack([net.predict_labels(batch) for net in info.networks])
-        accuracies = np.array([spec.performance for spec in info.specs])
-        return majority_vote(votes, accuracies), votes
+        """Ensemble prediction with graceful replica degradation.
+
+        Each replica's execution passes through its
+        ``serve.model.<name>`` fault point behind a circuit breaker: a
+        replica that keeps failing is dropped from the vote (its
+        breaker opens) and probed again after the recovery window,
+        re-admitting it once healthy. The request only fails when *no*
+        replica is available.
+        """
+        if len(info.breakers) != len(info.networks):
+            # Directly constructed job infos (tests) get breakers lazily.
+            info.breakers = [
+                CircuitBreaker(name=f"{info.job_id}/{spec.model_name}")
+                for spec in info.specs
+            ]
+        rows: list[np.ndarray] = []
+        accuracies: list[float] = []
+        registry = telemetry.get_registry()
+        for spec, network, breaker in zip(info.specs, info.networks, info.breakers):
+            if not breaker.allow():
+                continue
+            try:
+                chaos.fire(f"serve.model.{spec.model_name}")
+                rows.append(network.predict_labels(batch))
+            except InjectedFault:
+                breaker.record_failure()
+                registry.counter(
+                    "repro_serve_replica_errors_total",
+                    "Replica execution failures absorbed by the ensemble.",
+                ).inc(model=spec.model_name)
+                continue
+            breaker.record_success()
+            accuracies.append(spec.performance)
+        registry.gauge(
+            "repro_serve_replicas_live",
+            "Replicas currently admitted to the ensemble, by job.",
+        ).set(len(info.live_replicas()), job=info.job_id)
+        if not rows:
+            raise ServingError(
+                f"inference job {info.job_id!r} has no live model replicas"
+            )
+        votes = np.vstack(rows)
+        return majority_vote(votes, np.array(accuracies)), votes
 
     def profile_inference_job(self, job_id: str, batch_sizes=(1, 8, 16, 32)):
         """Measure the deployed networks' latency cards (Figure 3 style).

@@ -3,26 +3,32 @@
 Runs a study with one tuning worker per cluster worker-container, over
 simulated time. Node failures injected mid-study exercise the paper's
 recovery story: workers are stateless, so the manager restarts their
-containers on surviving nodes and the replacements immediately request
-fresh trials from the master; whatever epoch the lost worker was in is
-simply re-done by a new trial. Master state is checkpointed after every
-finished trial.
+containers on surviving nodes. A replacement whose predecessor had a
+trial in flight re-runs *that same trial* from its checkpoint (trial
+sessions are deterministic in the trial, so the re-run reproduces the
+lost epochs exactly and the advisor sees the same trial sequence as a
+healthy run); otherwise it requests a fresh trial. Master state is
+checkpointed after every finished trial.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro import telemetry
 from repro.cluster import ClusterManager, FailureInjector
 from repro.cluster.container import Container, ContainerRole
-from repro.cluster.manager import JobKind
+from repro.cluster.manager import JobKind, JobState
+from repro.cluster.message import Message, MessageType
 from repro.core.tune.backends import TrainerBackend
 from repro.core.tune.config import HyperConf
 from repro.core.tune.costudy import CoStudyMaster
 from repro.core.tune.study import StudyMaster, StudyReport
+from repro.core.tune.trial import Trial
 from repro.core.tune.worker import TuneWorker
 from repro.paramserver import ParameterServer
 from repro.sim import Simulator
+from repro.utils.retry import RetryPolicy
 
 __all__ = ["ClusterStudy", "run_cluster_study"]
 
@@ -35,6 +41,10 @@ class ClusterStudy:
     workers: dict[str, TuneWorker] = field(default_factory=dict)
     job_id: str = ""
     workers_started: int = 0
+    #: trial currently assigned to each worker, by container id.
+    in_flight: dict[str, Trial] = field(default_factory=dict)
+    #: trials re-issued to replacement workers after a node failure.
+    trials_reissued: int = 0
 
 
 def run_cluster_study(
@@ -47,12 +57,14 @@ def run_cluster_study(
     sim: Simulator | None = None,
     failure_plan: list[tuple[float, str, float | None]] | None = None,
     max_events: int = 5_000_000,
+    trial_retry: RetryPolicy | None = None,
 ) -> StudyReport:
     """Run ``master`` over a cluster job with ``num_workers`` workers.
 
     ``failure_plan`` is a list of ``(delay_s, node_name, recover_after)``
-    failure injections. Returns the study report (wall time = simulated
-    completion time).
+    failure injections; ``trial_retry`` caps how often workers restart a
+    trial crashed by the ``tune.trial`` fault point. Returns the study
+    report (wall time = simulated completion time).
     """
     sim = sim if sim is not None else Simulator()
     master.set_clock(lambda: sim.now)
@@ -71,8 +83,28 @@ def run_cluster_study(
             param_server=param_server,
             conf=conf,
             local_early_stop=master.workers_early_stop_locally,
+            retry=trial_retry,
         )
         study.workers[worker.name] = worker
+        # If this container replaces one that died mid-trial, re-issue
+        # that trial (from its checkpoint) instead of letting the
+        # replacement pull a fresh one — the advisor then sees exactly
+        # the trial sequence of a healthy run.
+        orphaned = (
+            study.in_flight.pop(container.predecessor, None)
+            if container.predecessor is not None
+            else None
+        )
+        if orphaned is not None:
+            study.in_flight[worker.name] = orphaned
+            study.trials_reissued += 1
+            worker.mailbox.send(
+                Message(MessageType.TRIAL, master.study_name, {"trial": orphaned})
+            )
+            telemetry.get_registry().counter(
+                "repro_tune_trials_reissued_total",
+                "In-flight trials re-issued to replacement workers.",
+            ).inc()
         sim.spawn(_worker_process(worker, master, study, manager, container))
 
     def _worker_process(worker, master, study, manager, container):
@@ -82,9 +114,13 @@ def run_cluster_study(
                 return  # the container died; a replacement was started
             outgoing, cost = worker.step()
             for message in outgoing:
+                if message.type is MessageType.FINISH:
+                    study.in_flight.pop(worker.name, None)
                 master.mailbox.send(message)
             if outgoing:
                 for dest, reply in master.step():
+                    if reply.type is MessageType.TRIAL:
+                        study.in_flight[dest] = reply.payload["trial"]
                     target = study.workers.get(dest)
                     if target is not None:
                         target.mailbox.send(reply)
@@ -103,7 +139,7 @@ def run_cluster_study(
             injector.schedule_failure(sim, delay, node_name, recover_after)
 
     sim.run(max_events=max_events)
-    if manager.jobs[job.job_id].state.value == "running":
+    if manager.jobs[job.job_id].state in (JobState.RUNNING, JobState.DEGRADED):
         manager.complete_job(job.job_id)
     if isinstance(master, CoStudyMaster):
         manager.checkpoints.save(master.study_name, master.checkpoint_state())

@@ -198,6 +198,7 @@ class ParallelTrialExecutor:
         local_early_stop: bool = True,
         snapshot_states: bool = False,
         mp_context: str | None = None,
+        trial_retries: int = 2,
     ):
         if not isinstance(trainer, RealTrainer):
             raise ConfigurationError(
@@ -218,10 +219,22 @@ class ParallelTrialExecutor:
         self._procs: list[multiprocessing.Process] = []
         self._task_queue = None
         self._result_queue = None
+        #: how often a trial that died in a child is resubmitted before
+        #: the error is surfaced to the caller.
+        self.trial_retries = int(trial_retries)
         #: per-trial streams of (accuracy, state-or-None) records
         self._epoch_records: dict[int, deque] = {}
         #: final state dict per finished trial
         self._final_states: dict[int, dict[str, np.ndarray]] = {}
+        #: job tuple per in-flight trial, kept for crash resubmission
+        self._inflight: dict[int, tuple] = {}
+        #: child crashes observed per trial
+        self._crashes: dict[int, int] = {}
+        #: epoch records appended per trial (skipped replays excluded)
+        self._streamed: dict[int, int] = {}
+        #: records of a resubmitted run to discard — the deterministic
+        #: re-run replays the epochs the parent already consumed
+        self._skip: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     # pool lifecycle
@@ -293,7 +306,9 @@ class ParallelTrialExecutor:
             else self.conf.max_epochs_per_trial
         )
         self._epoch_records.setdefault(trial.trial_id, deque())
-        self._task_queue.put((trial, init_state, int(epoch_cap), self.snapshot_states))
+        job = (trial, init_state, int(epoch_cap), self.snapshot_states)
+        self._inflight[trial.trial_id] = job
+        self._task_queue.put(job)
         telemetry.get_registry().counter(
             "repro_tune_parallel_trials_dispatched_total",
             "Trials shipped to the child-process pool.",
@@ -323,13 +338,45 @@ class ParallelTrialExecutor:
             "Records streamed back from child processes, by kind.",
         ).inc(kind=kind)
         if kind == "epoch":
+            if self._skip.get(trial_id, 0) > 0:
+                # replayed epoch of a resubmitted trial, already consumed
+                self._skip[trial_id] -= 1
+                return
             self._epoch_records.setdefault(trial_id, deque()).append(
                 (record[2], record[3])
             )
+            self._streamed[trial_id] = self._streamed.get(trial_id, 0) + 1
         elif kind == "done":
             self._final_states[trial_id] = record[2]
+            self._inflight.pop(trial_id, None)
         else:  # "error"
-            raise RuntimeError(f"trial {trial_id} failed in child process: {record[2]}")
+            self._handle_error(trial_id, record[2])
+
+    def _handle_error(self, trial_id: int, detail: str) -> None:
+        """Resubmit a trial whose child crashed, or surface the error.
+
+        The re-run is bit-identical (sessions are deterministic in the
+        trial), so epoch records the parent already consumed are
+        replayed by the child and silently discarded here; the parent
+        session continues exactly where the crash interrupted it. After
+        ``trial_retries`` resubmissions the error propagates.
+        """
+        job = self._inflight.get(trial_id)
+        crashes = self._crashes.get(trial_id, 0) + 1
+        self._crashes[trial_id] = crashes
+        exhausted = job is None or crashes > self.trial_retries
+        telemetry.get_registry().counter(
+            "repro_tune_parallel_trial_errors_total",
+            "Child-process trial crashes, by outcome.",
+        ).inc(outcome="raised" if exhausted else "resubmitted")
+        if exhausted:
+            raise RuntimeError(f"trial {trial_id} failed in child process: {detail}")
+        records = self._epoch_records.setdefault(trial_id, deque())
+        consumed = self._streamed.get(trial_id, 0) - len(records)
+        records.clear()
+        self._streamed[trial_id] = 0
+        self._skip[trial_id] = consumed
+        self._task_queue.put(job)
 
     def _await_epoch(self, trial_id: int) -> tuple[float, dict | None]:
         records = self._epoch_records.setdefault(trial_id, deque())

@@ -10,13 +10,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro import telemetry
+from repro import chaos, telemetry
 from repro.cluster.message import Mailbox, Message, MessageType
 from repro.core.tune.backends import TrainerBackend, TrialSession
 from repro.core.tune.config import HyperConf
 from repro.core.tune.early_stopping import EarlyStopper
 from repro.core.tune.trial import InitKind, Trial, TrialStatus
+from repro.exceptions import InjectedFault
 from repro.paramserver import ParameterServer
+from repro.utils.retry import RetryPolicy
 
 __all__ = ["TuneWorker"]
 
@@ -34,11 +36,15 @@ class TuneWorker:
         param_server: ParameterServer,
         conf: HyperConf,
         local_early_stop: bool = True,
+        retry: RetryPolicy | None = None,
     ):
         self.name = name
         self.backend = backend
         self.param_server = param_server
         self.conf = conf
+        #: how often a crashed trial (an injected ``tune.trial`` fault)
+        #: is restarted from its checkpoint before being reported FAILED.
+        self.retry = retry if retry is not None else RetryPolicy(max_attempts=3)
         #: Study workers early-stop locally; CoStudy moves the decision
         #: to the master (Algorithm 2 line 11), which sets this False.
         self.local_early_stop = bool(local_early_stop)
@@ -50,6 +56,8 @@ class TuneWorker:
         self._last_session: TrialSession | None = None
         self._stopper: EarlyStopper | None = None
         self._awaiting_trial = False
+        self._init_state: dict[str, np.ndarray] | None = None
+        self._trial_crashes = 0
 
     # ------------------------------------------------------------------
     # the worker loop body
@@ -70,7 +78,17 @@ class TuneWorker:
                 self._awaiting_trial = True
             return outgoing, 0.0
         cost = self.backend.epoch_cost(self._trial)
-        accuracy = self._session.run_epoch()
+        try:
+            cost += chaos.fire("tune.trial")
+            accuracy = self._session.run_epoch()
+        except InjectedFault:
+            # The trial crashed mid-epoch: the epoch's compute is lost
+            # (cost is still consumed) and the trial restarts from its
+            # checkpoint — sessions are pure functions of (trial,
+            # init_state), so a re-run reproduces the healthy epochs
+            # bit-for-bit before continuing.
+            self._recover_trial(outgoing)
+            return outgoing, cost
         registry = telemetry.get_registry()
         registry.counter(
             "repro_tune_epochs_total", "Training epochs run across all workers."
@@ -139,6 +157,8 @@ class TuneWorker:
             init_state = self.param_server.get(trial.init_key)
         trial.status = TrialStatus.RUNNING
         self._trial = trial
+        self._init_state = init_state
+        self._trial_crashes = 0
         self._session = self.backend.start(trial, init_state)
         self._stopper = EarlyStopper(
             patience=self.conf.early_stop_patience,
@@ -149,6 +169,31 @@ class TuneWorker:
             "repro_tune_trials_started_total",
             "Trials handed to workers, by initialisation kind.",
         ).inc(init=trial.init_kind.value)
+
+    def _recover_trial(self, outgoing: list[Message]) -> None:
+        """Restart the crashed trial from its checkpoint, or give up.
+
+        Restarts are capped by ``self.retry.max_attempts``; past the cap
+        the trial is finished as FAILED (performance from whatever
+        epochs completed before the first crash, typically 0.0 for an
+        immediate crash) so the master can move the study along.
+        """
+        assert self._trial is not None
+        self._trial_crashes += 1
+        registry = telemetry.get_registry()
+        exhausted = self._trial_crashes >= self.retry.max_attempts
+        registry.counter(
+            "repro_tune_trial_crashes_total",
+            "Trial crashes (injected tune.trial faults), by outcome.",
+        ).inc(outcome="failed" if exhausted else "retried")
+        if exhausted:
+            self._finish(TrialStatus.FAILED, outgoing)
+            return
+        self._session = self.backend.start(self._trial, self._init_state)
+        self._stopper = EarlyStopper(
+            patience=self.conf.early_stop_patience,
+            min_delta=self.conf.early_stop_min_delta,
+        )
 
     def _put_params(self, key: str, performance: float | None) -> None:
         # kPut may refer to the running session or (after kFinish, see

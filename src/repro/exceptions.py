@@ -93,6 +93,43 @@ class TelemetryError(RafikiError):
     """A telemetry-registry operation failed (e.g. metric type conflict)."""
 
 
+class ChaosError(RafikiError):
+    """Base class for fault-injection and resilience-policy errors."""
+
+
+class InjectedFault(ChaosError):
+    """A deliberate failure raised by an active :class:`~repro.chaos.FaultPlan`.
+
+    Instrumented call sites treat it exactly like an infrastructure
+    failure (a crashed RPC, a dead replica), so resilience code paths
+    can be exercised deterministically in tests.
+    """
+
+
+class DroppedResponse(InjectedFault):
+    """An injected *drop*: the request was swallowed and never answered.
+
+    Callers cannot tell whether the operation happened; the standard
+    remedy is an idempotent retry.
+    """
+
+
+class RetryExhaustedError(ChaosError):
+    """A retried operation failed on every allowed attempt."""
+
+    def __init__(self, name: str, attempts: int, last_error: BaseException | None = None):
+        super().__init__(
+            f"{name or 'operation'} failed after {attempts} attempt(s): {last_error!r}"
+        )
+        self.name = name
+        self.attempts = attempts
+        self.last_error = last_error
+
+
+class CircuitOpenError(ChaosError):
+    """A call was refused because its circuit breaker is open."""
+
+
 class SQLError(RafikiError):
     """Base class for the mini SQL engine errors."""
 

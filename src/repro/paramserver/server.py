@@ -21,10 +21,11 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro import telemetry
+from repro import chaos, telemetry
 from repro.data.store import DataStore
 from repro.exceptions import ParameterNotFoundError
 from repro.paramserver.cache import LRUCache
+from repro.utils.retry import RetryPolicy
 
 __all__ = ["ParameterServer", "ParameterEntry"]
 
@@ -54,11 +55,21 @@ def _state_size(state: dict[str, np.ndarray]) -> int:
 class ParameterServer:
     """Versioned parameter storage with an LRU hot cache."""
 
-    def __init__(self, store: DataStore | None = None, cache_bytes: int = 256 * 1024 * 1024):
+    def __init__(
+        self,
+        store: DataStore | None = None,
+        cache_bytes: int = 256 * 1024 * 1024,
+        retry: RetryPolicy | None = None,
+    ):
         self._store = store if store is not None else DataStore("ps-backing")
         self._cache = LRUCache(cache_bytes, size_of=_state_size, name="paramserver")
         self._entries: dict[str, list[ParameterEntry]] = {}
         self._stored_bytes = 0
+        #: optional retry policy for push/pull; when set, injected
+        #: faults at the ``paramserver.push``/``paramserver.pull``
+        #: fault points (and any other RafikiError) are retried with
+        #: deterministic backoff instead of propagating.
+        self.retry = retry
 
     @property
     def cache(self) -> LRUCache:
@@ -82,7 +93,32 @@ class ParameterServer:
         public: bool = True,
         **extra,
     ) -> ParameterEntry:
-        """Store a new version of ``key`` and return its entry."""
+        """Store a new version of ``key`` and return its entry.
+
+        Passes through the ``paramserver.push`` fault point; with a
+        :class:`~repro.utils.retry.RetryPolicy` configured (use
+        ``retry_on=(InjectedFault,)`` so lookup errors still propagate
+        immediately), injected failures and drops are retried with
+        deterministic backoff.
+        """
+        if self.retry is not None:
+            return self.retry.call(
+                self._put_once, key, state, model, dataset, performance, public,
+                name="paramserver.push", **extra,
+            )
+        return self._put_once(key, state, model, dataset, performance, public, **extra)
+
+    def _put_once(
+        self,
+        key: str,
+        state: dict[str, np.ndarray],
+        model: str = "",
+        dataset: str = "",
+        performance: float = float("nan"),
+        public: bool = True,
+        **extra,
+    ) -> ParameterEntry:
+        chaos.fire("paramserver.push")
         versions = self._entries.setdefault(key, [])
         entry = ParameterEntry(
             key=key,
@@ -112,7 +148,19 @@ class ParameterServer:
         return entry
 
     def get(self, key: str, version: int | None = None) -> dict[str, np.ndarray]:
-        """Fetch parameters (latest version unless specified)."""
+        """Fetch parameters (latest version unless specified).
+
+        Passes through the ``paramserver.pull`` fault point (retried
+        under the configured policy, like :meth:`put`).
+        """
+        if self.retry is not None:
+            return self.retry.call(
+                self._get_once, key, version, name="paramserver.pull"
+            )
+        return self._get_once(key, version)
+
+    def _get_once(self, key: str, version: int | None = None) -> dict[str, np.ndarray]:
+        chaos.fire("paramserver.pull")
         telemetry.get_registry().counter(
             "repro_paramserver_pull_total", "Parameter fetches (get)."
         ).inc()

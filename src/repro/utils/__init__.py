@@ -1,5 +1,6 @@
-"""Shared utilities: deterministic RNG streams, validation helpers."""
+"""Shared utilities: RNG streams, validation, retry/backoff policies."""
 
+from repro.utils.retry import CircuitBreaker, RetryPolicy
 from repro.utils.rng import RngStream, derive_rng, spawn_rng
 from repro.utils.validation import (
     check_in,
@@ -10,6 +11,8 @@ from repro.utils.validation import (
 )
 
 __all__ = [
+    "CircuitBreaker",
+    "RetryPolicy",
     "RngStream",
     "derive_rng",
     "spawn_rng",

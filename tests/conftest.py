@@ -9,6 +9,39 @@ from repro.data import make_image_classification
 from repro.utils.rng import RngStream
 
 
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    """Per-test isolation for the process-wide observability globals.
+
+    Every test gets a fresh metrics registry and tracer, and no fault
+    plan installed, with the previous globals restored afterwards — so
+    counters never leak between tests and a chaos test cannot poison
+    its neighbours. The telemetry *clock* is deliberately left alone
+    (profiler tests measure real time); use the ``manual_clock``
+    fixture to pin it.
+    """
+    from repro import chaos, telemetry
+
+    previous_registry = telemetry.set_registry(telemetry.MetricsRegistry())
+    previous_tracer = telemetry.set_tracer(telemetry.Tracer())
+    previous_plan = chaos.set_plan(None)
+    yield
+    chaos.set_plan(previous_plan)
+    telemetry.set_tracer(previous_tracer)
+    telemetry.set_registry(previous_registry)
+
+
+@pytest.fixture
+def manual_clock():
+    """Install a :class:`~repro.telemetry.ManualClock` for the test."""
+    from repro import telemetry
+
+    clock = telemetry.ManualClock()
+    previous = telemetry.set_clock(clock)
+    yield clock
+    telemetry.set_clock(previous)
+
+
 @pytest.fixture
 def rng() -> np.random.Generator:
     return np.random.default_rng(1234)

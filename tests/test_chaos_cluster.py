@@ -1,0 +1,316 @@
+"""Chaos tests for the cluster/tuning layer: crashes, failures, recovery.
+
+The determinism story under test: trial sessions are pure functions of
+(trial, init state), so a trial restarted after a crash — or re-issued
+to a replacement worker after a node failure — reproduces its healthy
+epochs bit-for-bit, and the study converges to the same best trial a
+fault-free run finds.
+"""
+
+import numpy as np
+import pytest
+
+from repro import chaos, telemetry
+from repro.chaos import FaultKind, FaultPlan, FaultRule
+from repro.chaos.scenarios import _reset_id_counters
+from repro.cluster import ClusterManager, FailureInjector, Node
+from repro.cluster.manager import JobKind, JobState
+from repro.cluster.node import Resources
+from repro.core.tune import (
+    HyperConf,
+    RandomSearchAdvisor,
+    StudyMaster,
+    SurrogateTrainer,
+    section71_space,
+)
+from repro.core.tune.distributed import run_cluster_study
+from repro.core.tune.trial import TrialStatus
+from repro.paramserver import ParameterServer
+from repro.sim import Simulator
+from repro.utils.retry import RetryPolicy
+
+pytestmark = pytest.mark.chaos
+
+
+def make_cluster(nodes=3, gpus=3):
+    manager = ClusterManager()
+    for i in range(nodes):
+        manager.add_node(
+            Node(f"n{i}", capacity=Resources(cpus=8, gpus=gpus, memory_gb=64))
+        )
+    return manager
+
+
+def counter_total(name):
+    return sum(telemetry.get_registry().counter(name).snapshot().values())
+
+
+def run_study(plan=None, failure_plan=None, seed=0, max_trials=12,
+              trial_attempts=3):
+    """One cluster study under an optional fault plan / failure plan.
+
+    Rewinds the process-global id counters first so trial seeds (derived
+    from trial ids) match across runs within one test process.
+    """
+    _reset_id_counters()
+    telemetry.set_registry(telemetry.MetricsRegistry())
+    chaos.set_plan(plan)
+    try:
+        manager = make_cluster()
+        ps = ParameterServer()
+        conf = HyperConf(max_trials=max_trials, max_epochs_per_trial=20)
+        master = StudyMaster(
+            "cx", conf,
+            RandomSearchAdvisor(section71_space(), rng=np.random.default_rng(seed)),
+            ps,
+        )
+        report = run_cluster_study(
+            manager, master, SurrogateTrainer(seed=seed), ps, conf,
+            num_workers=3, failure_plan=failure_plan,
+            trial_retry=RetryPolicy(max_attempts=trial_attempts, jitter=0.0,
+                                    seed=seed),
+        )
+        crashes = counter_total("repro_tune_trial_crashes_total")
+        reissued = counter_total("repro_tune_trials_reissued_total")
+        return manager, report, crashes, reissued
+    finally:
+        chaos.set_plan(None)
+
+
+def result_map(report):
+    return {
+        r.trial.trial_id: (round(r.performance, 12), r.epochs)
+        for r in report.results
+    }
+
+
+class TestTrialCrashRecovery:
+    def test_retried_trials_reproduce_fault_free_results(self):
+        _, healthy, crashes, _ = run_study()
+        assert crashes == 0
+        plan = FaultPlan(
+            [FaultRule("tune.trial", FaultKind.EXCEPTION, probability=0.04,
+                       max_faults=5)],
+            seed=0,
+        )
+        _, crashed, crashes, _ = run_study(plan=plan)
+        assert crashes > 0
+        # Every healthy trial reappears with an identical result: the
+        # restarted session replays the lost epochs deterministically.
+        # (Crash delays can let the master finish a few *extra* trials,
+        # so the faulted run is a superset, never a divergence.)
+        assert result_map(healthy).items() <= result_map(crashed).items()
+        assert crashed.best_performance >= healthy.best_performance
+
+    def test_exhausted_retries_fail_the_trial_not_the_study(self):
+        plan = FaultPlan([FaultRule("tune.trial", FaultKind.EXCEPTION)], seed=0)
+        _, report, crashes, _ = run_study(plan=plan, max_trials=4,
+                                          trial_attempts=2)
+        statuses = {r.trial.status for r in report.results}
+        assert statuses == {TrialStatus.FAILED}
+        assert report.best_performance == 0.0
+        # every issued trial crashed exactly max_attempts times: one
+        # retry, then failed (concurrency can let the master issue a few
+        # more than max_trials before it observes enough finishes)
+        finished = len(report.results)
+        assert finished >= 4
+        assert crashes == finished * 2
+        registry = telemetry.get_registry()
+        counter = registry.counter("repro_tune_trial_crashes_total")
+        assert counter.value(outcome="failed") == finished
+        assert counter.value(outcome="retried") == finished
+
+    def test_crash_runs_are_reproducible_per_seed(self):
+        def trace():
+            plan = FaultPlan(
+                [FaultRule("tune.trial", FaultKind.EXCEPTION, probability=0.04,
+                           max_faults=5)],
+                seed=3,
+            )
+            _, report, crashes, _ = run_study(plan=plan, seed=3)
+            return result_map(report), crashes, report.wall_time
+
+        assert trace() == trace()
+
+
+class TestNodeFailureRecovery:
+    def test_reissued_trials_match_healthy_run(self):
+        _, healthy, _, _ = run_study()
+        manager, faulted, _, reissued = run_study(
+            failure_plan=[(150.0, "n0", 900.0)]
+        )
+        assert manager.recoveries > 0
+        assert reissued > 0
+        # In-flight trials were re-run from checkpoint by replacement
+        # workers, so the advisor saw the healthy trial sequence and the
+        # study lands on the same results (and the same best trial).
+        assert result_map(faulted) == result_map(healthy)
+        assert faulted.best.trial.trial_id == healthy.best.trial.trial_id
+        assert faulted.wall_time >= healthy.wall_time
+
+    def test_same_seed_failure_runs_are_bit_identical(self):
+        def trace():
+            manager, report, crashes, reissued = run_study(
+                failure_plan=[(150.0, "n0", 900.0), (400.0, "n1", None)]
+            )
+            return (result_map(report), report.wall_time, crashes, reissued,
+                    manager.recoveries)
+
+        assert trace() == trace()
+
+    def test_combined_node_failure_and_trial_crashes(self):
+        plan = FaultPlan(
+            [FaultRule("tune.trial", FaultKind.EXCEPTION, probability=0.03,
+                       max_faults=4)],
+            seed=1,
+        )
+        manager, report, crashes, _ = run_study(
+            plan=plan, failure_plan=[(200.0, "n0", 600.0)]
+        )
+        assert manager.recoveries > 0
+        assert len(report.results) >= 12
+        assert report.best_performance > 0
+
+
+class TestDegradedJobs:
+    def make_tight_cluster(self):
+        """Two nodes where a failed worker cannot be re-placed."""
+        manager = ClusterManager()
+        manager.add_node(Node("a", capacity=Resources(cpus=4, gpus=2, memory_gb=32)))
+        manager.add_node(Node("b", capacity=Resources(cpus=4, gpus=2, memory_gb=32)))
+        job = manager.submit_job(JobKind.TRAIN, name="tight", num_workers=3)
+        return manager, job
+
+    def test_no_capacity_degrades_and_queues(self):
+        manager, job = self.make_tight_cluster()
+        spilled = next(
+            node for node in ("a", "b")
+            if any(c.node_name == node for c in job.containers)
+            and not all(c.node_name == node for c in job.containers)
+        )
+        manager.fail_node(spilled)
+        assert job.state is JobState.DEGRADED
+        gauge = telemetry.get_registry().gauge("repro_cluster_pending_restarts")
+        assert sum(gauge.snapshot().values()) > 0
+
+    def test_recover_node_drains_queue_and_reruns_job(self):
+        manager, job = self.make_tight_cluster()
+        by_node = {}
+        for container in job.containers:
+            by_node.setdefault(container.node_name, []).append(container)
+        (busier, _), (quieter, _) = sorted(
+            by_node.items(), key=lambda kv: -len(kv[1])
+        )
+        manager.fail_node(quieter)
+        assert job.state is JobState.DEGRADED
+        started = manager.recover_node(quieter)
+        assert started
+        assert job.state is JobState.RUNNING
+        assert all(c.running for c in job.containers)
+        gauge = telemetry.get_registry().gauge("repro_cluster_pending_restarts")
+        assert sum(gauge.snapshot().values()) == 0
+
+    def test_recovery_hooks_fire_once_per_replacement(self):
+        manager = make_cluster(nodes=3)
+        job = manager.submit_job(JobKind.TRAIN, name="hooks", num_workers=2)
+        seen = []
+        manager.on_recovery(lambda c: seen.append(c.container_id))
+        lost_node = job.containers[0].node_name
+        replacements = manager.fail_node(lost_node)
+        assert replacements
+        assert sorted(seen) == sorted(c.container_id for c in replacements)
+        assert len(seen) == len(set(seen))
+        for replacement in replacements:
+            assert replacement.predecessor is not None
+            assert replacement.restarts == 1
+
+
+class TestHeartbeatFailureDetection:
+    def test_stale_nodes_are_failed(self, manual_clock):
+        manager = make_cluster(nodes=3)
+        job = manager.submit_job(JobKind.TRAIN, name="hb", num_workers=2)
+        manual_clock.advance(20.0)
+        manager.heartbeat("n1")
+        manager.heartbeat("n2")
+        failed = manager.detect_failures(timeout=10.0)
+        assert failed == ["n0"]
+        assert not manager.nodes["n0"].alive
+        # the silent node's containers were restarted elsewhere
+        assert all(c.running for c in job.containers)
+        assert all(c.node_name != "n0" for c in job.containers)
+
+    def test_fresh_heartbeats_keep_nodes_alive(self, manual_clock):
+        manager = make_cluster(nodes=2)
+        manual_clock.advance(5.0)
+        for name in ("n0", "n1"):
+            manager.heartbeat(name)
+        manual_clock.advance(5.0)
+        assert manager.detect_failures(timeout=10.0) == []
+        assert len(manager.alive_nodes()) == 2
+
+    def test_dead_nodes_are_not_failed_twice(self, manual_clock):
+        manager = make_cluster(nodes=2)
+        manager.fail_node("n0")
+        failures_before = counter_total("repro_cluster_node_failures_total")
+        manual_clock.advance(100.0)
+        manager.heartbeat("n1")
+        assert manager.detect_failures(timeout=10.0) == []
+        assert counter_total("repro_cluster_node_failures_total") == failures_before
+
+    def test_recovered_node_heartbeat_resets(self, manual_clock):
+        manager = make_cluster(nodes=2)
+        manager.fail_node("n0")
+        manual_clock.advance(50.0)
+        manager.recover_node("n0")
+        manager.heartbeat("n1")
+        assert manager.detect_failures(timeout=10.0) == []
+
+
+class TestFailureInjectorEdgeCases:
+    def test_empty_cluster_schedules_nothing(self):
+        injector = FailureInjector(ClusterManager())
+        sim = Simulator()
+        assert injector.random_failures(sim, horizon=100.0,
+                                        rate_per_second=0.5) == 0
+        sim.run()
+        assert injector.injected == []
+
+    def test_zero_rate_schedules_nothing(self):
+        injector = FailureInjector(make_cluster())
+        assert injector.random_failures(Simulator(), horizon=100.0,
+                                        rate_per_second=0.0) == 0
+
+    def test_all_dead_cluster_stops_scheduling(self):
+        manager = make_cluster(nodes=2)
+        manager.fail_node("n0")
+        manager.fail_node("n1")
+        injector = FailureInjector(manager)
+        assert injector.random_failures(Simulator(), horizon=1000.0,
+                                        rate_per_second=0.9) == 0
+
+    def test_scheduled_failure_races_a_prior_death(self):
+        manager = make_cluster(nodes=2)
+        sim = Simulator()
+        injector = FailureInjector(manager, rng=np.random.default_rng(0))
+        scheduled = injector.random_failures(sim, horizon=5.0,
+                                             rate_per_second=0.9,
+                                             mean_downtime=1000.0)
+        assert scheduled > 0
+        # every node the schedule targets dies before the sim starts, so
+        # _fail_if_alive finds them dead and injects nothing further
+        manager.fail_node("n0")
+        manager.fail_node("n1")
+        sim.run()
+        assert injector.injected == []
+
+    def test_random_failures_are_seeded(self):
+        def schedule(seed):
+            manager = make_cluster(nodes=3)
+            sim = Simulator()
+            injector = FailureInjector(manager,
+                                       rng=np.random.default_rng(seed))
+            injector.random_failures(sim, horizon=50.0, rate_per_second=0.2)
+            sim.run()
+            return list(injector.injected)
+
+        assert schedule(4) == schedule(4)

@@ -1,0 +1,122 @@
+"""The headline chaos acceptance tests: seeded end-to-end scenarios.
+
+One scenario run injects exceptions, drops and latency across tuning,
+the parameter server, serving and the gateway; the systems must recover
+(right answers, no lost work) AND the recovery trace — the fault log
+plus every retry/circuit/recovery counter — must be bit-identical
+across two runs with the same seed.
+"""
+
+import json
+
+import pytest
+
+from repro.chaos.scenarios import (
+    TRACE_METRIC_PREFIXES,
+    build_default_plan,
+    run_chaos_scenario,
+)
+from repro.cli import main
+
+pytestmark = pytest.mark.chaos
+
+# the scenario is ~2s of work; compute each seed's outcome once
+_SEED0_RUNS = {}
+
+
+def scenario(seed=0, run=0):
+    key = (seed, run)
+    if key not in _SEED0_RUNS:
+        _SEED0_RUNS[key] = run_chaos_scenario(seed=seed)
+    return _SEED0_RUNS[key]
+
+
+class TestScenarioCoverage:
+    def test_injects_three_fault_kinds_across_three_subsystems(self):
+        out = scenario()
+        assert out["faults_injected"] >= 3
+        assert set(out["kinds_hit"]) == {"exception", "drop", "latency"}
+        subsystems = {point.split(".")[0] for point in out["points_hit"]}
+        assert len(subsystems) >= 3
+        assert {"tune", "paramserver", "serve"} <= subsystems
+
+    def test_tune_phase_recovers_and_completes(self):
+        tune = scenario()["results"]["tune"]
+        assert tune["trials"] >= 16
+        assert tune["best_performance"] > 0.5
+        assert tune["recoveries"] > 0
+        assert tune["reissued"] > 0
+
+    def test_serve_phase_conserves_requests(self):
+        serve = scenario()["results"]["serve"]
+        assert serve["requeued"] > 0
+        assert serve["dropped"] == 0
+        assert serve["served"] == serve["arrived"]
+        assert serve["slo_fraction"] >= 0.95
+
+    def test_facade_degrades_and_heals(self):
+        facade = scenario()["results"]["facade"]
+        # mid-outage queries see 5xx from the gateway (breaker open /
+        # replicas dead), then the ensemble heals after the recovery
+        # window and queries succeed again
+        assert 503 in facade["statuses"] or 504 in facade["statuses"]
+        assert facade["statuses"][0] == 200
+        assert facade["statuses"][-1] == 200
+        assert facade["live_after_recovery"] >= facade["live_during_outage"]
+        assert facade["breaker_state"] == "closed"
+
+    def test_trace_covers_retries_circuits_and_recoveries(self):
+        counters = scenario()["trace"]["counters"]
+        prefixes_seen = {
+            prefix
+            for prefix in TRACE_METRIC_PREFIXES
+            for name in counters
+            if name.startswith(prefix)
+        }
+        assert "repro_chaos_" in prefixes_seen
+        assert "repro_retry_" in prefixes_seen
+        assert "repro_circuit_" in prefixes_seen
+
+
+class TestScenarioDeterminism:
+    def test_same_seed_traces_are_identical(self):
+        first, second = scenario(0, run=0), scenario(0, run=1)
+        assert first["trace"]["faults"] == second["trace"]["faults"]
+        assert first["trace"]["counters"] == second["trace"]["counters"]
+        assert first["results"] == second["results"]
+
+    def test_different_seed_traces_differ(self):
+        assert scenario(0)["trace"] != scenario(7)["trace"]
+
+    def test_trace_is_json_serialisable(self):
+        out = scenario()
+        assert json.loads(json.dumps(out["trace"])) == out["trace"]
+
+
+class TestDefaultPlan:
+    def test_plan_covers_required_points_and_kinds(self):
+        plan = build_default_plan(seed=0, flaky_model="resnet-mini")
+        points = {rule.point for rule in plan.rules}
+        assert {"tune.trial", "paramserver.push", "serve.dispatch",
+                "serve.model.resnet-mini", "gateway.dispatch"} <= points
+        kinds = {rule.kind.value for rule in plan.rules}
+        assert kinds == {"exception", "drop", "latency"}
+
+
+class TestCliSmoke:
+    def test_chaos_command_runs(self, capsys):
+        assert main(["chaos", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "faults injected" in out
+        assert "tune:" in out and "serve:" in out and "facade:" in out
+
+    def test_chaos_command_verify_passes(self, capsys):
+        assert main(["chaos", "--seed", "0", "--verify"]) == 0
+        assert "identical across two same-seed runs" in capsys.readouterr().out
+
+    def test_chaos_command_json_output(self, capsys):
+        assert main(["chaos", "--seed", "0", "--json"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["seed"] == 0
+        assert out["faults_injected"] >= 3
+        assert set(out["results"]) == {"tune", "serve", "facade"}

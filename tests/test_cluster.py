@@ -108,12 +108,18 @@ class TestFailureRecovery:
         manager.fail_node(node)
         assert all(c.restarts == 1 for c in job.containers)
 
-    def test_job_fails_when_no_capacity_left(self):
+    def test_job_degrades_when_no_capacity_left(self):
         manager = cluster(num_nodes=2, gpus=2)
         job = manager.submit_job(JobKind.TRAIN, "t", num_workers=4)  # uses all gpus
         lost_node = job.containers[0].node_name
         manager.fail_node(lost_node)
-        assert job.state is JobState.FAILED
+        # Insufficient capacity degrades the job instead of failing it;
+        # the lost containers are queued until a node comes back.
+        assert job.state is JobState.DEGRADED
+        started = manager.recover_node(lost_node)
+        assert started  # queued restarts drained onto the recovered node
+        assert job.state is JobState.RUNNING
+        assert all(c.running for c in job.containers)
 
     def test_recovery_hook_invoked(self):
         manager = cluster(num_nodes=2)

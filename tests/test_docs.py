@@ -18,6 +18,7 @@ PACKAGES = [
     "repro.api",
     "repro.sqlext",
     "repro.telemetry",
+    "repro.chaos",
 ]
 
 
