@@ -20,9 +20,41 @@ import numpy as np
 from repro import chaos, telemetry
 from repro.core.system import ModelSpec, Rafiki
 from repro.core.tune import HyperConf
-from repro.exceptions import DroppedResponse, GatewayError, InjectedFault, RafikiError
+from repro.exceptions import (
+    DatasetNotFoundError,
+    DroppedResponse,
+    GatewayError,
+    InjectedFault,
+    JobNotFoundError,
+    ModelNotFoundError,
+    ParameterNotFoundError,
+    RafikiError,
+)
 
 __all__ = ["Gateway", "Response"]
+
+#: exception types that mean "the referenced resource does not exist"
+#: and map to 404. Every other KeyError a handler leaks comes from a
+#: malformed request body (a missing field) and maps to 400.
+_NOT_FOUND_ERRORS = (
+    JobNotFoundError,
+    DatasetNotFoundError,
+    ParameterNotFoundError,
+    ModelNotFoundError,
+)
+
+
+def _json_default(value: Any):
+    """Numpy-aware fallback for ``json.dumps`` over handler results."""
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"{type(value).__name__} is not JSON-serialisable")
 
 #: gateway handler latency in seconds (in-process, so sub-millisecond).
 REQUEST_SECONDS_BUCKETS = (0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
@@ -54,6 +86,8 @@ class Gateway:
             ("GET", re.compile(r"^/train/(?P<job_id>[\w\-./]+)$"), self._get_train,
              "/train/{job_id}"),
             ("POST", re.compile(r"^/inference$"), self._post_inference, "/inference"),
+            ("POST", re.compile(r"^/inference/(?P<job_id>[\w\-./]+)/redeploy$"),
+             self._redeploy_inference, "/inference/{job_id}/redeploy"),
             ("GET", re.compile(r"^/inference/(?P<job_id>[\w\-./]+)$"), self._get_inference,
              "/inference/{job_id}"),
             ("DELETE", re.compile(r"^/inference/(?P<job_id>[\w\-./]+)$"), self._stop_inference,
@@ -96,15 +130,20 @@ class Gateway:
                         # instead of crashing the server loop.
                         injected_latency = chaos.fire("gateway.dispatch")
                         result = handler(payload, **match.groupdict())
-                        response = Response(200, json.loads(json.dumps(result)))
+                        response = self._serialise(result)
                     except DroppedResponse as exc:
                         response = Response(504, {"error": f"response dropped: {exc}"})
                     except InjectedFault as exc:
                         response = Response(503, {"error": f"backend unavailable: {exc}"})
                     except GatewayError as exc:
                         response = Response(400, {"error": str(exc)})
-                    except KeyError as exc:
+                    except _NOT_FOUND_ERRORS as exc:
                         response = Response(404, {"error": f"not found: {exc}"})
+                    except KeyError as exc:
+                        # A bare KeyError is a handler indexing into the
+                        # request body: the client's fault, not a missing
+                        # resource — 400, never 404.
+                        response = Response(400, {"error": f"missing field: {exc}"})
                     except RafikiError as exc:
                         response = Response(400, {"error": str(exc)})
                     break
@@ -120,6 +159,19 @@ class Gateway:
             buckets=REQUEST_SECONDS_BUCKETS,
         ).observe(clock.now() - start + injected_latency, route=route_name)
         return response
+
+    @staticmethod
+    def _serialise(result: Any) -> Response:
+        """Round-trip a handler result through numpy-aware JSON.
+
+        Numpy scalars and arrays in the result serialise cleanly (a 200);
+        anything genuinely unserialisable is a server-side bug and maps
+        to 500 instead of crashing the server loop.
+        """
+        try:
+            return Response(200, json.loads(json.dumps(result, default=_json_default)))
+        except (TypeError, ValueError) as exc:
+            return Response(500, {"error": f"handler result not serialisable: {exc}"})
 
     # ------------------------------------------------------------------
     # handlers
@@ -210,6 +262,9 @@ class Gateway:
             "models": [s.model_name for s in info.specs],
             "queries_served": info.queries_served,
         }
+
+    def _redeploy_inference(self, body: dict, job_id: str) -> dict:
+        return self.system.redeploy_inference_job(job_id)
 
     def _stop_inference(self, body: dict, job_id: str) -> dict:
         self.system.stop_inference_job(job_id)

@@ -34,7 +34,7 @@ from repro.chaos.faults import FaultKind, FaultPlan, FaultRule
 from repro.exceptions import InjectedFault
 from repro.utils.retry import RetryPolicy
 
-__all__ = ["build_default_plan", "run_chaos_scenario"]
+__all__ = ["build_default_plan", "run_chaos_scenario", "run_shard_kill_scenario"]
 
 #: counter prefixes that make up the trace's counter section — the
 #: retry/recovery bookkeeping that must replay identically per seed.
@@ -143,14 +143,186 @@ def run_chaos_scenario(seed: int = 0) -> dict[str, Any]:
         telemetry.set_registry(previous_registry)
 
 
-def _trace_counters(registry: telemetry.MetricsRegistry) -> dict[str, Any]:
+#: the shard-kill scenario's trace additionally replays the sharded
+#: data plane's repair bookkeeping.
+SHARD_TRACE_METRIC_PREFIXES = TRACE_METRIC_PREFIXES + (
+    "repro_paramserver_shard_deaths_total",
+    "repro_paramserver_rereplications_total",
+    "repro_paramserver_failovers_total",
+    "repro_paramserver_keys_lost_total",
+)
+
+
+def _state_digest(state) -> str:
+    """Order-independent digest of one checkpoint's arrays."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    for name in sorted(state):
+        value = state[name]
+        digest.update(name.encode("utf-8"))
+        digest.update(str(value.shape).encode("utf-8"))
+        digest.update(value.dtype.str.encode("utf-8"))
+        digest.update(np.ascontiguousarray(value).tobytes())
+    return digest.hexdigest()
+
+
+def run_shard_kill_scenario(
+    seed: int = 0, shards: int = 3, replicas: int = 2
+) -> dict[str, Any]:
+    """Kill a parameter shard's node mid-study; prove nothing is lost.
+
+    A distributed surrogate study runs against a
+    :class:`~repro.paramserver.sharded.ShardedParameterServer` whose
+    shards are cluster containers, under dropped pushes and trial
+    crashes. Mid-study, the node hosting the first shard fails — taking
+    the shard (and any tune workers co-located with it) down. The
+    cluster manager restarts the shard's container elsewhere, the
+    coordinator re-syncs it from the surviving replicas, and the study
+    completes.
+
+    The returned trace contains, besides the fault log and repair
+    counters, a digest of every checkpoint read back through the
+    coordinator *and* directly from every live replica — so the
+    asserted properties are:
+
+    * ``keys_lost == 0`` and no under-replicated or divergent keys
+      after recovery (no lost checkpoints);
+    * every replica's copy digests identically to the coordinator's
+      answer (no stale checkpoints);
+    * the whole trace is bit-identical across same-seed runs.
+    """
+    from repro.cluster import ClusterManager, Node
+    from repro.cluster.node import Resources
+    from repro.core.tune import (
+        HyperConf,
+        RandomSearchAdvisor,
+        StudyMaster,
+        SurrogateTrainer,
+        section71_space,
+    )
+    from repro.core.tune.distributed import run_cluster_study
+    from repro.paramserver import ShardedParameterServer
+
+    _reset_id_counters()
+    plan = FaultPlan(
+        [
+            FaultRule("paramserver.push", FaultKind.DROP, probability=0.05),
+            FaultRule("tune.trial", FaultKind.EXCEPTION, probability=0.02,
+                      max_faults=3),
+        ],
+        seed=seed,
+    )
+    registry = telemetry.MetricsRegistry()
+    clock = telemetry.ManualClock()
+    previous_registry = telemetry.set_registry(registry)
+    previous_clock = telemetry.set_clock(clock)
+    previous_plan = chaos.set_plan(plan)
+    try:
+        manager = ClusterManager()
+        for i in range(max(3, shards)):
+            manager.add_node(
+                Node(f"n{i}", capacity=Resources(cpus=8, gpus=3, memory_gb=64))
+            )
+        param_server = ShardedParameterServer(
+            shards=shards,
+            replicas=replicas,
+            retry=RetryPolicy(
+                max_attempts=4, jitter=0.0, retry_on=(InjectedFault,), seed=seed
+            ),
+        )
+        # Register before the study so the shard placement is known and
+        # the failure plan can target the node hosting the first shard.
+        param_server.register_with_cluster(manager)
+        # Pre-seed the data plane with prior studies' checkpoints (the
+        # warm-start pool of Section 4.2) so the killed shard holds
+        # real data whose survival the trace can assert.
+        pool_rng = np.random.default_rng(seed)
+        for i in range(12):
+            param_server.put(
+                f"warm/{i}",
+                {"w": pool_rng.standard_normal((16, 16)),
+                 "b": pool_rng.standard_normal(16)},
+                model=f"m{i % 3}", dataset="prior",
+                performance=float(pool_rng.random()),
+            )
+        victim_shard = param_server.shards[0]
+        victim_node = manager.containers[victim_shard.container_id].node_name
+        conf = HyperConf(max_trials=16, max_epochs_per_trial=20)
+        master = StudyMaster(
+            "shard-kill",
+            conf,
+            RandomSearchAdvisor(section71_space(), rng=np.random.default_rng(seed)),
+            param_server,
+        )
+        report = run_cluster_study(
+            manager,
+            master,
+            SurrogateTrainer(seed=seed),
+            param_server,
+            conf,
+            num_workers=3,
+            failure_plan=[(150.0, victim_node, None)],
+            trial_retry=RetryPolicy(max_attempts=3, jitter=0.0, seed=seed),
+        )
+        param_server.repair()
+        audit = param_server.audit()
+        # Read every checkpoint back through the coordinator and from
+        # each live holder directly; identical digests mean no replica
+        # can ever serve a stale copy.
+        checkpoints: dict[str, str] = {}
+        stale: list[str] = []
+        for key in param_server.keys():
+            digest = _state_digest(param_server.get(key))
+            checkpoints[key] = digest
+            version = param_server.versions(key)
+            for holder_name in param_server._directory[key]:
+                holder = param_server._by_name[holder_name]
+                if not holder.alive:
+                    continue
+                if _state_digest(holder.server.get(key, version)) != digest:
+                    stale.append(f"{key}@{holder_name}")
+        best = report.best
+        return {
+            "seed": seed,
+            "shards": shards,
+            "replicas": replicas,
+            "victim": {"shard": victim_shard.name, "node": victim_node,
+                       "deaths": victim_shard.deaths},
+            "results": {
+                "trials": len(report.results),
+                "total_epochs": report.total_epochs,
+                "best_performance": report.best_performance,
+                "best_trial_id": best.trial.trial_id if best is not None else None,
+                "recoveries": manager.recoveries,
+                "wall_time": report.wall_time,
+            },
+            "audit": audit,
+            "stale": stale,
+            "faults_injected": plan.faults_injected(),
+            "trace": {
+                "faults": plan.trace(),
+                "counters": _trace_counters(registry, SHARD_TRACE_METRIC_PREFIXES),
+                "checkpoints": checkpoints,
+            },
+        }
+    finally:
+        chaos.set_plan(previous_plan)
+        telemetry.set_clock(previous_clock)
+        telemetry.set_registry(previous_registry)
+
+
+def _trace_counters(
+    registry: telemetry.MetricsRegistry,
+    prefixes: tuple[str, ...] = TRACE_METRIC_PREFIXES,
+) -> dict[str, Any]:
     """The retry/recovery counter values, filtered from a full snapshot."""
     full = telemetry.snapshot(registry)
     return {
         name: data["values"]
         for section in ("counters", "gauges")
         for name, data in sorted(full.get(section, {}).items())
-        if any(name.startswith(prefix) for prefix in TRACE_METRIC_PREFIXES)
+        if any(name.startswith(prefix) for prefix in prefixes)
     }
 
 

@@ -50,6 +50,11 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--processes", type=int, default=0, metavar="N",
                       help="with --real: run trials on N child processes "
                            "(multi-core; 0 = in-process)")
+    tune.add_argument("--ps-shards", type=int, default=1, metavar="N",
+                      help="shard the parameter server across N servers "
+                           "(1 = the classic single server)")
+    tune.add_argument("--ps-replicas", type=int, default=2, metavar="R",
+                      help="copies of each parameter key when sharded")
     tune.add_argument("--telemetry", action="store_true",
                       help="print the telemetry snapshot after the study")
 
@@ -120,16 +125,24 @@ def _cmd_tune(args) -> int:
         run_study_parallel,
         section71_space,
     )
-    from repro.paramserver import ParameterServer
+    from repro.paramserver import ParameterServer, ShardedParameterServer
 
     if args.processes and not args.real:
         print("--processes requires --real (the surrogate is already instant)",
               file=sys.stderr)
         return 2
+    if args.ps_shards < 1:
+        print("--ps-shards must be >= 1", file=sys.stderr)
+        return 2
     max_epochs = 6 if args.real else 50
     conf = HyperConf(max_trials=args.trials, max_epochs_per_trial=max_epochs,
                      delta=0.005)
-    param_server = ParameterServer()
+    if args.ps_shards > 1:
+        param_server = ShardedParameterServer(
+            shards=args.ps_shards, replicas=args.ps_replicas
+        )
+    else:
+        param_server = ParameterServer()
     advisor_cls = {"random": RandomSearchAdvisor, "bayesian": BayesianAdvisor}[args.advisor]
     advisor = advisor_cls(section71_space(), rng=np.random.default_rng(args.seed))
     if args.collaborative:

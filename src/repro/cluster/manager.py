@@ -27,6 +27,8 @@ _job_ids = itertools.count(1)
 class JobKind(enum.Enum):
     TRAIN = "train"
     INFERENCE = "inference"
+    #: system job hosting parameter-server shards (Figure 7's storage boxes).
+    PARAMSERVER = "paramserver"
 
 
 class JobState(enum.Enum):
@@ -156,12 +158,18 @@ class ClusterManager:
         master_request: Resources | None = None,
         worker_request: Resources | None = None,
         spec: dict | None = None,
+        worker_role: ContainerRole = ContainerRole.WORKER,
+        spread: bool = False,
     ) -> JobRecord:
         """Create containers for a job and place them.
 
-        One master plus ``num_workers`` workers. Raises
+        One master plus ``num_workers`` workers (``worker_role`` lets
+        system jobs mark them e.g. ``PARAMETER`` shards). Raises
         :class:`PlacementError` (and places nothing) if the cluster
-        cannot host the full job.
+        cannot host the full job. ``spread=True`` skips the single-node
+        co-location preference: replicated storage wants its containers
+        on *different* nodes (anti-affinity), the opposite of a tuning
+        job's network-locality preference.
         """
         if num_workers < 0:
             raise ClusterError(f"num_workers must be >= 0, got {num_workers}")
@@ -174,10 +182,10 @@ class ClusterManager:
         ]
         for _ in range(num_workers):
             containers.append(
-                Container(image=f"rafiki/{kind.value}-worker", role=ContainerRole.WORKER,
+                Container(image=f"rafiki/{kind.value}-worker", role=worker_role,
                           job_id=job_id, request=worker_request)
             )
-        placements = self._plan_placement(containers)
+        placements = self._plan_placement(containers, spread=spread)
         job = JobRecord(job_id=job_id, kind=kind, name=name, spec=dict(spec or {}))
         for container, node in zip(containers, placements):
             node.allocate(container.container_id, container.request)
@@ -192,15 +200,17 @@ class ClusterManager:
         ).inc(kind=kind.value)
         return job
 
-    def _plan_placement(self, containers: list[Container]) -> list[Node]:
+    def _plan_placement(self, containers: list[Container], spread: bool = False) -> list[Node]:
         """Choose a node per container, co-locating the job when possible."""
-        # First try to fit the whole job onto a single alive node.
+        # First try to fit the whole job onto a single alive node
+        # (skipped for spread jobs, which want anti-affinity).
         total = Resources(0, 0, 0)
         for container in containers:
             total = total + container.request
-        for node in self._nodes_by_free():
-            if node.can_host(total):
-                return [node] * len(containers)
+        if not spread:
+            for node in self._nodes_by_free():
+                if node.can_host(total):
+                    return [node] * len(containers)
         # Otherwise spread greedily: emptiest node first per container,
         # simulating the allocation without mutating nodes.
         free: dict[str, Resources] = {n.name: n.free for n in self.alive_nodes()}

@@ -21,9 +21,14 @@ __all__ = ["PredictionCache"]
 
 
 def _digest(array: np.ndarray) -> str:
+    # dtype must be part of the key: int32 and float32 zeros of the same
+    # shape share raw bytes, and serving one's cached prediction for the
+    # other returns a wrong result.
     payload = np.ascontiguousarray(array)
     return hashlib.sha256(
-        payload.tobytes() + str(payload.shape).encode("utf-8")
+        payload.tobytes()
+        + str(payload.shape).encode("utf-8")
+        + payload.dtype.str.encode("utf-8")
     ).hexdigest()
 
 

@@ -47,7 +47,7 @@ from repro.exceptions import (
     JobNotFoundError,
     ServingError,
 )
-from repro.paramserver import ParameterServer
+from repro.paramserver import ParameterServer, ShardedParameterServer
 from repro.tensor import Network
 from repro.utils.retry import CircuitBreaker
 from repro.utils.rng import RngStream
@@ -123,10 +123,16 @@ class InferenceJobInfo:
 class Rafiki:
     """The system facade users talk to (via the SDK or gateway)."""
 
-    def __init__(self, nodes: int = 3, gpus_per_node: int = 3, seed: int = 0):
+    def __init__(
+        self,
+        nodes: int = 3,
+        gpus_per_node: int = 3,
+        seed: int = 0,
+        ps_shards: int = 1,
+        ps_replicas: int = 2,
+    ):
         self.rng_stream = RngStream(seed)
         self.store = DataStore("rafiki-hdfs")
-        self.param_server = ParameterServer(store=self.store)
         self.checkpoints = CheckpointStore()
         self.cluster = ClusterManager(checkpoint_store=self.checkpoints)
         for i in range(nodes):
@@ -134,6 +140,15 @@ class Rafiki:
                 Node(name=f"node-{chr(ord('a') + i)}",
                      capacity=_node_capacity(gpus_per_node))
             )
+        if ps_shards <= 1:
+            # The single-server data plane: exactly the behaviour (and
+            # telemetry series) the system has always had.
+            self.param_server = ParameterServer(store=self.store)
+        else:
+            self.param_server = ShardedParameterServer(
+                shards=ps_shards, replicas=ps_replicas
+            )
+            self.param_server.register_with_cluster(self.cluster)
         self.registry: TaskRegistry = default_registry()
         self.train_jobs: dict[str, TrainJobInfo] = {}
         self.inference_jobs: dict[str, InferenceJobInfo] = {}
@@ -442,6 +457,40 @@ class Rafiki:
             )
             for spec, network in zip(info.specs, info.networks)
         ]
+
+    def redeploy_inference_job(self, job_id: str) -> dict[str, Any]:
+        """Reload every replica's parameters from the parameter server.
+
+        Training that continues after deployment leaves better
+        checkpoints under the same keys; redeploying picks them up
+        without recreating the job. The prediction cache is invalidated
+        — its memoised results came from the old parameters, and
+        serving them after the swap would silently return stale
+        predictions.
+        """
+        info = self.get_inference_job(job_id)
+        if info.status != "running":
+            raise ConfigurationError(f"inference job {job_id!r} is not running")
+        reloaded = []
+        for spec, network in zip(info.specs, info.networks):
+            entry = self.param_server.get_entry(spec.param_key)
+            state = self.param_server.get(spec.param_key)
+            if not network.warm_start(state):
+                raise ConfigurationError(
+                    f"no shape-matched parameters for {spec.model_name!r} "
+                    f"under {spec.param_key!r}"
+                )
+            spec.performance = float(entry.performance)
+            reloaded.append(
+                {"model_name": spec.model_name, "version": entry.version,
+                 "performance": spec.performance}
+            )
+        if info.cache is not None:
+            info.cache.invalidate_all()
+        telemetry.get_registry().counter(
+            "repro_serve_redeploys_total", "Inference-job parameter reloads."
+        ).inc(job=job_id)
+        return {"job_id": job_id, "models": reloaded}
 
     def stop_inference_job(self, job_id: str) -> None:
         """Undeploy: stop serving and release the cluster resources."""

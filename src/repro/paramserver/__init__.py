@@ -5,9 +5,21 @@ cache in front of cold storage (the :class:`~repro.data.store.DataStore`
 standing in for HDFS). Frequently accessed parameters — e.g. the
 current-best checkpoint during collaborative hyper-parameter tuning —
 stay cached; everything else is persisted and re-read on demand.
+
+For scale-out, :class:`~repro.paramserver.sharded.ShardedParameterServer`
+consistent-hashes keys across several servers with R-way replication
+and failover reads, behind the same API.
 """
 
 from repro.paramserver.cache import LRUCache
-from repro.paramserver.server import ParameterEntry, ParameterServer
+from repro.paramserver.server import ParameterEntry, ParameterServer, shape_pool
+from repro.paramserver.sharded import Shard, ShardedParameterServer
 
-__all__ = ["ParameterServer", "ParameterEntry", "LRUCache"]
+__all__ = [
+    "ParameterServer",
+    "ParameterEntry",
+    "LRUCache",
+    "ShardedParameterServer",
+    "Shard",
+    "shape_pool",
+]

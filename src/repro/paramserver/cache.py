@@ -84,6 +84,9 @@ class LRUCache:
         if key in self._entries:
             self._used -= self._entries.pop(key)[1]
         if size > self.capacity_bytes:
+            # The overwrite above may have freed bytes; the gauges must
+            # reflect that even though the new value is not cached.
+            self._publish()
             return
         self._entries[key] = (value, size)
         self._used += size
@@ -104,10 +107,12 @@ class LRUCache:
         entry = self._entries.pop(key, None)
         if entry is not None:
             self._used -= entry[1]
+            self._publish()
 
     def clear(self) -> None:
         self._entries.clear()
         self._used = 0
+        self._publish()
 
     @property
     def hit_rate(self) -> float:

@@ -27,7 +27,7 @@ from repro.exceptions import ParameterNotFoundError
 from repro.paramserver.cache import LRUCache
 from repro.utils.retry import RetryPolicy
 
-__all__ = ["ParameterServer", "ParameterEntry"]
+__all__ = ["ParameterServer", "ParameterEntry", "shape_pool"]
 
 
 @dataclass
@@ -53,16 +53,31 @@ def _state_size(state: dict[str, np.ndarray]) -> int:
 
 
 class ParameterServer:
-    """Versioned parameter storage with an LRU hot cache."""
+    """Versioned parameter storage with an LRU hot cache.
+
+    ``name`` identifies this server when it runs as one shard of a
+    :class:`~repro.paramserver.sharded.ShardedParameterServer`: its
+    telemetry series gain a ``shard=<name>`` label and its cache is
+    registered as ``paramserver-<name>`` so per-shard hit ratios stay
+    distinguishable. A standalone server (``name=None``) publishes the
+    exact unlabelled series it always has.
+    """
 
     def __init__(
         self,
         store: DataStore | None = None,
         cache_bytes: int = 256 * 1024 * 1024,
         retry: RetryPolicy | None = None,
+        name: str | None = None,
     ):
-        self._store = store if store is not None else DataStore("ps-backing")
-        self._cache = LRUCache(cache_bytes, size_of=_state_size, name="paramserver")
+        self.name = name
+        self._store = store if store is not None else DataStore(
+            "ps-backing" if name is None else f"ps-backing-{name}"
+        )
+        self._cache = LRUCache(
+            cache_bytes, size_of=_state_size,
+            name="paramserver" if name is None else f"paramserver-{name}",
+        )
         self._entries: dict[str, list[ParameterEntry]] = {}
         self._stored_bytes = 0
         #: optional retry policy for push/pull; when set, injected
@@ -70,6 +85,9 @@ class ParameterServer:
         #: fault points (and any other RafikiError) are retried with
         #: deterministic backoff instead of propagating.
         self.retry = retry
+
+    def _labels(self) -> dict:
+        return {} if self.name is None else {"shard": self.name}
 
     @property
     def cache(self) -> LRUCache:
@@ -138,14 +156,18 @@ class ParameterServer:
         registry = telemetry.get_registry()
         registry.counter(
             "repro_paramserver_push_total", "Parameter versions pushed (put)."
-        ).inc()
+        ).inc(**self._labels())
+        self._publish_storage_gauges()
+        return entry
+
+    def _publish_storage_gauges(self) -> None:
+        registry = telemetry.get_registry()
         registry.gauge(
             "repro_paramserver_stored_bytes", "Total bytes across stored versions."
-        ).set(self._stored_bytes)
+        ).set(self._stored_bytes, **self._labels())
         registry.gauge(
             "repro_paramserver_keys", "Distinct parameter keys stored."
-        ).set(len(self._entries))
-        return entry
+        ).set(len(self._entries), **self._labels())
 
     def get(self, key: str, version: int | None = None) -> dict[str, np.ndarray]:
         """Fetch parameters (latest version unless specified).
@@ -163,7 +185,7 @@ class ParameterServer:
         chaos.fire("paramserver.pull")
         telemetry.get_registry().counter(
             "repro_paramserver_pull_total", "Parameter fetches (get)."
-        ).inc()
+        ).inc(**self._labels())
         entry = self.get_entry(key, version)
         cached = self._cache.get(entry.path)
         if cached is not None:
@@ -205,13 +227,7 @@ class ParameterServer:
             self._stored_bytes -= entry.nbytes
             if self._store.has_blob(entry.path):
                 self._store.delete_blob(entry.path)
-        registry = telemetry.get_registry()
-        registry.gauge(
-            "repro_paramserver_stored_bytes", "Total bytes across stored versions."
-        ).set(self._stored_bytes)
-        registry.gauge(
-            "repro_paramserver_keys", "Distinct parameter keys stored."
-        ).set(len(self._entries))
+        self._publish_storage_gauges()
 
     # ------------------------------------------------------------------
     # collaborative-tuning support
@@ -228,10 +244,15 @@ class ParameterServer:
 
         Implements the overwrite rule of Section 4.2.2: "If the
         performance of the new trial is better than the older one, we
-        overwrite the W in the parameter server".
+        overwrite the W in the parameter server". A NaN candidate never
+        displaces a real measurement (``NaN <= x`` is False for every
+        ``x``, so without the explicit check a crashed trial's NaN
+        would overwrite a better checkpoint).
         """
         if self.has(key):
             current = self.get_entry(key).performance
+            if np.isnan(performance) and not np.isnan(current):
+                return False
             if not np.isnan(current) and performance <= current:
                 return False
         self.put(key, state, performance=performance, **meta)
@@ -239,11 +260,7 @@ class ParameterServer:
 
     def fetch_shape_pool(self, key: str, version: int | None = None) -> dict[tuple[int, ...], list[np.ndarray]]:
         """Group a checkpoint's arrays by shape for shape-matched init."""
-        state = self.get(key, version)
-        pool: dict[tuple[int, ...], list[np.ndarray]] = {}
-        for value in state.values():
-            pool.setdefault(value.shape, []).append(value)
-        return pool
+        return shape_pool(self.get(key, version))
 
     def find_pretrained(self, model: str, exclude_dataset: str = "") -> ParameterEntry | None:
         """Best *public* checkpoint of ``model`` from another dataset.
@@ -265,8 +282,68 @@ class ParameterServer:
                     best = entry
         return best
 
+    # ------------------------------------------------------------------
+    # replication support (used by the sharded data plane)
+    # ------------------------------------------------------------------
+
+    def history(self, key: str) -> list[ParameterEntry]:
+        """Every stored version's entry, oldest first (empty if absent)."""
+        return list(self._entries.get(key, []))
+
+    def adopt_history(self, source: "ParameterServer", key: str) -> int:
+        """Replace this server's history for ``key`` with ``source``'s.
+
+        Control-plane re-replication: blobs are copied byte-for-byte
+        from the source's backing store without passing through the
+        ``paramserver.push`` fault point or the push counters — repair
+        traffic is not client traffic. Returns the number of versions
+        copied.
+        """
+        if self is source:
+            return len(self._entries.get(key, []))
+        if key in self._entries:
+            self.delete(key)
+        copied: list[ParameterEntry] = []
+        for entry in source._entries.get(key, []):
+            clone = ParameterEntry(
+                key=key,
+                version=entry.version,
+                model=entry.model,
+                dataset=entry.dataset,
+                performance=entry.performance,
+                public=entry.public,
+                nbytes=entry.nbytes,
+                extra=dict(entry.extra),
+            )
+            self._store.put_blob(clone.path, source._store.get_blob(entry.path))
+            self._stored_bytes += clone.nbytes
+            copied.append(clone)
+        if copied:
+            self._entries[key] = copied
+        self._publish_storage_gauges()
+        return len(copied)
+
+    def wipe(self) -> None:
+        """Drop every key, blob and cache entry (simulates shard death)."""
+        for versions in self._entries.values():
+            for entry in versions:
+                if self._store.has_blob(entry.path):
+                    self._store.delete_blob(entry.path)
+        self._entries.clear()
+        self._cache.clear()
+        self._stored_bytes = 0
+        self._publish_storage_gauges()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
-            f"ParameterServer(keys={len(self._entries)}, "
+            f"ParameterServer(name={self.name!r}, keys={len(self._entries)}, "
             f"cache_hit_rate={self._cache.hit_rate:.2f})"
         )
+
+
+def shape_pool(state: dict[str, np.ndarray]) -> dict[tuple[int, ...], list[np.ndarray]]:
+    """Group a checkpoint's arrays by shape (the "shape matched W" lookup)."""
+    pool: dict[tuple[int, ...], list[np.ndarray]] = {}
+    for value in state.values():
+        pool.setdefault(value.shape, []).append(value)
+    return pool

@@ -109,6 +109,18 @@ class TestPredictionCache:
         with pytest.raises(ConfigurationError):
             PredictionCache(lambda x: 1, capacity=0)
 
+    def test_dtype_is_part_of_the_key(self):
+        """Regression: int32 and float32 zeros share raw bytes and shape.
+
+        Before dtype joined the digest, the second query was served the
+        first's cached prediction — a silently wrong result.
+        """
+        cache = PredictionCache(lambda x: str(x.dtype), capacity=8)
+        assert cache.query(np.zeros(4, dtype=np.int32)) == "int32"
+        assert cache.query(np.zeros(4, dtype=np.float32)) == "float32"
+        assert cache.misses == 2
+        assert cache.hits == 0
+
 
 class TestFacadeQueryCache:
     def test_repeated_queries_served_from_cache(self):
@@ -131,6 +143,34 @@ class TestFacadeQueryCache:
         assert first["label"] == second["label"]
         assert info.cache.hits == 1
         assert info.queries_served == 2
+
+    def test_redeploy_invalidates_cache(self):
+        system = Rafiki(seed=8)
+        dataset = make_image_classification(
+            name="d", num_classes=2, image_shape=(3, 8, 8),
+            train_per_class=10, val_per_class=4, test_per_class=4,
+            difficulty=0.3, seed=8,
+        )
+        system.import_images(dataset)
+        job_id = system.create_train_job(
+            "t", "ImageClassification", "d",
+            hyper=HyperConf(max_trials=2, max_epochs_per_trial=3),
+        )
+        models = system.get_models(job_id)
+        infer_id = system.create_inference_job(models)
+        info = system.get_inference_job(infer_id)
+        system.query(infer_id, dataset.test_x[0])
+        assert len(info.cache) == 1
+        # continued training leaves a better checkpoint under the key
+        key = models[0].param_key
+        system.param_server.put(
+            key, system.param_server.get(key), performance=0.99,
+            model=models[0].model_name, dataset="d",
+        )
+        out = system.redeploy_inference_job(infer_id)
+        assert out["models"][0]["performance"] == 0.99
+        assert len(info.cache) == 0  # stale predictions dropped
+        assert info.specs[0].performance == 0.99
 
     def test_cache_can_be_disabled(self):
         system = Rafiki(seed=8)

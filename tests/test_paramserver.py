@@ -1,19 +1,37 @@
-"""Tests for the parameter server and LRU cache."""
+"""Tests for the parameter server and LRU cache.
+
+``TestParameterServer`` runs every behavioural test twice — once
+against the single :class:`ParameterServer` and once against a
+``ShardedParameterServer(shards=1, replicas=1)`` — asserting the
+sharded coordinator is a drop-in replacement.
+"""
 
 import numpy as np
 import pytest
 
+from repro import telemetry
 from repro.exceptions import ParameterNotFoundError
-from repro.paramserver import LRUCache, ParameterServer
+from repro.paramserver import LRUCache, ParameterServer, ShardedParameterServer
 
 
 def state(value: float, shape=(4, 4)) -> dict:
     return {"layer/W": np.full(shape, value), "layer/b": np.full(shape[0], value)}
 
 
+def make_ps(kind: str, **kwargs):
+    if kind == "plain":
+        return ParameterServer(**kwargs)
+    return ShardedParameterServer(shards=1, replicas=1, **kwargs)
+
+
+@pytest.fixture(params=["plain", "sharded"])
+def ps(request):
+    return make_ps(request.param)
+
+
 class TestLRUCache:
-    def _cache(self, capacity=100):
-        return LRUCache(capacity, size_of=lambda v: len(v))
+    def _cache(self, capacity=100, name=None):
+        return LRUCache(capacity, size_of=lambda v: len(v), name=name)
 
     def test_hit_and_miss(self):
         cache = self._cache()
@@ -53,77 +71,119 @@ class TestLRUCache:
         assert "a" not in cache
         assert cache.used_bytes == 0
 
+    # -- gauge freshness regressions ----------------------------------
+    # invalidate(), clear() and the oversized-overwrite path all change
+    # used_bytes; each must republish the byte gauge or monitoring
+    # reports phantom memory.
+
+    def _used_gauge(self):
+        return telemetry.get_registry().gauge(
+            "repro_cache_used_bytes", "Bytes held by a named cache."
+        )
+
+    def test_invalidate_republishes_gauge(self):
+        cache = self._cache(name="t")
+        cache.put("a", b"12345")
+        assert self._used_gauge().value(cache="t") == 5
+        cache.invalidate("a")
+        assert self._used_gauge().value(cache="t") == 0
+
+    def test_clear_republishes_gauge(self):
+        cache = self._cache(name="t")
+        cache.put("a", b"12345")
+        cache.put("b", b"123")
+        cache.clear()
+        assert len(cache) == 0
+        assert self._used_gauge().value(cache="t") == 0
+
+    def test_oversized_overwrite_republishes_gauge(self):
+        cache = self._cache(capacity=10, name="t")
+        cache.put("a", b"12345")
+        # Overwriting with a value too big to cache frees a's 5 bytes.
+        cache.put("a", b"x" * 50)
+        assert "a" not in cache
+        assert cache.used_bytes == 0
+        assert self._used_gauge().value(cache="t") == 0
+
 
 class TestParameterServer:
-    def test_put_get_roundtrip(self):
-        ps = ParameterServer()
+    def test_put_get_roundtrip(self, ps):
         ps.put("m/best", state(1.0))
         fetched = ps.get("m/best")
         np.testing.assert_allclose(fetched["layer/W"], 1.0)
 
-    def test_get_returns_copy(self):
-        ps = ParameterServer()
+    def test_get_returns_copy(self, ps):
         ps.put("k", state(1.0))
         fetched = ps.get("k")
         fetched["layer/W"][...] = 99.0
         np.testing.assert_allclose(ps.get("k")["layer/W"], 1.0)
 
-    def test_versioning(self):
-        ps = ParameterServer()
+    def test_versioning(self, ps):
         ps.put("k", state(1.0))
         ps.put("k", state(2.0))
         assert ps.versions("k") == 2
         np.testing.assert_allclose(ps.get("k")["layer/W"], 2.0)  # latest
         np.testing.assert_allclose(ps.get("k", version=1)["layer/W"], 1.0)
 
-    def test_missing_key_raises(self):
+    def test_missing_key_raises(self, ps):
         with pytest.raises(ParameterNotFoundError):
-            ParameterServer().get("nope")
-        ps = ParameterServer()
+            ps.get("nope")
         ps.put("k", state(1.0))
         with pytest.raises(ParameterNotFoundError):
             ps.get("k", version=7)
 
-    def test_delete(self):
-        ps = ParameterServer()
+    def test_delete(self, ps):
         ps.put("k", state(1.0))
         ps.delete("k")
         assert not ps.has("k")
         with pytest.raises(ParameterNotFoundError):
             ps.delete("k")
 
-    def test_cold_read_after_cache_eviction(self):
+    @pytest.mark.parametrize("kind", ["plain", "sharded"])
+    def test_cold_read_after_cache_eviction(self, kind):
         """Evicted parameters are reloaded from the backing store."""
-        ps = ParameterServer(cache_bytes=200)  # fits barely one state
+        ps = make_ps(kind, cache_bytes=200)  # fits barely one state
         ps.put("a", state(1.0))
         ps.put("b", state(2.0))  # evicts a from the cache
         np.testing.assert_allclose(ps.get("a")["layer/W"], 1.0)
 
-    def test_cache_hits_on_hot_key(self):
-        ps = ParameterServer()
+    def test_cache_hits_on_hot_key(self, ps):
         ps.put("hot", state(1.0))
         before = ps.cache.hits
         for _ in range(5):
             ps.get("hot")
         assert ps.cache.hits == before + 5
 
-    def test_put_if_better(self):
-        ps = ParameterServer()
+    def test_put_if_better(self, ps):
         assert ps.put_if_better("k", state(1.0), performance=0.5)
         assert not ps.put_if_better("k", state(2.0), performance=0.4)
         assert ps.put_if_better("k", state(3.0), performance=0.6)
         np.testing.assert_allclose(ps.get("k")["layer/W"], 3.0)
         assert ps.get_entry("k").performance == 0.6
 
-    def test_fetch_shape_pool(self):
-        ps = ParameterServer()
+    def test_put_if_better_nan_never_displaces_real(self, ps):
+        """Regression: a crashed trial's NaN used to overwrite the best.
+
+        ``NaN <= x`` is False for every x, so before the explicit guard
+        the overwrite rule treated a NaN candidate as an improvement.
+        """
+        assert ps.put_if_better("k", state(1.0), performance=0.5)
+        assert not ps.put_if_better("k", state(2.0), performance=float("nan"))
+        assert ps.get_entry("k").performance == 0.5
+        np.testing.assert_allclose(ps.get("k")["layer/W"], 1.0)
+        # NaN may still seed an empty key, and a real measurement (even
+        # a poor one) then displaces it.
+        assert ps.put_if_better("j", state(1.0), performance=float("nan"))
+        assert ps.put_if_better("j", state(2.0), performance=0.1)
+        assert ps.get_entry("j").performance == 0.1
+
+    def test_fetch_shape_pool(self, ps):
         ps.put("k", {"a": np.zeros((2, 3)), "b": np.ones((2, 3)), "c": np.zeros(5)})
         pool = ps.fetch_shape_pool("k")
         assert len(pool[(2, 3)]) == 2
         assert len(pool[(5,)]) == 1
 
-    def test_find_pretrained_prefers_public_other_dataset(self):
-        ps = ParameterServer()
+    def test_find_pretrained_prefers_public_other_dataset(self, ps):
         ps.put("a", state(1.0), model="resnet", dataset="cifar", performance=0.9,
                public=True)
         ps.put("b", state(2.0), model="resnet", dataset="imagenet", performance=0.95,
@@ -134,5 +194,5 @@ class TestParameterServer:
         assert best is not None
         assert best.dataset == "food"  # the private 0.95 entry is skipped
 
-    def test_find_pretrained_none(self):
-        assert ParameterServer().find_pretrained("x") is None
+    def test_find_pretrained_none(self, ps):
+        assert ps.find_pretrained("x") is None

@@ -151,6 +151,52 @@ class TestGateway:
         response = gateway.handle("POST", "/train", {"x": object()})
         assert response.status == 400
 
+    def test_missing_body_field_is_400_not_404(self, system):
+        """Regression: a handler's KeyError on the request body used to
+        fall through to the catch-all and surface as 404 — blaming a
+        missing *resource* for what is a malformed *request*."""
+        gateway = Gateway(system)
+        response = gateway.handle(
+            "POST", "/inference", {"models": [{"model_name": "m"}]}
+        )
+        assert response.status == 400
+        assert "param_key" in response.body["error"]
+
+    def test_resource_not_found_still_404(self, system):
+        gateway = Gateway(system)
+        assert gateway.handle("GET", "/train/ghost").status == 404
+        assert gateway.handle("GET", "/inference/ghost").status == 404
+        assert gateway.handle("POST", "/inference/ghost/redeploy").status == 404
+
+    def test_numpy_handler_result_serialises(self):
+        """Regression: numpy scalars/arrays in a handler result crashed
+        ``json.dumps`` and took the whole request down."""
+        response = Gateway._serialise(
+            {"count": np.int64(3), "score": np.float32(0.5),
+             "flag": np.bool_(True), "row": np.arange(3)}
+        )
+        assert response.status == 200
+        assert response.body == {"count": 3, "score": 0.5, "flag": True,
+                                 "row": [0, 1, 2]}
+
+    def test_unserialisable_handler_result_is_500(self):
+        response = Gateway._serialise({"oops": object()})
+        assert response.status == 500
+        assert "not serialisable" in response.body["error"]
+
+    def test_redeploy_route(self, system, dataset):
+        system.import_images(dataset)
+        job_id = system.create_train_job(
+            "t", "ImageClassification", "food", hyper=quick_hyper(), num_workers=2
+        )
+        models = system.get_models(job_id)
+        infer_id = system.create_inference_job(models)
+        gateway = Gateway(system)
+        response = gateway.handle("POST", f"/inference/{infer_id}/redeploy")
+        assert response.ok
+        assert response.body["job_id"] == infer_id
+        assert len(response.body["models"]) == len(models)
+
     def test_dataset_routes(self, system, dataset, tmp_path):
         # write a real folder so the JSON route is exercised end to end
         for label in ("a", "b"):
