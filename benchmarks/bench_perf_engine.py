@@ -25,7 +25,13 @@ from _harness import emit
 
 from repro.tensor import Conv2D, using_dtype
 from repro.tensor import layers as layers_module
-from repro.tensor.im2col import col2im, col2im_bincount, conv_output_size, im2col
+from repro.tensor.im2col import (
+    col2im,
+    col2im_auto,
+    col2im_bincount,
+    conv_output_size,
+    im2col,
+)
 
 BENCH_JSON = os.path.join(os.path.dirname(__file__), os.pardir, "BENCH_perf.json")
 
@@ -121,7 +127,7 @@ def conv_step_seconds(dtype) -> float:
 def legacy_conv_step_seconds(monkeypatch) -> float:
     """Same workload through the embedded legacy kernels in float64."""
     monkeypatch.setattr(layers_module, "im2col", legacy_im2col)
-    monkeypatch.setattr(layers_module, "col2im", legacy_col2im)
+    monkeypatch.setattr(layers_module, "col2im_auto", legacy_col2im)
     try:
         return conv_step_seconds(np.float64)
     finally:
@@ -150,6 +156,14 @@ def test_perf_engine(benchmark, monkeypatch, workload):
                 lambda: legacy_col2im(cols32, x32.shape, KERNEL, KERNEL, 1, 1)
             ),
             "fast_s": time_per_call(lambda: col2im(cols32, x32.shape, KERNEL, KERNEL, 1, 1)),
+        },
+        "col2im_auto": {
+            "legacy_s": time_per_call(
+                lambda: legacy_col2im(cols32, x32.shape, KERNEL, KERNEL, 1, 1)
+            ),
+            "fast_s": time_per_call(
+                lambda: col2im_auto(cols32, x32.shape, KERNEL, KERNEL, 1, 1)
+            ),
         },
         "col2im_bincount": {
             "legacy_s": time_per_call(
@@ -195,3 +209,6 @@ def test_perf_engine(benchmark, monkeypatch, workload):
     assert timings["conv_forward_backward"]["speedup"] >= 3.0
     assert timings["im2col"]["speedup"] >= 1.0
     assert timings["col2im"]["speedup"] >= 2.0
+    # The auto dispatcher must never pick the losing variant: on this
+    # (large) workload it routes to the slab path.
+    assert timings["col2im_auto"]["speedup"] >= 2.0

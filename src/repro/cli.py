@@ -19,6 +19,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -47,6 +48,16 @@ def build_parser() -> argparse.ArgumentParser:
     tune.add_argument("--seed", type=int, default=0)
     tune.add_argument("--real", action="store_true",
                       help="train real NumPy networks instead of the surrogate")
+    tune.add_argument("--pool", action="store_true",
+                      help="with --real: run trials on a persistent worker pool "
+                           "with shared-memory IPC (default backend when "
+                           "--processes is given)")
+    tune.add_argument("--pool-reuse", action="store_true",
+                      help="run the study twice on one persistent pool and "
+                           "report cold vs warm wall-clock (implies --pool)")
+    tune.add_argument("--legacy-spawn", action="store_true",
+                      help="use the old spawn-per-study executor instead of "
+                           "the persistent pool")
     tune.add_argument("--processes", type=int, default=0, metavar="N",
                       help="with --real: run trials on N child processes "
                            "(multi-core; 0 = in-process)")
@@ -127,29 +138,25 @@ def _cmd_tune(args) -> int:
     )
     from repro.paramserver import ParameterServer, ShardedParameterServer
 
-    if args.processes and not args.real:
-        print("--processes requires --real (the surrogate is already instant)",
+    if args.pool_reuse:
+        args.pool = True
+    if (args.processes or args.pool) and not args.real:
+        print("--processes/--pool require --real (the surrogate is already "
+              "instant)", file=sys.stderr)
+        return 2
+    if args.legacy_spawn and args.pool:
+        print("--legacy-spawn conflicts with --pool/--pool-reuse",
               file=sys.stderr)
         return 2
+    if args.pool and not args.processes:
+        args.processes = max(1, os.cpu_count() or 1)
     if args.ps_shards < 1:
         print("--ps-shards must be >= 1", file=sys.stderr)
         return 2
     max_epochs = 6 if args.real else 50
     conf = HyperConf(max_trials=args.trials, max_epochs_per_trial=max_epochs,
                      delta=0.005)
-    if args.ps_shards > 1:
-        param_server = ShardedParameterServer(
-            shards=args.ps_shards, replicas=args.ps_replicas
-        )
-    else:
-        param_server = ParameterServer()
     advisor_cls = {"random": RandomSearchAdvisor, "bayesian": BayesianAdvisor}[args.advisor]
-    advisor = advisor_cls(section71_space(), rng=np.random.default_rng(args.seed))
-    if args.collaborative:
-        master = CoStudyMaster("cli", conf, advisor, param_server,
-                               rng=np.random.default_rng(args.seed + 7))
-    else:
-        master = StudyMaster("cli", conf, advisor, param_server)
     if args.real:
         from repro.data import make_image_classification
         from repro.zoo.builders import build_mlp
@@ -163,11 +170,57 @@ def _cmd_tune(args) -> int:
                               use_augmentation=False, seed=args.seed)
     else:
         backend = SurrogateTrainer(seed=args.seed)
-    workers = make_workers(master, backend, param_server, conf, args.workers)
-    if args.processes:
-        report = run_study_parallel(master, workers, processes=args.processes)
+
+    def build_study():
+        if args.ps_shards > 1:
+            param_server = ShardedParameterServer(
+                shards=args.ps_shards, replicas=args.ps_replicas
+            )
+        else:
+            param_server = ParameterServer()
+        advisor = advisor_cls(section71_space(), rng=np.random.default_rng(args.seed))
+        if args.collaborative:
+            master = CoStudyMaster("cli", conf, advisor, param_server,
+                                   rng=np.random.default_rng(args.seed + 7))
+        else:
+            master = StudyMaster("cli", conf, advisor, param_server)
+        workers = make_workers(master, backend, param_server, conf, args.workers)
+        return master, workers
+
+    exec_backend = "legacy" if args.legacy_spawn else "pool"
+    if args.pool_reuse:
+        import itertools
+        import time
+
+        import repro.core.tune.trial as trial_module
+        from repro.core.tune import TrialPool
+
+        walls = []
+        fingerprints = []
+        with TrialPool(processes=args.processes) as pool:
+            for label in ("cold", "warm"):
+                # rewind trial ids so both studies are comparable
+                trial_module._trial_ids = itertools.count(1)
+                master, workers = build_study()
+                started = time.perf_counter()
+                report = run_study_parallel(master, workers, pool=pool)
+                walls.append((label, time.perf_counter() - started))
+                fingerprints.append(
+                    [(e.index, e.performance, e.epochs, e.time)
+                     for e in report.history]
+                )
+        for label, wall in walls:
+            print(f"{label} study on reused pool: {wall:.3f}s wall-clock")
+        identical = fingerprints[0] == fingerprints[1]
+        print(f"reports bit-identical across pool reuse: {identical}")
     else:
-        report = run_study(master, workers)
+        master, workers = build_study()
+        if args.processes:
+            report = run_study_parallel(master, workers,
+                                        processes=args.processes,
+                                        backend=exec_backend)
+        else:
+            report = run_study(master, workers)
     best = report.best
     kind = "CoStudy" if args.collaborative else "Study"
     print(f"{kind} with {args.advisor} search: {len(report.results)} trials, "

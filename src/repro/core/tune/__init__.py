@@ -75,5 +75,11 @@ from repro.core.tune.parallel import (  # noqa: E402
     ParallelTrialExecutor,
     run_study_parallel,
 )
+from repro.core.tune.pool import PoolTrialExecutor, TrialPool  # noqa: E402
 
-__all__ += ["ParallelTrialExecutor", "run_study_parallel"]
+__all__ += [
+    "ParallelTrialExecutor",
+    "run_study_parallel",
+    "PoolTrialExecutor",
+    "TrialPool",
+]

@@ -397,34 +397,59 @@ def run_study_parallel(
     sim: Simulator | None = None,
     max_events: int = 5_000_000,
     snapshot_states: bool | None = None,
+    backend: str = "pool",
+    pool=None,
 ) -> StudyReport:
     """:func:`run_study`, with real epoch work spread over processes.
 
     The workers' :class:`RealTrainer` backend is swapped for a
-    :class:`ParallelTrialExecutor` for the duration of the run (and
-    restored afterwards). Master/worker messages, simulated time and
-    the resulting :class:`StudyReport` are identical to
-    :func:`run_study` for a fixed seed; only real wall-clock shrinks.
+    process-parallel executor for the duration of the run (and restored
+    afterwards). Master/worker messages, simulated time and the
+    resulting :class:`StudyReport` are identical to :func:`run_study`
+    for a fixed seed; only real wall-clock shrinks.
+
+    ``backend`` selects the executor: ``"pool"`` (default) uses the
+    persistent :class:`~repro.core.tune.pool.TrialPool` with
+    shared-memory IPC; ``"legacy"`` keeps the original spawn-per-study
+    :class:`ParallelTrialExecutor` (the comparison baseline in
+    ``benchmarks/bench_perf_parallel.py``). Pass an already-started
+    :class:`~repro.core.tune.pool.TrialPool` via ``pool=`` to reuse its
+    workers (and their cached trainers) across consecutive studies.
 
     ``processes`` defaults to one child per worker, capped by the CPU
     count. ``snapshot_states`` (per-epoch parameter snapshots, needed
     for masters that checkpoint mid-trial) defaults to on exactly when
     the master early-stops centrally, i.e. for CoStudy.
     """
+    from repro.core.tune.pool import PoolTrialExecutor, TrialPool
+
     if not workers:
         raise ConfigurationError("run_study_parallel needs at least one worker")
+    if backend not in ("pool", "legacy"):
+        raise ConfigurationError(f"backend must be 'pool' or 'legacy', got {backend!r}")
+    if pool is not None and not isinstance(pool, TrialPool):
+        raise ConfigurationError(f"pool must be a TrialPool, got {type(pool).__name__}")
     base_backends = [worker.backend for worker in workers]
     base = base_backends[0]
-    if isinstance(base, ParallelTrialExecutor):
+    if processes is None:
+        processes = max(1, min(len(workers), os.cpu_count() or 1))
+    if snapshot_states is None:
+        snapshot_states = not master.workers_early_stop_locally
+    if isinstance(base, (ParallelTrialExecutor, PoolTrialExecutor)):
         executor = base
-    else:
-        if processes is None:
-            processes = max(1, min(len(workers), os.cpu_count() or 1))
-        if snapshot_states is None:
-            snapshot_states = not master.workers_early_stop_locally
+    elif backend == "legacy":
         executor = ParallelTrialExecutor(
             base,
             conf=workers[0].conf,
+            processes=processes,
+            local_early_stop=master.workers_early_stop_locally,
+            snapshot_states=snapshot_states,
+        )
+    else:
+        executor = PoolTrialExecutor(
+            base,
+            conf=workers[0].conf,
+            pool=pool,
             processes=processes,
             local_early_stop=master.workers_early_stop_locally,
             snapshot_states=snapshot_states,
@@ -435,5 +460,5 @@ def run_study_parallel(
         with executor:
             return run_study(master, workers, sim=sim, max_events=max_events)
     finally:
-        for worker, backend in zip(workers, base_backends):
-            worker.backend = backend
+        for worker, backend_ in zip(workers, base_backends):
+            worker.backend = backend_

@@ -1,0 +1,779 @@
+"""Persistent worker pool with shared-memory IPC for trial execution.
+
+:class:`~repro.core.tune.parallel.ParallelTrialExecutor` (the first
+cut at multi-core studies) spawns a fresh process pool per study and
+pickles the entire dataset into every child; ``BENCH_perf.json``
+showed that on small studies those fixed costs *exceed* the
+parallelism win.  Following Ray Tune's long-lived-executor design,
+this module keeps the processes and moves the bytes out of the pipe:
+
+* :class:`TrialPool` owns N **long-lived** child processes that
+  survive across trials *and across studies* — create one, run any
+  number of studies through it, shut it down once.  Workers cache the
+  rebuilt :class:`RealTrainer` per study spec (and, being long-lived,
+  keep the process-level im2col/col2im index memos warm between
+  trials).
+* Datasets and warm-start/parameter state tensors travel through
+  ``multiprocessing.shared_memory`` as :class:`~repro.utils.shm.ShmTensor`
+  handles — children map **zero-copy read-only views**; only scalars
+  and tiny arrays are ever pickled (``shm_min_bytes`` is the cut-off).
+* Children free-run whole trials and stream epoch records back in
+  **batches** (``epoch_batch`` records per message) instead of one
+  queue message per epoch.
+* Fault tolerance matches the chaos layer's contract: an exception in
+  a child (e.g. an injected ``tune.pool.trial`` fault) or a **dead
+  worker process** re-issues the in-flight trial to a fresh pool
+  member; the deterministic re-run's replayed epochs are discarded, so
+  the parent session continues exactly where the crash interrupted it.
+  Dead workers are replaced to keep the pool at full strength.
+
+Determinism is inherited from the sessions being pure functions of
+``(trial, init_state)``: for a fixed seed, a study run through
+:class:`PoolTrialExecutor` is bit-for-bit identical to
+:func:`~repro.core.tune.runner.run_study` — same trial seeds, same
+early-stop epochs, same :class:`StudyReport`.
+
+Telemetry (parent-side): pool size, queue depth, task latency,
+worker restarts, and IPC bytes split into pickled-vs-shared-memory.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro import chaos, telemetry
+from repro.core.tune.backends import RealTrainer
+from repro.core.tune.config import HyperConf
+from repro.core.tune.early_stopping import EarlyStopper
+from repro.core.tune.trial import Trial
+from repro.data.datasets import ImageDataset
+from repro.exceptions import ConfigurationError
+from repro.utils.shm import ShmArena, ShmTensor
+
+__all__ = ["TrialPool", "PoolTrialExecutor"]
+
+#: task-latency histogram buckets (real seconds).
+TASK_SECONDS_BUCKETS = (0.001, 0.005, 0.02, 0.1, 0.5, 2.0, 10.0, 60.0)
+
+
+# ----------------------------------------------------------------------
+# what crosses the pipe
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _ShmDataset:
+    """An :class:`ImageDataset` as shared-memory handles."""
+
+    name: str
+    num_classes: int
+    tensors: tuple[tuple[str, ShmTensor], ...]  # field -> handle
+
+    def materialise(self, arena: ShmArena) -> ImageDataset:
+        views = {key: arena.view(handle) for key, handle in self.tensors}
+        return ImageDataset(name=self.name, num_classes=self.num_classes, **views)
+
+    def handles(self) -> list[ShmTensor]:
+        return [handle for _, handle in self.tensors]
+
+
+@dataclass(frozen=True)
+class _PoolSpec:
+    """Everything a worker needs to rebuild a study's trainer.
+
+    Carried on every job (it is a few hundred bytes — the dataset is
+    handles, not data); workers cache the built trainer keyed by
+    :attr:`fingerprint`, so repeat jobs and follow-up studies over the
+    same dataset skip the rebuild entirely.
+    """
+
+    dataset: _ShmDataset
+    builder: Any
+    batch_size: int
+    seconds_per_epoch: float
+    use_augmentation: bool
+    arch_knobs: tuple[str, ...]
+    seed: int
+    local_early_stop: bool
+    patience: int
+    min_delta: float
+
+    @property
+    def fingerprint(self) -> tuple:
+        return (
+            tuple(handle.name for _, handle in self.dataset.tensors),
+            getattr(self.builder, "__module__", ""),
+            getattr(self.builder, "__qualname__", repr(self.builder)),
+            self.batch_size,
+            self.seconds_per_epoch,
+            self.use_augmentation,
+            self.arch_knobs,
+            self.seed,
+        )
+
+
+def _pack_state(
+    state: dict[str, np.ndarray], arena: ShmArena, shm_min_bytes: int
+) -> tuple[dict[str, Any], int, int]:
+    """State dict -> payload of ShmTensor handles (big) / arrays (tiny).
+
+    Returns ``(payload, shm_bytes, pickled_bytes_estimate)``.
+    """
+    payload: dict[str, Any] = {}
+    shm_bytes = 0
+    small_bytes = 0
+    for key, array in state.items():
+        if array.nbytes >= shm_min_bytes:
+            payload[key] = arena.publish(array)
+            shm_bytes += array.nbytes
+        else:
+            payload[key] = np.array(array)  # detach from live buffers
+            small_bytes += array.nbytes
+    return payload, shm_bytes, small_bytes
+
+
+def _unpack_state(payload: dict[str, Any] | None, arena: ShmArena) -> dict[str, np.ndarray] | None:
+    """Materialise a packed state dict, copying out of (and freeing) shm.
+
+    The single ``memcpy`` here is what lets parameter views be handed
+    to the parameter server with no segment-lifetime strings attached;
+    the bytes still never transited a pickle pipe.
+    """
+    if payload is None:
+        return None
+    state: dict[str, np.ndarray] = {}
+    for key, value in payload.items():
+        if isinstance(value, ShmTensor):
+            state[key] = np.array(arena.adopt(value))
+            arena.release(value)
+        else:
+            state[key] = value
+    return state
+
+
+def _discard_state(payload: dict[str, Any] | None, arena: ShmArena) -> None:
+    """Free the shm segments of a payload nobody will consume."""
+    if payload is None:
+        return
+    for value in payload.values():
+        if isinstance(value, ShmTensor):
+            arena.adopt(value)
+            arena.release(value)
+
+
+# ----------------------------------------------------------------------
+# the worker body
+# ----------------------------------------------------------------------
+
+
+def _pool_worker(
+    worker_id: int,
+    prefix: str,
+    task_queue,
+    result_queue,
+    epoch_batch: int,
+    shm_min_bytes: int,
+) -> None:
+    """Long-lived child: rebuild trainers lazily, run trials forever.
+
+    Messages out (all tagged with ``worker_id`` and the job's
+    ``generation``): ``claim`` when a job is picked up, ``batch`` with
+    up to ``epoch_batch`` epoch records, ``done`` with the final state,
+    ``error`` with the exception repr.
+    """
+    arena = ShmArena(prefix=prefix)
+    clock = telemetry.get_clock()
+    trainers: dict[tuple, tuple[RealTrainer, _ShmDataset]] = {}
+
+    def trainer_for(spec: _PoolSpec) -> RealTrainer:
+        cached = trainers.get(spec.fingerprint)
+        if cached is not None:
+            return cached[0]
+        if len(trainers) >= 4:  # keep the worker's footprint bounded
+            _, old_dataset = trainers.pop(next(iter(trainers)))
+            for handle in old_dataset.handles():
+                arena.release(handle)
+        dataset = spec.dataset.materialise(arena)
+        trainer = RealTrainer(
+            dataset=dataset,
+            builder=spec.builder,
+            batch_size=spec.batch_size,
+            seconds_per_epoch=spec.seconds_per_epoch,
+            use_augmentation=spec.use_augmentation,
+            arch_knobs=spec.arch_knobs,
+            seed=spec.seed,
+        )
+        trainers[spec.fingerprint] = (trainer, spec.dataset)
+        return trainer
+
+    try:
+        while True:
+            job = task_queue.get()
+            if job is None:
+                return
+            spec, trial, init_payload, epoch_cap, snapshot, generation = job
+            result_queue.put(("claim", worker_id, generation, trial.trial_id))
+            started = clock.now()
+            try:
+                trainer = trainer_for(spec)
+                init_state = _unpack_state(init_payload, arena)
+                session = trainer.start(trial, init_state)
+                stopper = (
+                    EarlyStopper(patience=spec.patience, min_delta=spec.min_delta)
+                    if spec.local_early_stop
+                    else None
+                )
+                batch: list[tuple[float, dict | None]] = []
+                shm_bytes = 0
+
+                def flush() -> None:
+                    nonlocal batch, shm_bytes
+                    if batch:
+                        result_queue.put(
+                            ("batch", worker_id, generation, trial.trial_id,
+                             batch, shm_bytes)
+                        )
+                        batch, shm_bytes = [], 0
+
+                for _ in range(epoch_cap):
+                    chaos.fire("tune.pool.trial")
+                    accuracy = session.run_epoch()
+                    state_payload = None
+                    if snapshot:
+                        state_payload, nbytes, _ = _pack_state(
+                            session.state_dict(), arena, shm_min_bytes
+                        )
+                        shm_bytes += nbytes
+                    batch.append((float(accuracy), state_payload))
+                    if len(batch) >= epoch_batch:
+                        flush()
+                    if stopper is not None and stopper.update(accuracy):
+                        break
+                flush()
+                final_payload, final_shm, _ = _pack_state(
+                    session.state_dict(), arena, shm_min_bytes
+                )
+                result_queue.put(
+                    ("done", worker_id, generation, trial.trial_id,
+                     final_payload, final_shm, clock.now() - started)
+                )
+            except Exception as exc:  # surfaced (and maybe retried) in the parent
+                result_queue.put(
+                    ("error", worker_id, generation, trial.trial_id, repr(exc))
+                )
+    finally:
+        arena.close()  # detach dataset views; segments stay parent-owned
+
+
+# ----------------------------------------------------------------------
+# parent-side bookkeeping
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class _TrialState:
+    """Demultiplexer state for one trial id."""
+
+    generation: int = 0
+    job: tuple | None = None
+    records: deque = field(default_factory=deque)
+    streamed: int = 0  # records appended this generation (skips excluded)
+    skip: int = 0  # replayed records to discard after a resubmission
+    crashes: int = 0
+    claimed_by: int | None = None
+    final_state: dict[str, np.ndarray] | None = None
+    init_handles: list[ShmTensor] = field(default_factory=list)
+
+
+class TrialPool:
+    """A pool of long-lived trial-training processes.
+
+    Use as a context manager (or call :meth:`shutdown`).  One pool can
+    serve many studies — sequentially or interleaved — via
+    :class:`PoolTrialExecutor` instances bound to it; keeping the pool
+    open across studies is what ``--pool-reuse`` exposes on the CLI.
+    """
+
+    #: seconds without any worker record before the pool is declared dead.
+    RESULT_TIMEOUT = 600.0
+    #: queue-poll interval; also the dead-worker detection latency.
+    POLL_SECONDS = 0.2
+
+    def __init__(
+        self,
+        processes: int | None = None,
+        mp_context: str | None = None,
+        epoch_batch: int = 8,
+        trial_retries: int = 2,
+        shm_min_bytes: int = 4096,
+    ):
+        self.processes = int(processes) if processes else (os.cpu_count() or 1)
+        if self.processes < 1:
+            raise ConfigurationError(f"processes must be >= 1, got {processes}")
+        if mp_context is None:
+            mp_context = (
+                "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            )
+        self._ctx = multiprocessing.get_context(mp_context)
+        self.epoch_batch = max(1, int(epoch_batch))
+        self.trial_retries = int(trial_retries)
+        self.shm_min_bytes = int(shm_min_bytes)
+        self.arena = ShmArena()
+        self._procs: dict[int, multiprocessing.Process] = {}
+        self._task_queue = None
+        self._result_queue = None
+        self._trials: dict[int, _TrialState] = {}
+        self._queue_depth = 0
+        self._worker_ids = iter(range(1, 1 << 30))
+        #: strong refs keep ``id(dataset)`` cache keys valid.
+        self._dataset_cache: dict[int, tuple[ImageDataset, _ShmDataset]] = {}
+        self.worker_restarts = 0
+
+    # -- lifecycle -----------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return bool(self._procs)
+
+    def _spawn_worker(self) -> None:
+        worker_id = next(self._worker_ids)
+        proc = self._ctx.Process(
+            target=_pool_worker,
+            args=(worker_id, self.arena.prefix, self._task_queue,
+                  self._result_queue, self.epoch_batch, self.shm_min_bytes),
+            daemon=True,
+        )
+        proc.start()
+        self._procs[worker_id] = proc
+
+    def start(self) -> "TrialPool":
+        if self._procs:
+            return self
+        self._task_queue = self._ctx.Queue()
+        self._result_queue = self._ctx.Queue()
+        for _ in range(self.processes):
+            self._spawn_worker()
+        self._registry().gauge(
+            "repro_tune_pool_workers", "Live processes in the persistent trial pool."
+        ).set(len(self._procs))
+        return self
+
+    def shutdown(self) -> None:
+        """Stop every worker and free all shared memory (idempotent)."""
+        if self._procs:
+            for _ in self._procs:
+                try:
+                    self._task_queue.put(None)
+                except (OSError, ValueError):
+                    break
+            for proc in self._procs.values():
+                proc.join(timeout=10.0)
+                if proc.is_alive():
+                    proc.terminate()
+                    proc.join(timeout=5.0)
+            self._procs.clear()
+            self._registry().gauge(
+                "repro_tune_pool_workers",
+                "Live processes in the persistent trial pool.",
+            ).set(0)
+        for queue in (self._task_queue, self._result_queue):
+            if queue is not None:
+                queue.cancel_join_thread()
+                queue.close()
+        self._task_queue = None
+        self._result_queue = None
+        self._trials.clear()
+        self._dataset_cache.clear()
+        self._queue_depth = 0
+        self.arena.close()
+        self.arena.sweep()  # collect segments published by dead workers
+
+    def __enter__(self) -> "TrialPool":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    # -- dataset + spec plumbing ---------------------------------------
+
+    def share_dataset(self, dataset: ImageDataset) -> _ShmDataset:
+        """Copy a dataset into shared memory once; reuse across studies."""
+        cached = self._dataset_cache.get(id(dataset))
+        if cached is not None:
+            return cached[1]
+        tensors = tuple(
+            (key, self.arena.share(np.ascontiguousarray(array)))
+            for key, array in (
+                ("train_x", dataset.train_x), ("train_y", dataset.train_y),
+                ("val_x", dataset.val_x), ("val_y", dataset.val_y),
+                ("test_x", dataset.test_x), ("test_y", dataset.test_y),
+            )
+        )
+        shared = _ShmDataset(dataset.name, dataset.num_classes, tensors)
+        self._dataset_cache[id(dataset)] = (dataset, shared)
+        self._count_bytes("shm", "to_worker",
+                          sum(h.nbytes for _, h in tensors))
+        return shared
+
+    def executor(
+        self,
+        trainer: RealTrainer,
+        conf: HyperConf,
+        local_early_stop: bool = True,
+        snapshot_states: bool = False,
+    ) -> "PoolTrialExecutor":
+        return PoolTrialExecutor(
+            trainer, conf, pool=self,
+            local_early_stop=local_early_stop, snapshot_states=snapshot_states,
+        )
+
+    # -- submission ----------------------------------------------------
+
+    def submit(
+        self,
+        spec: _PoolSpec,
+        trial: Trial,
+        init_state: dict[str, np.ndarray] | None,
+        epoch_cap: int,
+        snapshot: bool,
+    ) -> None:
+        self.start()
+        state = self._trials.get(trial.trial_id)
+        if state is None or state.job is None:
+            # fresh trial (or a finished id being rerun — new generation)
+            generation = state.generation + 1 if state is not None else 0
+            state = _TrialState(generation=generation)
+            self._trials[trial.trial_id] = state
+        else:
+            # the parent restarted an in-flight trial (e.g. a parent-side
+            # injected fault): discard the old run's stream entirely.
+            state.generation += 1
+            state.records.clear()
+            state.streamed = 0
+            state.skip = 0
+            state.claimed_by = None
+            self._release_init(state)
+        init_payload = None
+        if init_state:
+            init_payload = {}
+            for key, array in init_state.items():
+                if array.nbytes >= self.shm_min_bytes:
+                    handle = self.arena.share(array)
+                    state.init_handles.append(handle)
+                    init_payload[key] = handle
+                    self._count_bytes("shm", "to_worker", array.nbytes)
+                else:
+                    init_payload[key] = np.array(array)
+        job = (spec, trial, init_payload, int(epoch_cap), bool(snapshot),
+               state.generation)
+        state.job = job
+        self._dispatch(job, outcome="dispatched")
+
+    def _dispatch(self, job: tuple, outcome: str) -> None:
+        self._count_bytes("pickled", "to_worker", len(pickle.dumps(job)))
+        self._task_queue.put(job)
+        self._queue_depth += 1
+        registry = self._registry()
+        registry.counter(
+            "repro_tune_pool_tasks_total", "Jobs shipped to the pool, by outcome."
+        ).inc(outcome=outcome)
+        registry.gauge(
+            "repro_tune_pool_queue_depth", "Jobs enqueued but not yet claimed."
+        ).set(self._queue_depth)
+
+    # -- demultiplexing ------------------------------------------------
+
+    def _pump(self) -> None:
+        """Route one worker record; restart dead workers while waiting."""
+        deadline = time.monotonic() + self.RESULT_TIMEOUT
+        while True:
+            try:
+                record = self._result_queue.get(timeout=self.POLL_SECONDS)
+                break
+            except queue_mod.Empty:
+                self._reap_dead_workers()
+                if time.monotonic() >= deadline:
+                    raise RuntimeError(
+                        f"no trial results for {self.RESULT_TIMEOUT:.0f}s "
+                        f"({len(self._procs)} workers live)"
+                    ) from None
+        kind = record[0]
+        self._registry().counter(
+            "repro_tune_pool_records_total", "Records received from workers, by kind."
+        ).inc(kind=kind)
+        self._count_bytes("pickled", "from_worker", len(pickle.dumps(record)))
+        handler = getattr(self, f"_on_{kind}")
+        handler(*record[1:])
+
+    def _on_claim(self, worker_id: int, generation: int, trial_id: int) -> None:
+        self._queue_depth = max(0, self._queue_depth - 1)
+        self._registry().gauge(
+            "repro_tune_pool_queue_depth", "Jobs enqueued but not yet claimed."
+        ).set(self._queue_depth)
+        state = self._trials.get(trial_id)
+        if state is not None and state.generation == generation:
+            state.claimed_by = worker_id
+
+    def _on_batch(
+        self, worker_id: int, generation: int, trial_id: int,
+        records: list, shm_bytes: int,
+    ) -> None:
+        state = self._trials.get(trial_id)
+        if state is None or state.generation != generation:
+            for _, payload in records:  # stale stream: free its segments
+                _discard_state(payload, self.arena)
+            return
+        self._count_bytes("shm", "from_worker", shm_bytes)
+        for accuracy, payload in records:
+            if state.skip > 0:  # replayed epoch of a resubmitted trial
+                state.skip -= 1
+                _discard_state(payload, self.arena)
+                continue
+            state.records.append((accuracy, _unpack_state(payload, self.arena)))
+            state.streamed += 1
+
+    def _on_done(
+        self, worker_id: int, generation: int, trial_id: int,
+        payload: dict, shm_bytes: int, seconds: float,
+    ) -> None:
+        state = self._trials.get(trial_id)
+        if state is None or state.generation != generation:
+            _discard_state(payload, self.arena)
+            return
+        self._count_bytes("shm", "from_worker", shm_bytes)
+        state.final_state = _unpack_state(payload, self.arena)
+        state.job = None
+        state.claimed_by = None
+        self._release_init(state)
+        self._registry().histogram(
+            "repro_tune_pool_task_seconds",
+            "Real seconds a worker spent on one trial.",
+            buckets=TASK_SECONDS_BUCKETS,
+        ).observe(seconds)
+
+    def _on_error(
+        self, worker_id: int, generation: int, trial_id: int, detail: str
+    ) -> None:
+        state = self._trials.get(trial_id)
+        if state is not None and state.generation != generation:
+            return  # a restarted run already superseded this one
+        self._resubmit(trial_id, detail)
+
+    def _resubmit(self, trial_id: int, detail: str) -> None:
+        """Re-issue a crashed in-flight trial, or surface the failure.
+
+        The re-run is bit-identical, so records the parent already
+        consumed are replayed by the fresh worker and discarded here
+        via ``skip`` — no duplicate epochs reach the session.
+        """
+        state = self._trials.get(trial_id)
+        exhausted = state is None or state.job is None
+        if state is not None:
+            state.crashes += 1
+            exhausted = exhausted or state.crashes > self.trial_retries
+        self._registry().counter(
+            "repro_tune_pool_trial_errors_total",
+            "Worker-side trial failures, by outcome.",
+        ).inc(outcome="raised" if exhausted else "resubmitted")
+        if exhausted:
+            raise RuntimeError(f"trial {trial_id} failed in worker: {detail}")
+        consumed = state.streamed - len(state.records)
+        for _, payload in state.records:
+            _discard_state(payload if isinstance(payload, dict) else None, self.arena)
+        state.records.clear()
+        state.streamed = 0
+        state.skip = consumed
+        state.claimed_by = None
+        self._dispatch(state.job, outcome="resubmitted")
+
+    def _reap_dead_workers(self) -> None:
+        """Replace dead processes; re-issue the trials they had claimed."""
+        dead = [wid for wid, proc in self._procs.items() if not proc.is_alive()]
+        for worker_id in dead:
+            self._procs.pop(worker_id)
+            self.worker_restarts += 1
+            self._spawn_worker()
+            registry = self._registry()
+            registry.counter(
+                "repro_tune_pool_worker_restarts_total",
+                "Pool workers found dead and replaced.",
+            ).inc()
+            registry.gauge(
+                "repro_tune_pool_workers",
+                "Live processes in the persistent trial pool.",
+            ).set(len(self._procs))
+            for trial_id, state in list(self._trials.items()):
+                if state.claimed_by == worker_id and state.job is not None:
+                    self._resubmit(trial_id, f"worker {worker_id} died")
+
+    # -- executor-facing waits -----------------------------------------
+
+    def await_epoch(self, trial_id: int) -> tuple[float, dict | None]:
+        state = self._trials.setdefault(trial_id, _TrialState())
+        while not state.records:
+            self._pump()
+        return state.records.popleft()
+
+    def await_done(self, trial_id: int) -> dict[str, np.ndarray]:
+        state = self._trials.setdefault(trial_id, _TrialState())
+        while state.final_state is None:
+            self._pump()
+        return state.final_state
+
+    def drain(self) -> None:
+        """Consume every outstanding record (end-of-study barrier).
+
+        Workers free-run their trials to completion, so waiting for the
+        remaining ``done`` records (and then dropping the per-trial
+        buffers) leaves the pool spotless for the next study — which
+        may legitimately reuse the same trial ids.
+        """
+        while any(s.job is not None for s in self._trials.values()):
+            self._pump()
+        self._trials.clear()
+
+    # -- helpers -------------------------------------------------------
+
+    def _release_init(self, state: _TrialState) -> None:
+        for handle in state.init_handles:
+            self.arena.release(handle)
+        state.init_handles.clear()
+
+    @staticmethod
+    def _registry():
+        return telemetry.get_registry()
+
+    def _count_bytes(self, transport: str, direction: str, nbytes: int) -> None:
+        self._registry().counter(
+            "repro_tune_pool_ipc_bytes_total",
+            "IPC payload bytes moved, by transport (pickled/shm) and direction.",
+        ).inc(nbytes, transport=transport, direction=direction)
+
+
+class _PoolSession:
+    """Session proxy replaying records streamed from pool workers."""
+
+    def __init__(self, pool: TrialPool, trial: Trial):
+        self._pool = pool
+        self._trial_id = trial.trial_id
+        self._epochs = 0
+        self._best = 0.0
+        self._state: dict[str, np.ndarray] | None = None
+
+    def run_epoch(self) -> float:
+        accuracy, state = self._pool.await_epoch(self._trial_id)
+        self._epochs += 1
+        if state is not None:
+            self._state = state
+        self._best = max(self._best, accuracy)
+        return accuracy
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        if self._state is not None:
+            return self._state
+        # Snapshots off: the worker applies the same local early-stop
+        # rule, so its final state is exactly the parent's stop point.
+        return self._pool.await_done(self._trial_id)
+
+    @property
+    def epochs(self) -> int:
+        return self._epochs
+
+    @property
+    def best_performance(self) -> float:
+        return self._best
+
+
+class PoolTrialExecutor:
+    """A :class:`TrainerBackend` running trials on a :class:`TrialPool`.
+
+    Binds one study's :class:`RealTrainer` configuration to a pool
+    (owned or shared): the dataset is pushed to shared memory once, and
+    every ``start()`` becomes a tiny queue message.  When constructed
+    without an explicit pool it creates one sized ``processes`` and
+    owns its lifecycle; pass ``pool=`` to reuse workers across studies.
+    """
+
+    def __init__(
+        self,
+        trainer: RealTrainer,
+        conf: HyperConf,
+        pool: TrialPool | None = None,
+        processes: int | None = None,
+        local_early_stop: bool = True,
+        snapshot_states: bool = False,
+    ):
+        if not isinstance(trainer, RealTrainer):
+            raise ConfigurationError(
+                f"PoolTrialExecutor wraps a RealTrainer, got {type(trainer).__name__}"
+            )
+        self.trainer = trainer
+        self.conf = conf
+        self.pool = pool if pool is not None else TrialPool(processes=processes)
+        self.owns_pool = pool is None
+        self.local_early_stop = bool(local_early_stop)
+        self.snapshot_states = bool(snapshot_states)
+        self._spec: _PoolSpec | None = None
+
+    # -- lifecycle -----------------------------------------------------
+
+    def __enter__(self) -> "PoolTrialExecutor":
+        self.pool.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.finish_study(drain=exc_info[0] is None)
+
+    def finish_study(self, drain: bool = True) -> None:
+        """End-of-study hook: drain records; shut down an owned pool."""
+        if self.pool.running and drain:
+            self.pool.drain()
+        if self.owns_pool:
+            self.pool.shutdown()
+
+    def shutdown(self) -> None:
+        self.pool.shutdown()
+
+    # -- TrainerBackend protocol ---------------------------------------
+
+    def _build_spec(self) -> _PoolSpec:
+        if self._spec is None:
+            self._spec = _PoolSpec(
+                dataset=self.pool.share_dataset(self.trainer.dataset),
+                builder=self.trainer.builder,
+                batch_size=self.trainer.batch_size,
+                seconds_per_epoch=self.trainer.seconds_per_epoch,
+                use_augmentation=self.trainer.use_augmentation,
+                arch_knobs=self.trainer.arch_knobs,
+                seed=self.trainer.seed,
+                local_early_stop=self.local_early_stop,
+                patience=self.conf.early_stop_patience,
+                min_delta=self.conf.early_stop_min_delta,
+            )
+        return self._spec
+
+    def start(
+        self, trial: Trial, init_state: dict[str, np.ndarray] | None
+    ) -> _PoolSession:
+        self.pool.start()
+        epoch_cap = (
+            trial.max_epochs
+            if trial.max_epochs is not None
+            else self.conf.max_epochs_per_trial
+        )
+        self.pool.submit(
+            self._build_spec(), trial, init_state, epoch_cap, self.snapshot_states
+        )
+        return _PoolSession(self.pool, trial)
+
+    def epoch_cost(self, trial: Trial) -> float:
+        return self.trainer.epoch_cost(trial)

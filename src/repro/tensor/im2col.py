@@ -20,7 +20,13 @@ Hot-path notes (these two functions dominate Conv2D/pooling time):
   A flat :func:`np.bincount` scatter-add over precomputed linear
   indices (:func:`col2im_bincount`) is kept as the reference scatter
   implementation — it also beats ``np.add.at`` on small workloads but
-  pays a float64 weight cast that the slab path avoids.
+  pays a float64 weight cast that the slab path avoids;
+* neither col2im variant wins everywhere: the slab path amortises its
+  ``kh*kw`` Python-level loop over large dense adds, while bincount's
+  single C-level scatter wins when each slab add is tiny.
+  :func:`col2im_auto` — the variant layers actually call — picks by
+  the measured crossover on the per-offset add size
+  ``n*c*out_h*out_w`` (:data:`COL2IM_BINCOUNT_MAX_SLAB`).
 
 Cached index arrays are shared across calls — treat them as read-only.
 """
@@ -32,7 +38,23 @@ from functools import lru_cache
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
-__all__ = ["conv_output_size", "im2col", "col2im", "col2im_bincount"]
+__all__ = [
+    "conv_output_size",
+    "im2col",
+    "col2im",
+    "col2im_auto",
+    "col2im_bincount",
+    "COL2IM_BINCOUNT_MAX_SLAB",
+]
+
+#: Per-kernel-offset slab size (``n*c*out_h*out_w``) at or below which
+#: the flat bincount scatter beats the kh*kw strided slab adds.  The
+#: slab path's cost is dominated by Python-loop and temporary overhead
+#: when each add touches only a few KiB; bincount does one C-level pass
+#: regardless of kernel size.  Crossover measured on CPython 3.11 /
+#: NumPy (see benchmarks/bench_perf_engine.py): bincount still wins at
+#: 2048 elements per offset and loses from ~3072 up.
+COL2IM_BINCOUNT_MAX_SLAB = 2048
 
 
 def conv_output_size(size: int, kernel: int, stride: int, pad: int) -> int:
@@ -124,6 +146,30 @@ def col2im(
     if pad == 0:
         return padded
     return padded[:, :, pad:-pad, pad:-pad]
+
+
+def col2im_auto(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kernel_h: int,
+    kernel_w: int,
+    stride: int,
+    pad: int,
+) -> np.ndarray:
+    """:func:`col2im` dispatching on measured workload shape.
+
+    Uses the bincount scatter when each kernel offset's dense add would
+    be at most :data:`COL2IM_BINCOUNT_MAX_SLAB` elements (small images
+    or tiny batches, where the slab loop's per-iteration overhead
+    dominates), and the slab path otherwise.  Both variants are exact
+    inverses of :func:`im2col`, so the choice never changes results.
+    """
+    n, c, h, w = x_shape
+    out_h = conv_output_size(h, kernel_h, stride, pad)
+    out_w = conv_output_size(w, kernel_w, stride, pad)
+    if n * c * out_h * out_w <= COL2IM_BINCOUNT_MAX_SLAB:
+        return col2im_bincount(cols, x_shape, kernel_h, kernel_w, stride, pad)
+    return col2im(cols, x_shape, kernel_h, kernel_w, stride, pad)
 
 
 def col2im_bincount(

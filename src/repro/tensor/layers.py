@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.exceptions import ConfigurationError
 from repro.tensor.dtype import default_dtype
-from repro.tensor.im2col import col2im, conv_output_size, im2col
+from repro.tensor.im2col import col2im_auto, conv_output_size, im2col
 from repro.tensor.initializers import glorot_uniform_init, zeros_init
 
 __all__ = [
@@ -201,7 +201,7 @@ class Conv2D(Layer):
         w_mat = self.params["W"].reshape(self.filters, -1)
         grad_cols = w_mat.T @ grad_mat
         k = self.kernel_size
-        return col2im(grad_cols, self._x_shape, k, k, self.stride, self.pad)
+        return col2im_auto(grad_cols, self._x_shape, k, k, self.stride, self.pad)
 
 
 class MaxPool2D(Layer):
@@ -245,7 +245,7 @@ class MaxPool2D(Layer):
         grad_flat = grad_out.reshape(n * c, -1).T.reshape(-1)
         grad_cols = np.zeros_like(self._cols)
         grad_cols[self._argmax, np.arange(grad_cols.shape[1])] = grad_flat
-        grad_padded = col2im(grad_cols, (n * c, 1, h, w), p, p, s, 0)
+        grad_padded = col2im_auto(grad_cols, (n * c, 1, h, w), p, p, s, 0)
         return grad_padded.reshape(n, c, h, w)
 
 
@@ -284,7 +284,7 @@ class AvgPool2D(Layer):
         p, s = self.pool_size, self.stride
         grad_flat = grad_out.reshape(n * c, -1).T.reshape(-1)
         grad_cols = np.tile(grad_flat / (p * p), (p * p, 1))
-        grad_padded = col2im(grad_cols, (n * c, 1, h, w), p, p, s, 0)
+        grad_padded = col2im_auto(grad_cols, (n * c, 1, h, w), p, p, s, 0)
         return grad_padded.reshape(n, c, h, w)
 
 

@@ -1,0 +1,274 @@
+"""Zero-copy shared-memory tensors for cross-process IPC.
+
+The persistent trial pool (:mod:`repro.core.tune.pool`) must move two
+kinds of NumPy payload between the parent and its long-lived workers:
+the dataset (large, read-only, shipped once per study) and parameter
+state dicts (streamed back per trial).  Pickling either through a
+``multiprocessing.Queue`` serialises every element; this module ships
+them through POSIX shared memory instead, so only a tiny
+:class:`ShmTensor` *handle* (name, shape, dtype) ever crosses the pipe
+and the receiving side maps the bytes directly.
+
+Two roles, one arena class:
+
+* the **owner** calls :meth:`ShmArena.share` — the array is copied once
+  into a fresh segment that the arena tracks and unlinks on
+  :meth:`ShmArena.close`;
+* a **borrower** (typically a pool child) calls :meth:`ShmArena.view`
+  to map a zero-copy, read-only ndarray onto the segment, and
+  :meth:`ShmArena.release` when done.  Views are refcounted per
+  segment; the last release closes the local mapping (and unlinks it
+  too, for adopted segments).
+
+For the child-to-parent direction a worker calls
+:meth:`ShmArena.publish` — create, copy, close the local mapping and
+return the bare handle — and the parent :meth:`ShmArena.adopt`\\ s the
+segment, taking over unlink responsibility.
+
+Cleanup is belt and braces: refcounted ``release``, pid-guarded
+``close`` (a forked child inheriting the arena object can never unlink
+the parent's segments), a ``weakref.finalize`` hook for interpreter
+exit, and :meth:`ShmArena.sweep`, which scans ``/dev/shm`` for the
+arena's unique name prefix and unlinks leftovers — the backstop that
+keeps a crashed worker (or parent) from leaking segments.
+
+``multiprocessing.resource_tracker`` note: the tracker daemon keeps a
+*set* of registered names; ``SharedMemory`` registers on create *and*
+attach (idempotent re-add) and ``unlink()`` unregisters exactly once.
+That accounting only stays balanced if every process in the fork tree
+talks to the *same* daemon — a child forked before the daemon exists
+silently spawns its own, which then "cleans up" (and warns about)
+segments the parent still owns.  Constructing an arena therefore
+forces the daemon into existence (:func:`_ensure_tracker`) before any
+worker can be forked.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import secrets
+import weakref
+from dataclasses import dataclass
+from multiprocessing import resource_tracker, shared_memory
+
+import numpy as np
+
+__all__ = ["ShmTensor", "ShmArena", "SHM_DIR"]
+
+#: where Linux exposes POSIX shared memory segments as files.
+SHM_DIR = "/dev/shm"
+
+
+def _ensure_tracker() -> None:
+    """Start the resource-tracker daemon now, pre-fork (see module doc)."""
+    try:
+        resource_tracker.ensure_running()
+    except Exception:  # pragma: no cover - platform without a tracker
+        pass
+
+
+@dataclass(frozen=True)
+class ShmTensor:
+    """A picklable handle to one ndarray living in shared memory."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+    def exists(self) -> bool:
+        """Whether the backing segment is still linked (cheap, Linux)."""
+        return os.path.exists(os.path.join(SHM_DIR, self.name))
+
+
+class ShmArena:
+    """Creates, maps, refcounts and unlinks a family of shm segments.
+
+    All segments carry the arena's unique ``prefix`` in their name, so
+    a post-mortem :meth:`sweep` can find strays without any bookkeeping
+    surviving the crash.  Pass the owner's prefix into child processes
+    (it is a plain string) so their published segments are sweepable by
+    the same call.
+    """
+
+    def __init__(self, prefix: str | None = None):
+        _ensure_tracker()
+        self.prefix = prefix or f"repro-{os.getpid():x}-{secrets.token_hex(3)}"
+        self._pid = os.getpid()
+        self._counter = itertools.count()
+        self._segments: dict[str, shared_memory.SharedMemory] = {}
+        self._owned: set[str] = set()
+        self._refs: dict[str, int] = {}
+        self.bytes_shared = 0  # cumulative, creator side
+        # Interpreter-exit backstop.  The captured pid keeps a forked
+        # child's copy of this finalizer from touching live segments.
+        self._finalizer = weakref.finalize(
+            self, ShmArena._cleanup, self._pid, self._segments, self._owned
+        )
+
+    # -- creation ------------------------------------------------------
+
+    def _create(self, array: np.ndarray) -> tuple[ShmTensor, shared_memory.SharedMemory]:
+        array = np.ascontiguousarray(array)
+        name = f"{self.prefix}-{os.getpid():x}-{next(self._counter)}"
+        # create registers with the (shared) resource tracker; the
+        # registration is consumed by whichever process calls unlink()
+        shm = shared_memory.SharedMemory(create=True, name=name, size=max(1, array.nbytes))
+        if array.nbytes:
+            np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)[...] = array
+        self.bytes_shared += array.nbytes
+        return ShmTensor(name, tuple(array.shape), array.dtype.str), shm
+
+    def share(self, array: np.ndarray) -> ShmTensor:
+        """Copy ``array`` into a new owned segment; unlinked on close."""
+        tensor, shm = self._create(array)
+        self._segments[tensor.name] = shm
+        self._owned.add(tensor.name)
+        self._refs[tensor.name] = 1
+        return tensor
+
+    def publish(self, array: np.ndarray) -> ShmTensor:
+        """Copy ``array`` into a segment the *receiver* will adopt.
+
+        The local mapping is closed immediately — the data lives on in
+        ``/dev/shm`` until the adopting arena releases it (or a sweep
+        collects it after a crash).
+        """
+        tensor, shm = self._create(array)
+        shm.close()
+        return tensor
+
+    # -- mapping -------------------------------------------------------
+
+    def _attach(self, tensor: ShmTensor) -> shared_memory.SharedMemory:
+        shm = self._segments.get(tensor.name)
+        if shm is None:
+            # attach re-registers the name with the shared tracker — an
+            # idempotent set-add, consumed once by the eventual unlink()
+            shm = shared_memory.SharedMemory(name=tensor.name)
+            self._segments[tensor.name] = shm
+            self._refs[tensor.name] = 0
+        return shm
+
+    def view(self, tensor: ShmTensor, writable: bool = False) -> np.ndarray:
+        """Zero-copy ndarray over the segment (read-only by default)."""
+        shm = self._attach(tensor)
+        self._refs[tensor.name] = self._refs.get(tensor.name, 0) + 1
+        array = np.ndarray(tensor.shape, dtype=np.dtype(tensor.dtype), buffer=shm.buf)
+        array.flags.writeable = writable
+        return array
+
+    def adopt(self, tensor: ShmTensor) -> np.ndarray:
+        """Map a published segment and take over its unlink."""
+        array = self.view(tensor)
+        self._owned.add(tensor.name)
+        return array
+
+    # -- release -------------------------------------------------------
+
+    def release(self, tensor: ShmTensor) -> None:
+        """Drop one reference; the last one closes (and unlinks if owned).
+
+        NumPy views handed out by :meth:`view` must not be used after
+        the final release — copy first (``np.array(view)``) if the data
+        has to outlive the segment.
+        """
+        name = tensor.name
+        if name not in self._segments:
+            return
+        self._refs[name] = max(0, self._refs.get(name, 1) - 1)
+        if self._refs[name] == 0:
+            self._destroy(name)
+
+    def _destroy(self, name: str) -> None:
+        shm = self._segments.pop(name, None)
+        self._refs.pop(name, None)
+        if shm is None:
+            return
+        try:
+            shm.close()
+        except BufferError:
+            # A live ndarray still points into the mapping: leave it
+            # mapped (the finalizer retries at exit) but still unlink so
+            # no /dev/shm entry outlives this process.
+            self._segments[name] = shm
+        if name in self._owned:
+            self._owned.discard(name)
+            try:
+                shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    def close(self) -> None:
+        """Release every segment this arena touched (creator pid only)."""
+        if os.getpid() != self._pid:
+            return
+        for name in list(self._segments):
+            self._refs[name] = 0
+            self._destroy(name)
+
+    @staticmethod
+    def _cleanup(pid: int, segments: dict, owned: set) -> None:
+        if os.getpid() != pid:
+            return
+        for name, shm in list(segments.items()):
+            try:
+                shm.close()
+            except BufferError:
+                pass
+            if name in owned:
+                try:
+                    shm.unlink()
+                except FileNotFoundError:
+                    pass
+        segments.clear()
+        owned.clear()
+
+    # -- crash backstop ------------------------------------------------
+
+    def sweep(self) -> int:
+        """Unlink any ``/dev/shm`` entry carrying this arena's prefix.
+
+        Collects segments published by workers that died before the
+        parent adopted them.  Returns the number of segments removed.
+        """
+        if not os.path.isdir(SHM_DIR):
+            return 0
+        removed = 0
+        for entry in os.listdir(SHM_DIR):
+            if not entry.startswith(self.prefix):
+                continue
+            self._refs[entry] = 0
+            if entry in self._segments:
+                self._owned.add(entry)
+                self._destroy(entry)
+                removed += 1
+                continue
+            try:
+                shm = shared_memory.SharedMemory(name=entry)
+            except FileNotFoundError:
+                continue
+            shm.close()
+            try:
+                shm.unlink()
+                removed += 1
+            except FileNotFoundError:
+                pass
+        return removed
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def live_segments(self) -> int:
+        return len(self._segments)
+
+    def __enter__(self) -> "ShmArena":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+        self.sweep()

@@ -11,7 +11,14 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.tensor.im2col import col2im, col2im_bincount, conv_output_size, im2col
+from repro.tensor.im2col import (
+    COL2IM_BINCOUNT_MAX_SLAB,
+    col2im,
+    col2im_auto,
+    col2im_bincount,
+    conv_output_size,
+    im2col,
+)
 
 
 def naive_im2col(x, kernel_h, kernel_w, stride, pad):
@@ -79,7 +86,7 @@ class TestAgainstNaiveReference:
             im2col(x, kh, kw, stride, pad), naive_im2col(x, kh, kw, stride, pad)
         )
 
-    @pytest.mark.parametrize("scatter", [col2im, col2im_bincount])
+    @pytest.mark.parametrize("scatter", [col2im, col2im_bincount, col2im_auto])
     def test_col2im_matches(self, rng, scatter, n, c, h, w, kh, kw, stride, pad):
         out_h = conv_output_size(h, kh, stride, pad)
         out_w = conv_output_size(w, kw, stride, pad)
@@ -121,3 +128,51 @@ class TestOverlapFree:
         cols = im2col(x, 2, 2, 2, 0)
         assert cols.dtype == np.float32
         assert col2im(cols, x.shape, 2, 2, 2, 0).dtype == np.float32
+
+
+class TestAutoDispatch:
+    """col2im_auto must agree with both variants on either side of the
+    dispatch threshold — the choice is a pure perf decision."""
+
+    # (n, c, h, w, kh, kw, stride, pad) pinned to each side of
+    # COL2IM_BINCOUNT_MAX_SLAB on n*c*out_h*out_w.
+    SMALL = (2, 3, 5, 5, 3, 3, 1, 1)  # 2*3*5*5 = 150 <= threshold
+    LARGE = (8, 8, 16, 16, 3, 3, 1, 1)  # 8*8*16*16 = 16384 > threshold
+
+    @pytest.mark.parametrize("config", [SMALL, LARGE])
+    def test_matches_both_variants(self, rng, config):
+        n, c, h, w, kh, kw, stride, pad = config
+        out_h = conv_output_size(h, kh, stride, pad)
+        out_w = conv_output_size(w, kw, stride, pad)
+        cols = rng.standard_normal((c * kh * kw, out_h * out_w * n)).astype(np.float32)
+        auto = col2im_auto(cols, (n, c, h, w), kh, kw, stride, pad)
+        for variant in (col2im, col2im_bincount):
+            np.testing.assert_allclose(
+                auto,
+                variant(cols, (n, c, h, w), kh, kw, stride, pad),
+                rtol=1e-6,
+                atol=1e-6,
+            )
+
+    @pytest.mark.parametrize("config", [SMALL, LARGE])
+    def test_picks_expected_variant(self, rng, config, monkeypatch):
+        import repro.tensor.im2col as mod
+
+        n, c, h, w, kh, kw, stride, pad = config
+        out_h = conv_output_size(h, kh, stride, pad)
+        out_w = conv_output_size(w, kw, stride, pad)
+        slab = n * c * out_h * out_w
+        expect_bincount = slab <= COL2IM_BINCOUNT_MAX_SLAB
+        calls = []
+        real_slab, real_bincount = mod.col2im, mod.col2im_bincount
+        monkeypatch.setattr(
+            mod, "col2im", lambda *a, **k: calls.append("slab") or real_slab(*a, **k)
+        )
+        monkeypatch.setattr(
+            mod,
+            "col2im_bincount",
+            lambda *a, **k: calls.append("bincount") or real_bincount(*a, **k),
+        )
+        cols = rng.standard_normal((c * kh * kw, out_h * out_w * n)).astype(np.float32)
+        col2im_auto(cols, (n, c, h, w), kh, kw, stride, pad)
+        assert calls == (["bincount"] if expect_bincount else ["slab"])

@@ -69,13 +69,16 @@ def report_fingerprint(report):
 
 
 class TestRunStudyParallel:
+    @pytest.mark.parametrize("exec_backend", ["legacy", "pool"])
     @pytest.mark.parametrize("collaborative", [False, True])
-    def test_matches_sequential_report(self, tiny_dataset, collaborative):
+    def test_matches_sequential_report(self, tiny_dataset, collaborative, exec_backend):
         master_a, workers_a = make_study(tiny_dataset, collaborative)
         sequential = run_study(master_a, workers_a)
 
         master_b, workers_b = make_study(tiny_dataset, collaborative)
-        parallel = run_study_parallel(master_b, workers_b, processes=2)
+        parallel = run_study_parallel(
+            master_b, workers_b, processes=2, backend=exec_backend
+        )
 
         assert parallel.best_performance == sequential.best_performance
         assert parallel.total_epochs == sequential.total_epochs
@@ -88,14 +91,17 @@ class TestRunStudyParallel:
         run_study_parallel(master, workers, processes=1)
         assert [w.backend for w in workers] == original
 
-    def test_best_state_matches_sequential(self, tiny_dataset):
+    @pytest.mark.parametrize("exec_backend", ["legacy", "pool"])
+    def test_best_state_matches_sequential(self, tiny_dataset, exec_backend):
         """The kPut'd winner parameters agree with the sequential run."""
         master_a, workers_a = make_study(tiny_dataset, collaborative=False)
         run_study(master_a, workers_a)
         state_a = master_a.param_server.get(master_a.best_key)
 
         master_b, workers_b = make_study(tiny_dataset, collaborative=False)
-        run_study_parallel(master_b, workers_b, processes=2)
+        run_study_parallel(
+            master_b, workers_b, processes=2, backend=exec_backend
+        )
         state_b = master_b.param_server.get(master_b.best_key)
 
         assert sorted(state_a) == sorted(state_b)
