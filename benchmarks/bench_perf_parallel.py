@@ -22,8 +22,11 @@ Standalone usage (CI smoke gate)::
 
     PYTHONPATH=src python benchmarks/bench_perf_parallel.py --smoke
 
-exits non-zero if warm pool-mode wall-clock exceeds sequential on a
-multi-core machine (single-core machines only check determinism).
+exits non-zero if any parallel backend diverges from the sequential
+report; the warm-pool-vs-sequential speedup is printed as an
+informational metric (shared CI runners are too noisy to gate on
+wall-clock).  Add ``--perf-gate`` on a dedicated multi-core box to
+also fail when the warm pool study is slower than sequential.
 """
 
 import argparse
@@ -219,9 +222,15 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--smoke", action="store_true",
-        help="fast determinism + perf gate; skips the BENCH_perf.json "
-             "rewrite and fails if warm pool-mode wall-clock exceeds "
-             "sequential on a multi-core machine",
+        help="fast determinism gate; skips the BENCH_perf.json rewrite "
+             "and reports the warm-pool-vs-sequential speedup as an "
+             "informational metric",
+    )
+    parser.add_argument(
+        "--perf-gate", action="store_true",
+        help="with --smoke: also fail if warm pool-mode wall-clock "
+             "exceeds sequential (needs >=2 cores; meant for dedicated "
+             "machines, not noisy shared CI runners)",
     )
     args = parser.parse_args(argv)
 
@@ -240,18 +249,21 @@ def main(argv=None) -> int:
               file=sys.stderr)
         return 1
     if args.smoke:
-        if payload["cpu_count"] >= 2:
-            warm = payload["pool_reuse_s"]["warm"]
-            if warm > payload["sequential_s"]:
-                print(
-                    f"FAIL: warm pool study ({warm:.3f}s) slower than "
-                    f"sequential ({payload['sequential_s']:.3f}s) on "
-                    f"{payload['cpu_count']} cores",
-                    file=sys.stderr,
-                )
+        warm = payload["pool_reuse_s"]["warm"]
+        speedup = payload["sequential_s"] / warm
+        if payload["cpu_count"] >= 2 and warm > payload["sequential_s"]:
+            message = (
+                f"warm pool study ({warm:.3f}s) slower than sequential "
+                f"({payload['sequential_s']:.3f}s) on "
+                f"{payload['cpu_count']} cores"
+            )
+            if args.perf_gate:
+                print(f"FAIL: {message}", file=sys.stderr)
                 return 1
+            print(f"WARN: {message} (informational; not gated)")
         else:
-            print("single core: skipping the pool<sequential wall-clock gate")
+            print(f"warm pool speedup vs sequential: {speedup:.2f}x "
+                  f"on {payload['cpu_count']} cores (informational)")
         print("smoke OK")
         return 0
 

@@ -142,11 +142,14 @@ def _pack_state(
 
 
 def _unpack_state(payload: dict[str, Any] | None, arena: ShmArena) -> dict[str, np.ndarray] | None:
-    """Materialise a packed state dict, copying out of (and freeing) shm.
+    """Adopt a *worker-published* state dict, copying out of (and
+    unlinking) its segments.
 
     The single ``memcpy`` here is what lets parameter views be handed
     to the parameter server with no segment-lifetime strings attached;
-    the bytes still never transited a pickle pipe.
+    the bytes still never transited a pickle pipe.  Only for payloads
+    whose segments this side is meant to own afterwards — for
+    parent-owned init state a worker must use :func:`_copy_state`.
     """
     if payload is None:
         return None
@@ -155,6 +158,26 @@ def _unpack_state(payload: dict[str, Any] | None, arena: ShmArena) -> dict[str, 
         if isinstance(value, ShmTensor):
             state[key] = np.array(arena.adopt(value))
             arena.release(value)
+        else:
+            state[key] = value
+    return state
+
+
+def _copy_state(payload: dict[str, Any] | None, arena: ShmArena) -> dict[str, np.ndarray] | None:
+    """Materialise a packed state dict *without* taking ownership.
+
+    Used by workers for init-state payloads: the segments stay linked
+    and parent-owned, so a crashed trial can be re-dispatched with the
+    very same handles and the replacement worker attaches them again.
+    The parent unlinks via ``_release_init`` once the trial completes.
+    """
+    if payload is None:
+        return None
+    state: dict[str, np.ndarray] = {}
+    for key, value in payload.items():
+        if isinstance(value, ShmTensor):
+            state[key] = np.array(arena.view(value))
+            arena.release(value)  # drops the mapping; no unlink (not owned)
         else:
             state[key] = value
     return state
@@ -225,7 +248,7 @@ def _pool_worker(
             started = clock.now()
             try:
                 trainer = trainer_for(spec)
-                init_state = _unpack_state(init_payload, arena)
+                init_state = _copy_state(init_payload, arena)
                 session = trainer.start(trial, init_state)
                 stopper = (
                     EarlyStopper(patience=spec.patience, min_delta=spec.min_delta)
@@ -286,7 +309,7 @@ class _TrialState:
     generation: int = 0
     job: tuple | None = None
     records: deque = field(default_factory=deque)
-    streamed: int = 0  # records appended this generation (skips excluded)
+    consumed: int = 0  # records the session has popped this submission
     skip: int = 0  # replayed records to discard after a resubmission
     crashes: int = 0
     claimed_by: int | None = None
@@ -458,7 +481,7 @@ class TrialPool:
             # injected fault): discard the old run's stream entirely.
             state.generation += 1
             state.records.clear()
-            state.streamed = 0
+            state.consumed = 0
             state.skip = 0
             state.claimed_by = None
             self._release_init(state)
@@ -539,7 +562,6 @@ class TrialPool:
                 _discard_state(payload, self.arena)
                 continue
             state.records.append((accuracy, _unpack_state(payload, self.arena)))
-            state.streamed += 1
 
     def _on_done(
         self, worker_id: int, generation: int, trial_id: int,
@@ -571,9 +593,15 @@ class TrialPool:
     def _resubmit(self, trial_id: int, detail: str) -> None:
         """Re-issue a crashed in-flight trial, or surface the failure.
 
-        The re-run is bit-identical, so records the parent already
-        consumed are replayed by the fresh worker and discarded here
-        via ``skip`` — no duplicate epochs reach the session.
+        The re-run is bit-identical, so the fresh worker replays every
+        epoch from scratch; ``skip`` is set to the *cumulative* number
+        of records the session has consumed this submission (not just
+        since the last crash — a trial can crash more than once, and a
+        crash can land while an earlier replay is still being skipped),
+        so exactly the already-delivered epochs are discarded and no
+        duplicates reach the session.  The generation bump makes any
+        record from the failed run still sitting in the OS pipe fail
+        the stale-generation check instead of eating ``skip`` slots.
         """
         state = self._trials.get(trial_id)
         exhausted = state is None or state.job is None
@@ -586,13 +614,11 @@ class TrialPool:
         ).inc(outcome="raised" if exhausted else "resubmitted")
         if exhausted:
             raise RuntimeError(f"trial {trial_id} failed in worker: {detail}")
-        consumed = state.streamed - len(state.records)
-        for _, payload in state.records:
-            _discard_state(payload if isinstance(payload, dict) else None, self.arena)
-        state.records.clear()
-        state.streamed = 0
-        state.skip = consumed
+        state.generation += 1
+        state.records.clear()  # unconsumed buffers will be replayed
+        state.skip = state.consumed
         state.claimed_by = None
+        state.job = state.job[:-1] + (state.generation,)
         self._dispatch(state.job, outcome="resubmitted")
 
     def _reap_dead_workers(self) -> None:
@@ -621,6 +647,7 @@ class TrialPool:
         state = self._trials.setdefault(trial_id, _TrialState())
         while not state.records:
             self._pump()
+        state.consumed += 1  # delivered epochs: skipped on any replay
         return state.records.popleft()
 
     def await_done(self, trial_id: int) -> dict[str, np.ndarray]:

@@ -44,11 +44,11 @@ def tiny_space() -> HyperSpace:
     return space
 
 
-def make_study(tiny_dataset, seed: int = 3, max_trials: int = 4):
+def make_study(tiny_dataset, seed: int = 3, max_trials: int = 4, max_epochs: int = 2):
     trial_module._trial_ids = itertools.count(1)
     conf = HyperConf(
-        max_trials=max_trials, max_epochs_per_trial=2, early_stop_patience=2,
-        delta=0.005,
+        max_trials=max_trials, max_epochs_per_trial=max_epochs,
+        early_stop_patience=2, delta=0.005,
     )
     param_server = ParameterServer()
     advisor = RandomSearchAdvisor(tiny_space(), rng=np.random.default_rng(seed))
@@ -220,6 +220,77 @@ class TestCrashRecovery:
             "Pool workers found dead and replaced.",
         )
         assert restarts.value() >= 1
+
+    def test_second_crash_of_same_trial_keeps_cumulative_skip(self, tiny_dataset):
+        """Two crashes of the *same* trial: the replay skip count must
+        cover every epoch the session has consumed since submission,
+        not just those since the previous crash — including a crash
+        that lands while an earlier replay is still being skipped —
+        or duplicate epochs silently corrupt the study."""
+        master, workers = make_study(tiny_dataset, max_epochs=5)
+        sequential = report_fingerprint(run_study(master, workers))
+
+        # fires 1-2 pass, fires 3-4 fault: the first crash interrupts
+        # trial 1 mid-stream, the second kills its replay immediately.
+        plan = FaultPlan(
+            [FaultRule("tune.pool.trial", FaultKind.EXCEPTION,
+                       after=2, max_faults=2)],
+            seed=0,
+        )
+        master, workers = make_study(tiny_dataset, max_epochs=5)
+        with chaos.active(plan), TrialPool(processes=1, epoch_batch=1) as pool:
+            report = run_study_parallel(master, workers, pool=pool)
+
+        assert report_fingerprint(report) == sequential
+        errors = telemetry.get_registry().counter(
+            "repro_tune_pool_trial_errors_total",
+            "Worker-side trial failures, by outcome.",
+        )
+        assert errors.value(outcome="resubmitted") >= 2
+        assert errors.value(outcome="raised") == 0
+
+    def test_crash_on_warm_started_trial_recovers(self, tiny_dataset):
+        """A crashed warm-started trial is re-dispatched with the same
+        init-state handles; materialising them in the first worker must
+        not unlink the parent-owned segments, or the replacement run
+        dies on attach and the whole study aborts."""
+        from repro.core.tune.trial import Trial
+
+        conf = HyperConf(max_trials=1, max_epochs_per_trial=3, delta=0.005)
+
+        def backend():
+            return RealTrainer(
+                tiny_dataset, build_mlp, batch_size=16,
+                use_augmentation=False, seed=11,
+            )
+
+        params = {"lr": 0.05, "momentum": 0.5}
+        trial_module._trial_ids = itertools.count(1)
+        probe = backend().start(Trial(params=params), None)
+        probe.run_epoch()
+        init_state = probe.state_dict()
+        # big enough to travel as shm handles, the case under test
+        assert any(a.nbytes >= 4096 for a in init_state.values())
+
+        trial_module._trial_ids = itertools.count(1)
+        reference = backend().start(Trial(params=params), init_state)
+        expected = [reference.run_epoch() for _ in range(3)]
+
+        plan = FaultPlan(
+            [FaultRule("tune.pool.trial", FaultKind.EXCEPTION,
+                       after=1, max_faults=1)],
+            seed=0,
+        )
+        trial_module._trial_ids = itertools.count(1)
+        pool = TrialPool(processes=1)
+        prefix = pool.arena.prefix
+        with chaos.active(plan), pool:
+            executor = pool.executor(backend(), conf)
+            session = executor.start(Trial(params=params), init_state)
+            observed = [session.run_epoch() for _ in range(3)]
+            executor.finish_study()
+        assert observed == expected
+        assert leaked_segments(prefix) == []
 
     def test_exhausted_retries_surface_the_failure(self, tiny_dataset):
         plan = FaultPlan(
