@@ -8,7 +8,7 @@ request/response path a RESTful client (curl, a mobile app, a database
 UDF) would use.
 """
 
-from repro.api.gateway import Gateway, Response
+from repro.api.gateway import Gateway, Response, make_query_executor
 from repro.api.sdk import (
     HyperConf,
     Inference,
@@ -22,6 +22,7 @@ from repro.api.sdk import (
 __all__ = [
     "Gateway",
     "Response",
+    "make_query_executor",
     "connect",
     "import_images",
     "HyperConf",

@@ -6,6 +6,13 @@ image payloads travel as nested lists, exactly as a real HTTP gateway
 would receive them. There is no socket — ``handle`` is called directly
 — but every request passes through JSON encode/decode so the data path
 is honest.
+
+``handle_async`` is the high-concurrency twin: query routes with an
+attached :class:`~repro.core.serve.frontend.AsyncServeFrontend` go
+through admission control and SLO-aware batching (concurrent callers
+share hardware batches); admission refusals surface as HTTP 429 with a
+``retry_after`` hint. Every other route delegates to the synchronous
+path unchanged.
 """
 
 from __future__ import annotations
@@ -28,10 +35,12 @@ from repro.exceptions import (
     JobNotFoundError,
     ModelNotFoundError,
     ParameterNotFoundError,
+    QueueOverflowError,
     RafikiError,
+    RequestShedError,
 )
 
-__all__ = ["Gateway", "Response"]
+__all__ = ["Gateway", "Response", "make_query_executor"]
 
 #: exception types that mean "the referenced resource does not exist"
 #: and map to 404. Every other KeyError a handler leaks comes from a
@@ -97,6 +106,9 @@ class Gateway:
             ("GET", re.compile(r"^/dashboard$"), self._get_dashboard, "/dashboard"),
         ]
         self.requests_handled = 0
+        #: job_id -> AsyncServeFrontend for the async query path.
+        self._frontends: dict[str, Any] = {}
+        self._query_pattern = re.compile(r"^/query/(?P<job_id>[\w\-./]+)$")
 
     def handle(self, method: str, path: str, body: dict[str, Any] | None = None) -> Response:
         """Route one request. The body is round-tripped through JSON.
@@ -131,21 +143,10 @@ class Gateway:
                         injected_latency = chaos.fire("gateway.dispatch")
                         result = handler(payload, **match.groupdict())
                         response = self._serialise(result)
-                    except DroppedResponse as exc:
-                        response = Response(504, {"error": f"response dropped: {exc}"})
-                    except InjectedFault as exc:
-                        response = Response(503, {"error": f"backend unavailable: {exc}"})
-                    except GatewayError as exc:
-                        response = Response(400, {"error": str(exc)})
-                    except _NOT_FOUND_ERRORS as exc:
-                        response = Response(404, {"error": f"not found: {exc}"})
-                    except KeyError as exc:
-                        # A bare KeyError is a handler indexing into the
-                        # request body: the client's fault, not a missing
-                        # resource — 400, never 404.
-                        response = Response(400, {"error": f"missing field: {exc}"})
-                    except RafikiError as exc:
-                        response = Response(400, {"error": str(exc)})
+                    except Exception as exc:
+                        response = self._error_response(exc)
+                        if response is None:
+                            raise
                     break
         if response is None:
             response = Response(404, {"error": f"no route for {method} {path}"})
@@ -158,6 +159,114 @@ class Gateway:
             "Gateway handler latency per route.",
             buckets=REQUEST_SECONDS_BUCKETS,
         ).observe(clock.now() - start + injected_latency, route=route_name)
+        return response
+
+    @staticmethod
+    def _error_response(exc: Exception) -> Response | None:
+        """Map one handler exception to an HTTP-like response.
+
+        Shared by the sync and async paths so both speak the same
+        status vocabulary. Returns ``None`` for exceptions the gateway
+        does not own (genuine bugs), which the caller re-raises.
+        """
+        if isinstance(exc, DroppedResponse):
+            return Response(504, {"error": f"response dropped: {exc}"})
+        if isinstance(exc, InjectedFault):
+            return Response(503, {"error": f"backend unavailable: {exc}"})
+        if isinstance(exc, (RequestShedError, QueueOverflowError)):
+            # Admission control refused the request: overload, not a
+            # client or server bug — 429 plus a retry hint, so
+            # well-behaved clients back off instead of hammering.
+            return Response(429, {
+                "error": str(exc),
+                "reason": getattr(exc, "reason", "queue_full"),
+                "retry_after": float(getattr(exc, "retry_after", 0.1)),
+            })
+        if isinstance(exc, GatewayError):
+            return Response(400, {"error": str(exc)})
+        if isinstance(exc, _NOT_FOUND_ERRORS):
+            return Response(404, {"error": f"not found: {exc}"})
+        if isinstance(exc, KeyError):
+            # A bare KeyError is a handler indexing into the request
+            # body: the client's fault, not a missing resource — 400,
+            # never 404.
+            return Response(400, {"error": f"missing field: {exc}"})
+        if isinstance(exc, RafikiError):
+            return Response(400, {"error": str(exc)})
+        return None
+
+    # ------------------------------------------------------------------
+    # the async front-end path
+    # ------------------------------------------------------------------
+
+    def attach_frontend(self, job_id: str, frontend: Any) -> None:
+        """Route ``POST /query/{job_id}`` through a serving front end.
+
+        ``frontend`` is a started
+        :class:`~repro.core.serve.frontend.AsyncServeFrontend`; from now
+        on :meth:`handle_async` queries for this job go through its
+        admission control and batch dispatcher instead of the direct
+        synchronous call.
+        """
+        self._frontends[job_id] = frontend
+
+    def detach_frontend(self, job_id: str) -> None:
+        """Return a job's queries to the synchronous path."""
+        self._frontends.pop(job_id, None)
+
+    async def handle_async(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        client_id: str = "default",
+    ) -> Response:
+        """Async twin of :meth:`handle`.
+
+        Query routes for jobs with an attached front end await
+        admission + batching (and carry ``client_id`` into the
+        per-client rate limiter); every other request delegates to the
+        synchronous path unchanged.
+        """
+        if method.upper() == "POST":
+            match = self._query_pattern.match(path)
+            if match:
+                frontend = self._frontends.get(match.group("job_id"))
+                if frontend is not None:
+                    return await self._query_via_frontend(frontend, body, client_id)
+        return self.handle(method, path, body)
+
+    async def _query_via_frontend(
+        self, frontend: Any, body: dict[str, Any] | None, client_id: str
+    ) -> Response:
+        clock = telemetry.get_clock()
+        start = clock.now()
+        self.requests_handled += 1
+        try:
+            payload = json.loads(json.dumps(body)) if body is not None else {}
+        except (TypeError, ValueError) as exc:
+            payload = None
+            response = Response(400, {"error": f"body is not JSON-serialisable: {exc}"})
+        if payload is not None:
+            try:
+                if "img" not in payload:
+                    raise GatewayError("POST /query requires 'img'")
+                image = np.asarray(payload["img"], dtype=np.float64)
+                result = await frontend.submit(image, client_id=client_id)
+                response = self._serialise(result)
+            except Exception as exc:
+                response = self._error_response(exc)
+                if response is None:
+                    raise
+        registry = telemetry.get_registry()
+        registry.counter(
+            "repro_gateway_requests_total", "Gateway requests, by route and status."
+        ).inc(method="POST", route="/query/{job_id}", status=str(response.status))
+        registry.histogram(
+            "repro_gateway_request_seconds",
+            "Gateway handler latency per route.",
+            buckets=REQUEST_SECONDS_BUCKETS,
+        ).observe(clock.now() - start, route="/query/{job_id}")
         return response
 
     @staticmethod
@@ -280,3 +389,28 @@ class Gateway:
         from repro.api.monitor import dashboard_data
 
         return dashboard_data(self.system)
+
+
+def make_query_executor(system: Rafiki, job_id: str) -> Callable[[list, int], list]:
+    """Build the batch executor an async front end runs queries with.
+
+    The front end hands over ``(payloads, batch_size)``; the executor
+    stacks the images into one array, runs a single ensemble query (so
+    the whole batch pays one vote), and splits the batched result back
+    into per-request ``{"label", "votes", "models"}`` dicts — the same
+    shape a synchronous ``POST /query`` returns.
+    """
+
+    def executor(payloads: list, batch_size: int) -> list[dict[str, Any]]:
+        batch = np.stack([np.asarray(p, dtype=np.float64) for p in payloads])
+        result = system.query(job_id, batch)
+        return [
+            {
+                "label": result["label"][i],
+                "votes": result["votes"][i],
+                "models": result["models"],
+            }
+            for i in range(len(payloads))
+        ]
+
+    return executor

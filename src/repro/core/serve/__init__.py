@@ -2,8 +2,11 @@
 
 Greedy SLO-aware batching (Algorithm 3), the sine arrival process of
 the evaluation, the actor-critic controller that jointly selects the
-batch size and the ensemble subset, and the event-driven serving
-environment the Figure 10/13-16 experiments run in.
+batch size and the ensemble subset, the event-driven serving
+environment the Figure 10/13-16 experiments run in, and the
+high-concurrency front end (admission control, rate limits,
+backpressure — see docs/SERVING.md) with its open/closed-loop load
+harness.
 """
 
 from repro.core.serve.actions import Action, ActionSpace
@@ -62,3 +65,33 @@ __all__ = [
 from repro.core.serve.controllers import AIMDController  # noqa: E402
 
 __all__ += ["AIMDController"]
+
+from repro.core.serve.frontend import (  # noqa: E402
+    AsyncServeFrontend,
+    FrontendConfig,
+    FrontendRequest,
+    ScalingAdvisor,
+    ServeFrontend,
+    TokenBucket,
+)
+from repro.core.serve.loadgen import (  # noqa: E402
+    LoadGenConfig,
+    LoadTrace,
+    ReplicaPool,
+    capacity_qps,
+    run_load,
+)
+
+__all__ += [
+    "ServeFrontend",
+    "AsyncServeFrontend",
+    "FrontendConfig",
+    "FrontendRequest",
+    "TokenBucket",
+    "ScalingAdvisor",
+    "LoadGenConfig",
+    "LoadTrace",
+    "ReplicaPool",
+    "run_load",
+    "capacity_qps",
+]

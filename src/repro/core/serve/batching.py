@@ -30,6 +30,14 @@ __all__ = ["GreedyBatcher", "BatchDecision", "DEFAULT_BATCH_SIZES"]
 #: the candidate list of Section 7.2.1.
 DEFAULT_BATCH_SIZES = (16, 32, 48, 64)
 
+#: tolerance for the dispatch-threshold comparisons. ``next_deadline``
+#: computes the trigger instant as ``arrival + tau - c(b) - delta`` while
+#: ``_decide`` recomputes the pressure as ``c(b) + (now - arrival) + delta``;
+#: the two float expressions can disagree by an ulp, which would make an
+#: event-driven caller that sleeps exactly until the trigger spin forever
+#: at an instant where ``decide`` still says wait.
+_EPS = 1e-9
+
 
 @dataclass(frozen=True)
 class BatchDecision:
@@ -101,13 +109,13 @@ class GreedyBatcher:
         if batch is None:
             # Leftovers: no candidate batch fits; serve them (padded to
             # min(B)) only once they have already overrun the SLO.
-            if queue.oldest_wait(now) >= self.tau:
+            if queue.oldest_wait(now) >= self.tau - _EPS:
                 return BatchDecision(
                     dispatch=True, batch_size=self.min_batch, take=len(queue)
                 )
             return BatchDecision(dispatch=False)
         deadline_pressure = self.latency(batch) + queue.oldest_wait(now) + self.backoff
-        if deadline_pressure >= self.tau:
+        if deadline_pressure >= self.tau - _EPS:
             return BatchDecision(dispatch=True, batch_size=batch, take=min(batch, len(queue)))
         return BatchDecision(dispatch=False)
 

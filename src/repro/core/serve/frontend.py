@@ -1,0 +1,690 @@
+"""The high-concurrency serving front end (admission + backpressure).
+
+The paper's inference service is the subsystem that must face "millions
+of users" (Sections 6-7): many concurrent clients hammering one
+deployed ensemble. This module turns the synchronous gateway→ensemble
+call chain into an event-loop front end with explicit queueing and
+flow control, in three layers:
+
+* :class:`ServeFrontend` — the *sans-io core*: a pure, clock-driven
+  state machine that admits or sheds each request (bounded accept
+  queue, deadline-aware load shedding, per-client token-bucket rate
+  limits), feeds the admitted backlog to the SLO-aware
+  :class:`~repro.core.serve.batching.GreedyBatcher`, and accounts every
+  outcome in the telemetry registry. Because every method takes ``now``
+  explicitly, the same core runs bit-identically under a real clock, a
+  :class:`~repro.telemetry.ManualClock`, or the discrete-event
+  :class:`~repro.sim.Simulator` (see :mod:`repro.core.serve.loadgen`).
+* :class:`AsyncServeFrontend` — the :mod:`asyncio` shell: concurrent
+  clients ``await submit(...)``; one cooperative dispatcher task drains
+  the core, executes batches against a pluggable executor (the deployed
+  ensemble), and resolves the per-request futures. Shed requests fail
+  fast with :class:`~repro.exceptions.RequestShedError` instead of
+  queueing without bound — that is the backpressure contract.
+* :class:`ScalingAdvisor` — autoscaling hints derived from the *live*
+  telemetry gauges the core maintains (queue depth, rolling p95
+  latency), with watermarks and a cooldown so the hint does not flap.
+
+Fault points: ``frontend.accept`` fires on every admission attempt and
+``frontend.dispatch`` on every batch hand-off, so chaos plans can
+exercise shedding and the bounded dispatch-retry path deterministically
+(see :mod:`repro.chaos`).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro import chaos, telemetry
+from repro.core.serve.batching import DEFAULT_BATCH_SIZES, GreedyBatcher
+from repro.core.serve.metrics import LATENCY_BUCKETS
+from repro.exceptions import (
+    ConfigurationError,
+    InjectedFault,
+    RequestShedError,
+)
+from repro.utils.reservoir import Reservoir
+from repro.utils.retry import RetryPolicy
+
+__all__ = [
+    "TokenBucket",
+    "FrontendConfig",
+    "FrontendRequest",
+    "PendingQueue",
+    "DispatchPlan",
+    "ServeFrontend",
+    "AsyncServeFrontend",
+    "ScalingAdvisor",
+]
+
+
+class TokenBucket:
+    """A deterministic token bucket (the per-client rate limiter).
+
+    ``rate`` tokens accrue per second up to ``burst``; each admitted
+    request costs one token. Refill is computed lazily from the
+    timestamps handed in by the caller, so the bucket is a pure
+    function of its call sequence — no wall clock, no background task.
+    """
+
+    __slots__ = ("rate", "burst", "tokens", "_last")
+
+    def __init__(self, rate: float, burst: float | None = None):
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1.0:
+            raise ConfigurationError(f"burst must be >= 1, got {burst}")
+        self.tokens = self.burst
+        self._last: float | None = None
+
+    def _refill(self, now: float) -> None:
+        if self._last is not None and now > self._last:
+            self.tokens = min(self.burst, self.tokens + (now - self._last) * self.rate)
+        if self._last is None or now > self._last:
+            self._last = now
+
+    def try_take(self, now: float, cost: float = 1.0) -> float:
+        """Take ``cost`` tokens; returns 0.0 on success.
+
+        On failure the bucket is left untouched and the return value is
+        the ``retry_after`` hint: seconds until enough tokens will have
+        accrued.
+        """
+        self._refill(now)
+        if self.tokens + 1e-12 >= cost:
+            self.tokens -= cost
+            return 0.0
+        return (cost - self.tokens) / self.rate
+
+    def available(self, now: float) -> float:
+        """Tokens available at ``now`` (after lazy refill)."""
+        self._refill(now)
+        return self.tokens
+
+
+@dataclass(frozen=True)
+class FrontendConfig:
+    """Knobs of the serving front end (see docs/SERVING.md).
+
+    ``latency`` is the per-batch service model ``c(b)`` (the same one
+    the :class:`~repro.core.serve.batching.GreedyBatcher` plans with);
+    everything else bounds how much work the front end will accept.
+    """
+
+    #: the per-batch latency model c(b), in seconds.
+    latency: Callable[[int], float]
+    #: the SLO deadline tau, in seconds (Section 7.2's 0.56 default).
+    tau: float = 0.56
+    #: candidate hardware batch sizes handed to the greedy batcher.
+    batch_sizes: Sequence[int] = DEFAULT_BATCH_SIZES
+    #: bounded accept queue: requests beyond this are shed (queue_full).
+    max_queue: int = 1024
+    #: admit only if the predicted queueing delay fits inside
+    #: ``tau * deadline_slack`` (deadline-aware load shedding); raise
+    #: above 1.0 to trade tail latency for fewer sheds.
+    deadline_slack: float = 1.0
+    #: per-client token-bucket rate (requests/second); None disables
+    #: rate limiting entirely.
+    rate_limit: float | None = None
+    #: per-client burst allowance (defaults to one second of rate).
+    burst: float | None = None
+    #: bounded retry schedule for batches that fail at the
+    #: ``frontend.dispatch`` fault point; after ``max_attempts``
+    #: consecutive failures the batch is shed (dispatch_failed).
+    dispatch_retry: RetryPolicy = field(
+        default_factory=lambda: RetryPolicy(
+            max_attempts=4, base_delay=0.005, max_delay=0.1, jitter=0.0
+        )
+    )
+    #: AIMD back-off constant handed to the greedy batcher
+    #: (None = the batcher's 0.1 * tau default).
+    batcher_backoff: float | None = None
+
+    def __post_init__(self):
+        if self.max_queue < 1:
+            raise ConfigurationError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.deadline_slack <= 0:
+            raise ConfigurationError(
+                f"deadline_slack must be > 0, got {self.deadline_slack}"
+            )
+        if self.rate_limit is not None and self.rate_limit <= 0:
+            raise ConfigurationError(
+                f"rate_limit must be > 0 (or None), got {self.rate_limit}"
+            )
+
+
+@dataclass
+class FrontendRequest:
+    """One admitted request moving through the front end."""
+
+    seq: int
+    client_id: str
+    payload: Any
+    arrival: float
+    deadline: float
+    #: terminal state: set exactly once by complete()/shed.
+    completed_at: float | None = None
+    shed_reason: str | None = None
+    #: optional hook invoked when the request is shed *after* admission
+    #: (dispatch failure, shutdown); shells use it to fail futures or
+    #: wake simulated clients.
+    on_shed: Callable[["FrontendRequest", RequestShedError], None] | None = None
+    #: the asyncio future the async shell resolves (None elsewhere).
+    future: Any = None
+
+    @property
+    def done(self) -> bool:
+        """Whether the request reached a terminal state."""
+        return self.completed_at is not None or self.shed_reason is not None
+
+
+class PendingQueue:
+    """FIFO queue of admitted :class:`FrontendRequest` objects.
+
+    Duck-types the :class:`~repro.core.serve.request.RequestQueue`
+    surface the :class:`~repro.core.serve.batching.GreedyBatcher`
+    consults (``__len__``, ``oldest_arrival``, ``oldest_wait``), while
+    carrying whole request objects so responses can be routed back to
+    their clients.
+    """
+
+    def __init__(self):
+        self._requests: deque[FrontendRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._requests)
+
+    def __bool__(self) -> bool:
+        return bool(self._requests)
+
+    def append(self, request: FrontendRequest) -> None:
+        """Enqueue one admitted request at the tail."""
+        self._requests.append(request)
+
+    def push_front(self, requests: Sequence[FrontendRequest]) -> None:
+        """Re-queue already-admitted requests at the head (FIFO order)."""
+        for request in reversed(requests):
+            self._requests.appendleft(request)
+
+    def pop(self, count: int) -> list[FrontendRequest]:
+        """Dequeue the ``count`` oldest requests."""
+        count = min(count, len(self._requests))
+        return [self._requests.popleft() for _ in range(count)]
+
+    def oldest_arrival(self) -> float:
+        """Arrival time of the head request (the batcher's ``q[0]``)."""
+        return self._requests[0].arrival
+
+    def oldest_wait(self, now: float) -> float:
+        """``w(q0)``: how long the head request has been waiting."""
+        return now - self._requests[0].arrival
+
+
+@dataclass
+class DispatchPlan:
+    """One batch the core has committed to dispatch.
+
+    The shell (async or simulated) executes it — the core has already
+    charged the ``frontend.dispatch`` fault point, so ``extra_latency``
+    carries any injected slow-down the execution must absorb.
+    """
+
+    requests: list[FrontendRequest]
+    batch_size: int
+    extra_latency: float = 0.0
+
+    @property
+    def take(self) -> int:
+        """How many requests ride in this batch."""
+        return len(self.requests)
+
+
+class ServeFrontend:
+    """Sans-io core: admission control + SLO-aware batch planning.
+
+    Every method takes ``now`` explicitly; the core never reads a
+    clock, sleeps, or touches an event loop. Shells drive it:
+
+    * ``offer(client, payload, now)`` — admit or raise
+      :class:`~repro.exceptions.RequestShedError`;
+    * ``poll(now)`` — collect the batches the greedy batcher wants
+      dispatched right now;
+    * ``next_wake(now)`` — when to poll again if nothing else happens;
+    * ``complete(plan, now)`` — account a finished batch.
+    """
+
+    def __init__(
+        self,
+        config: FrontendConfig,
+        capacity: Callable[[float], tuple[int, float]] | None = None,
+    ):
+        self.config = config
+        self.batcher = GreedyBatcher(
+            config.batch_sizes,
+            latency=config.latency,
+            tau=config.tau,
+            backoff=config.batcher_backoff,
+        )
+        #: live backend capacity hook: ``capacity(now) -> (live_replicas,
+        #: head_delay_seconds)``; the admission estimate divides queue
+        #: drain across live replicas and adds the head-of-line delay.
+        self.capacity = capacity if capacity is not None else (lambda now: (1, 0.0))
+        self.pending = PendingQueue()
+        self._buckets: dict[str, TokenBucket] = {}
+        self._seq = 0
+        self._dispatch_failures = 0
+        self._retry_at: float | None = None
+        self._latency_sample = Reservoir(capacity=4096)
+        #: terminal-outcome counts, by reason ("served" included).
+        self.outcomes: dict[str, int] = {}
+        self.admitted = 0
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def estimated_delay(self, now: float) -> float:
+        """Predicted queueing delay a request admitted at ``now`` faces.
+
+        A conservative M/D/c-style estimate: the backlog drains in
+        ``ceil((depth + 1) / max_batch)`` batches of ``c(max_batch)``
+        seconds each, spread across the live replicas, behind whatever
+        head-of-line delay the capacity hook reports.
+        """
+        live, head_delay = self.capacity(now)
+        live = max(1, int(live))
+        batches = math.ceil((len(self.pending) + 1) / self.batcher.max_batch)
+        return max(0.0, head_delay) + batches * self.batcher.latency(
+            self.batcher.max_batch
+        ) / live
+
+    def offer(self, client_id: str, payload: Any, now: float) -> FrontendRequest:
+        """Admit one request or shed it with a ``retry_after`` hint.
+
+        The admission pipeline, in order: the ``frontend.accept`` fault
+        point, the per-client token bucket, the bounded accept queue,
+        and the deadline-aware shed test. Raises
+        :class:`~repro.exceptions.RequestShedError` on any refusal.
+        """
+        arrival = now
+        try:
+            arrival += chaos.fire("frontend.accept")
+        except InjectedFault as exc:
+            raise self._shed(
+                "fault", self.batcher.backoff, now, detail=str(exc)
+            ) from exc
+        if self.config.rate_limit is not None:
+            bucket = self._buckets.get(client_id)
+            if bucket is None:
+                bucket = self._buckets[client_id] = TokenBucket(
+                    self.config.rate_limit, self.config.burst
+                )
+            wait = bucket.try_take(now)
+            if wait > 0.0:
+                raise self._shed("rate_limit", wait, now, client_id=client_id)
+        if len(self.pending) >= self.config.max_queue:
+            live, _ = self.capacity(now)
+            drain = self.batcher.latency(self.batcher.max_batch) / max(1, int(live))
+            raise self._shed("queue_full", drain, now, client_id=client_id)
+        budget = self.config.tau * self.config.deadline_slack
+        delay = self.estimated_delay(now)
+        if delay > budget:
+            raise self._shed("deadline", delay - budget, now, client_id=client_id)
+        self._seq += 1
+        request = FrontendRequest(
+            seq=self._seq,
+            client_id=client_id,
+            payload=payload,
+            arrival=arrival,
+            deadline=arrival + self.config.tau,
+        )
+        self.pending.append(request)
+        self.admitted += 1
+        telemetry.get_registry().counter(
+            "repro_serve_frontend_requests_total",
+            "Front-end admission outcomes, by client verdict.",
+        ).inc(outcome="admitted")
+        self._update_queue_gauge()
+        return request
+
+    def _shed(
+        self,
+        reason: str,
+        retry_after: float,
+        now: float,
+        client_id: str = "",
+        detail: str = "",
+    ) -> RequestShedError:
+        """Account one shed and build the error the caller raises."""
+        self.outcomes[reason] = self.outcomes.get(reason, 0) + 1
+        registry = telemetry.get_registry()
+        registry.counter(
+            "repro_serve_frontend_requests_total",
+            "Front-end admission outcomes, by client verdict.",
+        ).inc(outcome="shed")
+        registry.counter(
+            "repro_serve_frontend_shed_total",
+            "Requests refused by admission control, by reason.",
+        ).inc(reason=reason)
+        return RequestShedError(reason, max(retry_after, 0.0), detail=detail)
+
+    # ------------------------------------------------------------------
+    # dispatch planning
+    # ------------------------------------------------------------------
+
+    def poll(self, now: float) -> list[DispatchPlan]:
+        """Batches the greedy batcher wants dispatched at ``now``.
+
+        Each planned batch passes the ``frontend.dispatch`` fault
+        point: injected latency rides along in the plan, an injected
+        exception re-queues the batch and arms a bounded backoff retry
+        — after ``dispatch_retry.max_attempts`` consecutive failures
+        the batch is shed so one poisoned dispatch cannot wedge the
+        queue.
+        """
+        plans: list[DispatchPlan] = []
+        if self._retry_at is not None and now + 1e-12 < self._retry_at:
+            return plans
+        self._retry_at = None
+        registry = telemetry.get_registry()
+        while self.pending:
+            decision = self.batcher.decide(self.pending, now)
+            if not decision.dispatch or decision.take <= 0:
+                break
+            requests = self.pending.pop(decision.take)
+            try:
+                extra = chaos.fire("frontend.dispatch")
+            except InjectedFault:
+                self._dispatch_failures += 1
+                registry.counter(
+                    "repro_serve_frontend_dispatch_retries_total",
+                    "Planned batches that failed dispatch and were retried.",
+                ).inc()
+                if self._dispatch_failures >= self.config.dispatch_retry.max_attempts:
+                    self.shed_requests(requests, now, "dispatch_failed")
+                    self._dispatch_failures = 0
+                    self._retry_at = now + self.config.dispatch_retry.base_delay
+                else:
+                    self.pending.push_front(requests)
+                    self._retry_at = now + self.config.dispatch_retry.delay(
+                        self._dispatch_failures - 1
+                    )
+                break
+            self._dispatch_failures = 0
+            plans.append(DispatchPlan(requests, decision.batch_size, extra))
+        self._update_queue_gauge()
+        return plans
+
+    def next_wake(self, now: float) -> float | None:
+        """Earliest future instant at which ``poll`` could act.
+
+        The minimum of the batcher's deadline-dispatch trigger and any
+        armed dispatch-retry backoff; None when the queue is empty and
+        no retry is pending.
+        """
+        candidates = []
+        if self.pending:
+            deadline = self.batcher.next_deadline(self.pending, now)
+            if deadline is not None:
+                candidates.append(deadline)
+        if self._retry_at is not None:
+            candidates.append(self._retry_at)
+        return min(candidates) if candidates else None
+
+    # ------------------------------------------------------------------
+    # terminal accounting
+    # ------------------------------------------------------------------
+
+    def complete(self, plan: DispatchPlan, now: float) -> None:
+        """Account a finished batch: latencies, SLO misses, gauges."""
+        registry = telemetry.get_registry()
+        latencies = []
+        overdue = 0
+        for request in plan.requests:
+            request.completed_at = now
+            latency = now - request.arrival
+            latencies.append(latency)
+            if latency > self.config.tau:
+                overdue += 1
+        self.outcomes["served"] = self.outcomes.get("served", 0) + len(plan.requests)
+        self._latency_sample.add_many(latencies)
+        registry.histogram(
+            "repro_serve_frontend_latency_seconds",
+            "Per-request latency from arrival to batch completion.",
+            buckets=LATENCY_BUCKETS,
+        ).observe_many(latencies)
+        if overdue:
+            registry.counter(
+                "repro_serve_frontend_overdue_total",
+                "Served requests that overran the SLO tau.",
+            ).inc(overdue)
+        registry.gauge(
+            "repro_serve_frontend_latency_p95_seconds",
+            "Rolling p95 of front-end request latency.",
+        ).set(self._latency_sample.quantile(0.95) if len(self._latency_sample) else 0.0)
+
+    def shed_requests(
+        self, requests: Sequence[FrontendRequest], now: float, reason: str
+    ) -> None:
+        """Shed already-admitted requests (dispatch failure, shutdown).
+
+        Stamps each request's terminal state, accounts the shed, and
+        invokes the per-request ``on_shed`` hook so shells can fail
+        futures / wake clients.
+        """
+        for request in requests:
+            request.shed_reason = reason
+            error = self._shed(
+                reason, self.config.dispatch_retry.base_delay, now,
+                client_id=request.client_id,
+            )
+            if request.on_shed is not None:
+                request.on_shed(request, error)
+
+    def _update_queue_gauge(self) -> None:
+        telemetry.get_registry().gauge(
+            "repro_serve_frontend_queue_depth",
+            "Requests admitted and waiting in the front-end queue.",
+        ).set(len(self.pending))
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def served(self) -> int:
+        """Requests served to completion so far."""
+        return self.outcomes.get("served", 0)
+
+    @property
+    def shed(self) -> int:
+        """Requests refused or abandoned, across all shed reasons."""
+        return sum(v for k, v in self.outcomes.items() if k != "served")
+
+    def latency_quantile(self, q: float) -> float:
+        """Rolling latency quantile (reservoir-sampled), in seconds."""
+        return self._latency_sample.quantile(q) if len(self._latency_sample) else 0.0
+
+
+class ScalingAdvisor:
+    """Autoscaling hints off the live front-end telemetry gauges.
+
+    Reads ``repro_serve_frontend_queue_depth`` and
+    ``repro_serve_frontend_latency_p95_seconds`` from the process-wide
+    registry (the core maintains both) and emits a hint: +1 scale out,
+    -1 scale in, 0 hold. Watermarks plus a cooldown give hysteresis so
+    a sine-wave load does not thrash the replica count; every emitted
+    hint lands in the ``repro_serve_frontend_scale_hint`` gauge.
+    """
+
+    def __init__(
+        self,
+        high_depth: float = 256.0,
+        low_depth: float = 16.0,
+        high_p95: float = 0.5,
+        low_p95: float = 0.2,
+        cooldown: float = 5.0,
+    ):
+        if high_depth <= low_depth:
+            raise ConfigurationError(
+                f"high_depth ({high_depth}) must exceed low_depth ({low_depth})"
+            )
+        if high_p95 <= low_p95:
+            raise ConfigurationError(
+                f"high_p95 ({high_p95}) must exceed low_p95 ({low_p95})"
+            )
+        self.high_depth = float(high_depth)
+        self.low_depth = float(low_depth)
+        self.high_p95 = float(high_p95)
+        self.low_p95 = float(low_p95)
+        self.cooldown = float(cooldown)
+        self._last_change: float | None = None
+
+    def evaluate(self, now: float) -> int:
+        """The current hint: +1 (scale out), -1 (scale in), or 0."""
+        registry = telemetry.get_registry()
+        depth = registry.gauge(
+            "repro_serve_frontend_queue_depth",
+            "Requests admitted and waiting in the front-end queue.",
+        ).value()
+        p95 = registry.gauge(
+            "repro_serve_frontend_latency_p95_seconds",
+            "Rolling p95 of front-end request latency.",
+        ).value()
+        if depth > self.high_depth or p95 > self.high_p95:
+            hint = 1
+        elif depth < self.low_depth and p95 < self.low_p95:
+            hint = -1
+        else:
+            hint = 0
+        if hint != 0:
+            if self._last_change is not None and (
+                now - self._last_change < self.cooldown
+            ):
+                hint = 0
+            else:
+                self._last_change = now
+        registry.gauge(
+            "repro_serve_frontend_scale_hint",
+            "Latest autoscaling hint (+1 out, -1 in, 0 hold).",
+        ).set(hint)
+        return hint
+
+
+class AsyncServeFrontend:
+    """The :mod:`asyncio` shell over :class:`ServeFrontend`.
+
+    Concurrent clients ``await submit(payload, client_id)``; a single
+    cooperative dispatcher task drains the core — executing each
+    planned batch against ``executor(payloads, batch_size)`` (sync or
+    async) and resolving the per-request futures. Admission refusals
+    surface to the caller immediately as
+    :class:`~repro.exceptions.RequestShedError` — callers never queue
+    beyond what the core admits, which is the backpressure contract.
+
+    Use as an async context manager (``async with frontend: ...``) or
+    call :meth:`start` / :meth:`stop` explicitly.
+    """
+
+    def __init__(
+        self,
+        config: FrontendConfig,
+        executor: Callable[[list[Any], int], Any],
+        capacity: Callable[[float], tuple[int, float]] | None = None,
+    ):
+        self.core = ServeFrontend(config, capacity=capacity)
+        self.executor = executor
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._wake: asyncio.Event | None = None
+        self._task: asyncio.Task | None = None
+        self._running = False
+
+    def _now(self) -> float:
+        return self._loop.time()
+
+    async def start(self) -> None:
+        """Start the dispatcher task on the running event loop."""
+        if self._running:
+            return
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._running = True
+        self._task = self._loop.create_task(self._dispatch_loop())
+
+    async def stop(self) -> None:
+        """Stop the dispatcher; unanswered requests are shed (shutdown)."""
+        if not self._running:
+            return
+        self._running = False
+        self._wake.set()
+        await self._task
+        leftovers = self.core.pending.pop(len(self.core.pending))
+        if leftovers:
+            self.core.shed_requests(leftovers, self._now(), "shutdown")
+
+    async def __aenter__(self) -> "AsyncServeFrontend":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.stop()
+
+    async def submit(self, payload: Any, client_id: str = "default") -> Any:
+        """Submit one request; returns the result or raises on shed."""
+        if not self._running:
+            raise ConfigurationError("frontend is not running (call start())")
+        request = self.core.offer(client_id, payload, self._now())
+        future = self._loop.create_future()
+        request.future = future
+        request.on_shed = _fail_future
+        self._wake.set()
+        return await future
+
+    async def _dispatch_loop(self) -> None:
+        while self._running:
+            now = self._now()
+            for plan in self.core.poll(now):
+                await self._execute(plan)
+            wake_at = self.core.next_wake(self._now())
+            timeout = None if wake_at is None else max(wake_at - self._now(), 0.0)
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), timeout)
+            except asyncio.TimeoutError:
+                pass
+
+    async def _execute(self, plan: DispatchPlan) -> None:
+        if plan.extra_latency > 0.0:
+            await asyncio.sleep(plan.extra_latency)
+        payloads = [request.payload for request in plan.requests]
+        try:
+            results = self.executor(payloads, plan.batch_size)
+            if inspect.isawaitable(results):
+                results = await results
+        except Exception as exc:  # executor bug or backend outage
+            telemetry.get_registry().counter(
+                "repro_serve_frontend_executor_errors_total",
+                "Batches whose executor raised; their requests fail.",
+            ).inc()
+            for request in plan.requests:
+                request.shed_reason = "executor_error"
+                if request.future is not None and not request.future.done():
+                    request.future.set_exception(exc)
+            return
+        self.core.complete(plan, self._now())
+        for request, result in zip(plan.requests, results):
+            if request.future is not None and not request.future.done():
+                request.future.set_result(result)
+
+
+def _fail_future(request: FrontendRequest, error: RequestShedError) -> None:
+    """The async shell's ``on_shed`` hook: fail the awaiting client."""
+    if request.future is not None and not request.future.done():
+        request.future.set_exception(error)

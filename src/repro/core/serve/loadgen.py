@@ -1,0 +1,422 @@
+"""Open/closed-loop load generation for the serving front end.
+
+Drives a :class:`~repro.core.serve.frontend.ServeFrontend` core on the
+discrete-event :class:`~repro.sim.Simulator`, so an hour of heavy load
+runs in milliseconds and — because the core, the arrival process, and
+the replica pool are all seeded and clock-driven — two runs with the
+same seed produce **bit-identical traces**. That determinism is the
+load harness's acceptance bar (``BENCH_serve.json``'s ``deterministic``
+flag) and what makes chaos runs (replica death mid-load) assertable.
+
+Two load shapes, per the serving literature:
+
+* **open loop** — arrivals follow the paper's
+  :class:`~repro.core.serve.arrival.SineArrival` process regardless of
+  completions; this is the "millions of independent users" model and
+  the one that exposes overload (the generator does not slow down when
+  the system does, so admission control must shed).
+* **closed loop** — ``clients`` simulated users each wait for their
+  response, think, then submit again; throughput self-limits at
+  ``clients / (latency + think_time)``, which probes capacity without
+  overload.
+
+Replicas are modelled by :class:`ReplicaPool`: each batch occupies the
+least-loaded live replica for ``c(b)`` seconds (the same affine latency
+model the batcher plans with). A :class:`~repro.core.serve.frontend.
+ScalingAdvisor` can be wired in to grow/shrink the pool from the live
+telemetry gauges mid-run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.core.serve.arrival import SineArrival
+from repro.core.serve.frontend import (
+    DispatchPlan,
+    FrontendRequest,
+    ScalingAdvisor,
+    ServeFrontend,
+)
+from repro.exceptions import ConfigurationError, RequestShedError
+from repro.sim import Signal, Simulator
+
+__all__ = [
+    "LoadGenConfig",
+    "TraceRecord",
+    "LoadTrace",
+    "ReplicaPool",
+    "run_load",
+]
+
+
+@dataclass(frozen=True)
+class LoadGenConfig:
+    """Shape of one load run (see EXPERIMENTS.md for recipes)."""
+
+    #: "open" (sine arrivals, overload-capable) or "closed" (think-time).
+    mode: str = "open"
+    #: open loop: the sine target rate r_target (requests/second).
+    target_rate: float = 200.0
+    #: open loop: sine period T in seconds.
+    period: float = 60.0
+    #: distinct client identities (round-robin in open loop; one
+    #: simulated user each in closed loop).
+    clients: int = 8
+    #: closed loop: seconds a client waits between response and next
+    #: request.
+    think_time: float = 0.05
+    #: seconds of load generation (completions drain afterwards).
+    duration: float = 60.0
+    #: open loop: arrival-process step in seconds.
+    span: float = 0.05
+    #: seeds the arrival noise; same seed => bit-identical trace.
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.mode not in ("open", "closed"):
+            raise ConfigurationError(
+                f"mode must be 'open' or 'closed', got {self.mode!r}"
+            )
+        if self.clients < 1:
+            raise ConfigurationError(f"clients must be >= 1, got {self.clients}")
+        if self.duration <= 0:
+            raise ConfigurationError(f"duration must be > 0, got {self.duration}")
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One request's terminal event in the load trace."""
+
+    #: front-end sequence number (0 for requests shed at admission,
+    #: which never received one).
+    seq: int
+    client: str
+    #: simulated time of the terminal event.
+    time: float
+    #: "served" or the shed reason.
+    outcome: str
+    #: arrival-to-completion seconds (NaN unless served).
+    latency: float
+
+
+@dataclass
+class LoadTrace:
+    """Every request's fate, in deterministic simulated-event order."""
+
+    tau: float
+    duration: float
+    mode: str
+    records: list[TraceRecord] = field(default_factory=list)
+
+    def record(self, record: TraceRecord) -> None:
+        """Append one terminal event."""
+        self.records.append(record)
+
+    def fingerprint(self) -> str:
+        """SHA-256 over the full trace — the bit-identity check."""
+        digest = hashlib.sha256()
+        for r in self.records:
+            digest.update(
+                f"{r.seq}|{r.client}|{r.time!r}|{r.outcome}|{r.latency!r}\n".encode()
+            )
+        return digest.hexdigest()
+
+    def summary(self) -> dict:
+        """Aggregates for benches and the CLI: QPS, tails, shed rate."""
+        served = [r for r in self.records if r.outcome == "served"]
+        shed_by_reason: dict[str, int] = {}
+        for r in self.records:
+            if r.outcome != "served":
+                shed_by_reason[r.outcome] = shed_by_reason.get(r.outcome, 0) + 1
+        latencies = np.array([r.latency for r in served], dtype=np.float64)
+        offered = len(self.records)
+        quantile = (
+            (lambda q: float(np.percentile(latencies, q)))
+            if latencies.size
+            else (lambda q: 0.0)
+        )
+        return {
+            "mode": self.mode,
+            "tau": self.tau,
+            "duration": self.duration,
+            "offered": offered,
+            "served": len(served),
+            "shed": offered - len(served),
+            "shed_by_reason": shed_by_reason,
+            "offered_qps": offered / self.duration,
+            "sustained_qps": len(served) / self.duration,
+            "p50_s": quantile(50),
+            "p95_s": quantile(95),
+            "p99_s": quantile(99),
+            "slo_miss_rate": (
+                float(np.mean(latencies > self.tau)) if latencies.size else 0.0
+            ),
+            "shed_rate": (offered - len(served)) / offered if offered else 0.0,
+        }
+
+
+class ReplicaPool:
+    """A fleet of identical serving replicas with ``c(b)`` service time.
+
+    Batches occupy the least-loaded *live* replica; killed replicas
+    stop taking work (their in-flight batch still completes — the
+    failure mode where the process dies mid-batch is modelled by a
+    ``frontend.dispatch`` chaos rule instead). Doubles as the front
+    end's capacity hook: ``capacity(now)`` reports live replicas and
+    the head-of-line delay admission control divides work across.
+    """
+
+    def __init__(self, latency: Callable[[int], float], replicas: int = 1):
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        self.latency = latency
+        self.busy_until = [0.0] * replicas
+        self.alive = [True] * replicas
+
+    @property
+    def size(self) -> int:
+        """Total replicas, live or not."""
+        return len(self.busy_until)
+
+    def live(self) -> int:
+        """Replicas currently accepting work."""
+        return sum(self.alive)
+
+    def capacity(self, now: float) -> tuple[int, float]:
+        """The front-end capacity hook: ``(live, head_delay_seconds)``."""
+        delays = [
+            max(b - now, 0.0) for b, a in zip(self.busy_until, self.alive) if a
+        ]
+        if not delays:
+            return 0, 0.0
+        return len(delays), min(delays)
+
+    def assign(self, now: float, batch_size: int, extra_latency: float = 0.0) -> float:
+        """Queue a batch on the least-loaded live replica.
+
+        Returns the completion time; raises if no replica is live
+        (callers check :meth:`live` and shed instead).
+        """
+        candidates = [i for i, a in enumerate(self.alive) if a]
+        if not candidates:
+            raise ConfigurationError("no live replica to assign the batch to")
+        index = min(candidates, key=lambda i: (max(self.busy_until[i], now), i))
+        start = max(self.busy_until[index], now)
+        self.busy_until[index] = start + self.latency(batch_size) + extra_latency
+        return self.busy_until[index]
+
+    def kill(self, index: int) -> None:
+        """Take a replica out of rotation (chaos: replica death)."""
+        self.alive[index] = False
+
+    def revive(self, index: int, now: float) -> None:
+        """Return a replica to rotation with an empty work queue."""
+        self.alive[index] = True
+        self.busy_until[index] = now
+
+    def scale_to(self, n: int, now: float) -> None:
+        """Grow (fresh live replicas) or shrink (drop from the tail)."""
+        if n < 1:
+            raise ConfigurationError(f"cannot scale below 1 replica, got {n}")
+        while len(self.busy_until) < n:
+            self.busy_until.append(now)
+            self.alive.append(True)
+        while len(self.busy_until) > n:
+            self.busy_until.pop()
+            self.alive.pop()
+
+
+class _Driver:
+    """Glues frontend core, replica pool and simulator together."""
+
+    def __init__(
+        self,
+        frontend: ServeFrontend,
+        pool: ReplicaPool,
+        sim: Simulator,
+        trace: LoadTrace,
+    ):
+        self.frontend = frontend
+        self.pool = pool
+        self.sim = sim
+        self.trace = trace
+        self._wake_at: float | None = None
+        frontend.capacity = pool.capacity
+
+    # -- admission ------------------------------------------------------
+
+    def offer(self, client: str) -> tuple[FrontendRequest | None, RequestShedError | None]:
+        now = self.sim.now
+        try:
+            request = self.frontend.offer(client, None, now)
+        except RequestShedError as exc:
+            self.trace.record(
+                TraceRecord(0, client, now, exc.reason, float("nan"))
+            )
+            return None, exc
+        request.on_shed = self._on_shed
+        self.pump()
+        return request, None
+
+    def _on_shed(self, request: FrontendRequest, error: RequestShedError) -> None:
+        self.trace.record(
+            TraceRecord(
+                request.seq, request.client_id, self.sim.now,
+                request.shed_reason or "shed", float("nan"),
+            )
+        )
+        if isinstance(request.future, Signal):
+            request.future.fire(error)
+
+    # -- dispatch / completion -----------------------------------------
+
+    def pump(self) -> None:
+        now = self.sim.now
+        for plan in self.frontend.poll(now):
+            if self.pool.live() == 0:
+                self.frontend.shed_requests(plan.requests, now, "dispatch_failed")
+                continue
+            completion = self.pool.assign(now, plan.batch_size, plan.extra_latency)
+            self.sim.schedule(completion - now, self._complete, plan)
+        self._arm_wake()
+
+    def _arm_wake(self) -> None:
+        wake = self.frontend.next_wake(self.sim.now)
+        if wake is None:
+            return
+        if self._wake_at is not None and self._wake_at <= wake + 1e-9:
+            return
+        self._wake_at = wake
+        self.sim.schedule(max(wake - self.sim.now, 0.0), self._on_wake, wake)
+
+    def _on_wake(self, token: float) -> None:
+        if self._wake_at == token:
+            self._wake_at = None
+        self.pump()
+
+    def _complete(self, plan: DispatchPlan) -> None:
+        now = self.sim.now
+        self.frontend.complete(plan, now)
+        for request in plan.requests:
+            self.trace.record(
+                TraceRecord(
+                    request.seq, request.client_id, now, "served",
+                    now - request.arrival,
+                )
+            )
+            if isinstance(request.future, Signal):
+                request.future.fire(None)
+        self.pump()
+
+    # -- load shapes ----------------------------------------------------
+
+    def open_loop(self, arrival: SineArrival, load: LoadGenConfig):
+        sent = 0
+        while self.sim.now < load.duration:
+            for _ in range(arrival.count(self.sim.now, load.span)):
+                self.offer(f"client-{sent % load.clients}")
+                sent += 1
+            yield load.span
+
+    def closed_client(self, name: str, load: LoadGenConfig):
+        while self.sim.now < load.duration:
+            request, error = self.offer(name)
+            if request is None:
+                yield max(error.retry_after, load.think_time)
+                continue
+            signal = Signal(name)
+            request.future = signal
+            yield signal
+            yield load.think_time
+
+    def autoscale(
+        self,
+        advisor: ScalingAdvisor,
+        bounds: tuple[int, int],
+        interval: float,
+        duration: float,
+    ):
+        low, high = bounds
+        while self.sim.now < duration:
+            hint = advisor.evaluate(self.sim.now)
+            if hint > 0 and self.pool.size < high:
+                self.pool.scale_to(self.pool.size + 1, self.sim.now)
+            elif hint < 0 and self.pool.size > low:
+                self.pool.scale_to(self.pool.size - 1, self.sim.now)
+            yield interval
+
+
+def run_load(
+    frontend: ServeFrontend,
+    pool: ReplicaPool,
+    load: LoadGenConfig,
+    sim: Simulator | None = None,
+    autoscaler: ScalingAdvisor | None = None,
+    scale_bounds: tuple[int, int] = (1, 8),
+    autoscale_interval: float = 1.0,
+    events: Sequence[tuple[float, Callable[[], None]]] = (),
+) -> LoadTrace:
+    """Run one load shape against a front end; returns the full trace.
+
+    ``events`` is a deterministic chaos schedule: ``(time, thunk)``
+    pairs executed at exact simulated instants (e.g.
+    ``(30.0, lambda: pool.kill(1))`` for replica death mid-load).
+    After ``load.duration`` the arrival side stops and in-flight work
+    drains for ``10 * tau``; anything still queued then is shed as
+    ``shutdown`` so every offered request has exactly one terminal
+    trace record.
+    """
+    sim = sim if sim is not None else Simulator()
+    trace = LoadTrace(tau=frontend.config.tau, duration=load.duration, mode=load.mode)
+    driver = _Driver(frontend, pool, sim, trace)
+    if load.mode == "open":
+        arrival = SineArrival(
+            load.target_rate, load.period, rng=np.random.default_rng(load.seed)
+        )
+        sim.spawn(driver.open_loop(arrival, load))
+    else:
+        # Stagger client starts so same-instant submissions keep a
+        # stable deterministic order.
+        for index in range(load.clients):
+            sim.spawn(
+                driver.closed_client(f"client-{index}", load),
+                delay=index * 1e-6,
+            )
+    if autoscaler is not None:
+        sim.spawn(
+            driver.autoscale(
+                autoscaler, scale_bounds, autoscale_interval, load.duration
+            )
+        )
+    for when, thunk in events:
+        sim.schedule(when, thunk)
+    sim.run(until=load.duration + 10.0 * frontend.config.tau)
+    # Deterministic number of drain pumps: serve the stragglers the
+    # leftover rule has already released, then shed whatever remains.
+    driver.pump()
+    sim.run(until=sim.now + 10.0 * frontend.config.tau)
+    leftovers = frontend.pending.pop(len(frontend.pending))
+    if leftovers:
+        frontend.shed_requests(leftovers, sim.now, "shutdown")
+    return trace
+
+
+def capacity_qps(latency: Callable[[int], float], batch_size: int, replicas: int = 1) -> float:
+    """Peak sustainable requests/second: ``replicas * b / c(b)``.
+
+    The open-loop benches express their concurrency levels as multiples
+    of this number, so "1.5x capacity" means the same thing on any
+    latency model.
+    """
+    if math.isclose(latency(batch_size), 0.0):
+        raise ConfigurationError("latency model returned 0 — cannot derive capacity")
+    return replicas * batch_size / latency(batch_size)
+
+
+__all__.append("capacity_qps")

@@ -81,6 +81,25 @@ class QueueOverflowError(ServingError):
     """The request queue exceeded its configured capacity."""
 
 
+class RequestShedError(ServingError):
+    """The serving front end refused a request (admission control).
+
+    Carries the shed ``reason`` (``"rate_limit"``, ``"queue_full"``,
+    ``"deadline"``, ``"dispatch_failed"`` or ``"fault"``) and a
+    ``retry_after`` hint in seconds — the earliest time at which a
+    retry has a chance of being admitted. Gateways translate this into
+    HTTP 429 with the hint in the body.
+    """
+
+    def __init__(self, reason: str, retry_after: float, detail: str = ""):
+        message = f"request shed ({reason}); retry after {retry_after:.3f}s"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.reason = reason
+        self.retry_after = float(retry_after)
+
+
 class ModelNotFoundError(RafikiError, KeyError):
     """The referenced model name is not registered in the zoo."""
 

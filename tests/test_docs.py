@@ -15,10 +15,13 @@ PACKAGES = [
     "repro.zoo",
     "repro.core.tune",
     "repro.core.serve",
+    "repro.core.serve.frontend",
+    "repro.core.serve.loadgen",
     "repro.api",
     "repro.sqlext",
     "repro.telemetry",
     "repro.chaos",
+    "repro.utils",
 ]
 
 
@@ -46,14 +49,14 @@ class TestDocstrings:
         assert undocumented == []
 
     def test_public_methods_of_key_classes_documented(self):
-        from repro.core.serve import ActorCritic, ServingEnv
+        from repro.core.serve import ActorCritic, ServeFrontend, ServingEnv
         from repro.core.system import Rafiki
         from repro.core.tune import HyperSpace, StudyMaster, TuneWorker
         from repro.paramserver import ParameterServer
 
         undocumented = []
         for cls in (Rafiki, HyperSpace, StudyMaster, TuneWorker,
-                    ParameterServer, ServingEnv, ActorCritic):
+                    ParameterServer, ServingEnv, ActorCritic, ServeFrontend):
             for name, member in inspect.getmembers(cls, inspect.isfunction):
                 if name.startswith("_"):
                     continue

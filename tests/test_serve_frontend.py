@@ -1,0 +1,523 @@
+"""The admission-controlled serving front end and its load harness.
+
+Covers the sans-io core at hand-picked instants (admission edge cases,
+batcher integration, dispatch faults), the deterministic load harness
+(bit-identical same-seed traces, open and closed loop), the asyncio
+shell, the gateway's 429 backpressure contract, the scaling advisor's
+hysteresis, and a chaos-marked replica-death-mid-load scenario.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import chaos, telemetry
+from repro.chaos import FaultKind, FaultPlan, FaultRule
+from repro.core.serve import (
+    AsyncServeFrontend,
+    FrontendConfig,
+    LoadGenConfig,
+    ReplicaPool,
+    ScalingAdvisor,
+    ServeFrontend,
+    TokenBucket,
+    capacity_qps,
+    run_load,
+)
+from repro.exceptions import ConfigurationError, RequestShedError
+
+
+def lat(b):
+    """A simple affine c(b) latency model for the tests."""
+    return 0.05 + 0.001 * b
+
+
+def config(**overrides):
+    defaults = dict(latency=lat, tau=0.5, batch_sizes=(4, 8), max_queue=64)
+    defaults.update(overrides)
+    return FrontendConfig(**defaults)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate=2.0, burst=2.0)
+        assert bucket.try_take(0.0) == 0.0
+        assert bucket.try_take(0.0) == 0.0
+        wait = bucket.try_take(0.0)
+        assert wait == pytest.approx(0.5)  # one token at 2/s
+        # after the hinted wait the take succeeds
+        assert bucket.try_take(wait) == 0.0
+
+    def test_burst_caps_accumulation(self):
+        bucket = TokenBucket(rate=1.0, burst=3.0)
+        # a long idle period must not bank more than the burst
+        assert bucket.available(100.0) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, burst=0.0)
+
+
+class TestAdmission:
+    def test_queue_full_sheds_with_retry_hint(self, manual_clock):
+        frontend = ServeFrontend(config(max_queue=3))
+        for i in range(3):
+            frontend.offer(f"c{i}", None, manual_clock.now())
+        with pytest.raises(RequestShedError) as err:
+            frontend.offer("c3", None, manual_clock.now())
+        assert err.value.reason == "queue_full"
+        assert err.value.retry_after > 0.0
+        assert frontend.outcomes["queue_full"] == 1
+        assert frontend.admitted == 3
+
+    def test_deadline_shed_uses_capacity_hook(self):
+        # one live replica, 10s head-of-line delay: no admitted request
+        # could possibly meet tau, so admission refuses up front.
+        frontend = ServeFrontend(config(), capacity=lambda now: (1, 10.0))
+        with pytest.raises(RequestShedError) as err:
+            frontend.offer("c", None, 0.0)
+        assert err.value.reason == "deadline"
+        # the hint is the estimated delay beyond the tau budget
+        assert err.value.retry_after >= 10.0 - 0.5
+
+    def test_deadline_slack_widens_admission(self):
+        head = 0.6  # just past tau=0.5 with the batch drain added
+        strict = ServeFrontend(config(), capacity=lambda now: (1, head))
+        with pytest.raises(RequestShedError):
+            strict.offer("c", None, 0.0)
+        loose = ServeFrontend(
+            config(deadline_slack=2.0), capacity=lambda now: (1, head)
+        )
+        assert loose.offer("c", None, 0.0).seq == 1
+
+    def test_rate_limit_is_per_client(self, manual_clock):
+        frontend = ServeFrontend(config(rate_limit=2.0, burst=2.0))
+        now = manual_clock.now()
+        frontend.offer("a", None, now)
+        frontend.offer("a", None, now)
+        with pytest.raises(RequestShedError) as err:
+            frontend.offer("a", None, now)
+        assert err.value.reason == "rate_limit"
+        assert err.value.retry_after == pytest.approx(0.5)
+        # a different client has its own bucket
+        assert frontend.offer("b", None, now).seq == 3
+        # and client a recovers once its hinted wait elapses
+        manual_clock.advance(err.value.retry_after)
+        assert frontend.offer("a", None, manual_clock.now()).seq == 4
+
+    def test_admission_telemetry(self):
+        frontend = ServeFrontend(config(max_queue=1))
+        frontend.offer("a", None, 0.0)
+        with pytest.raises(RequestShedError):
+            frontend.offer("b", None, 0.0)
+        registry = telemetry.get_registry()
+        requests = registry.counter(
+            "repro_serve_frontend_requests_total", ""
+        )
+        assert requests.value(outcome="admitted") == 1
+        assert requests.value(outcome="shed") == 1
+        shed = registry.counter("repro_serve_frontend_shed_total", "")
+        assert shed.value(reason="queue_full") == 1
+        depth = registry.gauge("repro_serve_frontend_queue_depth", "")
+        assert depth.value() == 1
+
+
+class TestDispatch:
+    def test_full_batch_dispatches_immediately(self):
+        frontend = ServeFrontend(config())
+        for i in range(8):
+            frontend.offer("c", None, 0.0)
+        plans = frontend.poll(0.0)
+        assert len(plans) == 1
+        assert plans[0].batch_size == 8
+        assert plans[0].take == 8
+        assert len(frontend.pending) == 0
+
+    def test_partial_batch_waits_for_deadline_pressure(self):
+        frontend = ServeFrontend(config())
+        for i in range(5):
+            frontend.offer("c", None, 0.0)
+        assert frontend.poll(0.0) == []
+        # the batcher's trigger: arrival + tau - c(4) - backoff
+        wake = frontend.next_wake(0.0)
+        assert wake == pytest.approx(0.5 - lat(4) - 0.05)
+        plans = frontend.poll(wake)
+        assert len(plans) == 1
+        assert plans[0].batch_size == 4 and plans[0].take == 4
+        # the leftover request waits for the tau-overrun grace rule
+        assert len(frontend.pending) == 1
+        assert frontend.next_wake(wake) == pytest.approx(0.5)
+        leftover = frontend.poll(0.5)
+        assert len(leftover) == 1
+        assert leftover[0].take == 1
+        assert leftover[0].batch_size == 4  # padded to min(B)
+
+    def test_complete_accounts_latency_and_slo(self):
+        frontend = ServeFrontend(config())
+        for i in range(8):
+            frontend.offer("c", None, 0.0)
+        (plan,) = frontend.poll(0.0)
+        frontend.complete(plan, 0.6)  # past tau=0.5: all 8 overdue
+        assert frontend.served == 8
+        assert frontend.latency_quantile(0.5) == pytest.approx(0.6)
+        registry = telemetry.get_registry()
+        assert registry.counter(
+            "repro_serve_frontend_overdue_total", ""
+        ).value() == 8
+        assert registry.gauge(
+            "repro_serve_frontend_latency_p95_seconds", ""
+        ).value() == pytest.approx(0.6)
+
+
+class TestDispatchFaults:
+    def test_accept_fault_sheds_with_reason_fault(self):
+        plan = FaultPlan(
+            [FaultRule("frontend.accept", FaultKind.EXCEPTION, max_faults=1)],
+            seed=0,
+        )
+        frontend = ServeFrontend(config())
+        with chaos.active(plan):
+            with pytest.raises(RequestShedError) as err:
+                frontend.offer("c", None, 0.0)
+            assert err.value.reason == "fault"
+            # the rule is exhausted; the next offer is admitted
+            assert frontend.offer("c", None, 0.0).seq == 1
+
+    def test_dispatch_fault_requeues_and_retries(self):
+        plan = FaultPlan(
+            [FaultRule("frontend.dispatch", FaultKind.EXCEPTION, max_faults=1)],
+            seed=0,
+        )
+        frontend = ServeFrontend(config())
+        for i in range(8):
+            frontend.offer("c", None, 0.0)
+        with chaos.active(plan):
+            assert frontend.poll(0.0) == []  # fault: batch re-queued
+            assert len(frontend.pending) == 8
+            retry_at = frontend.next_wake(0.0)
+            assert retry_at == pytest.approx(
+                frontend.config.dispatch_retry.base_delay
+            )
+            assert frontend.poll(retry_at / 2) == []  # backoff holds
+            (recovered,) = frontend.poll(retry_at)
+            assert recovered.take == 8
+        assert telemetry.get_registry().counter(
+            "repro_serve_frontend_dispatch_retries_total", ""
+        ).value() == 1
+
+    def test_poisoned_batch_shed_after_max_attempts(self):
+        attempts = FrontendConfig(
+            latency=lat, tau=0.5, batch_sizes=(4, 8), max_queue=64
+        ).dispatch_retry.max_attempts
+        plan = FaultPlan(
+            [FaultRule("frontend.dispatch", FaultKind.EXCEPTION)], seed=0
+        )
+        frontend = ServeFrontend(config())
+        for i in range(8):
+            frontend.offer("c", None, 0.0)
+        with chaos.active(plan):
+            now = 0.0
+            for _ in range(attempts):
+                frontend.poll(now)
+                now = frontend.next_wake(now) or now
+        # the batch was shed rather than wedging the queue forever
+        assert frontend.outcomes.get("dispatch_failed") == 8
+        assert len(frontend.pending) == 0
+
+
+class TestLoadDeterminism:
+    def run(self, mode, seed, **load_kwargs):
+        frontend = ServeFrontend(config(tau=0.2, batch_sizes=(4, 8, 16)))
+        pool = ReplicaPool(lat, replicas=2)
+        defaults = dict(mode=mode, duration=4.0, seed=seed)
+        defaults.update(load_kwargs)
+        return run_load(frontend, pool, LoadGenConfig(**defaults))
+
+    def test_open_loop_same_seed_bit_identical(self):
+        kwargs = dict(target_rate=300.0, period=4.0)
+        first = self.run("open", 7, **kwargs)
+        second = self.run("open", 7, **kwargs)
+        assert first.records  # the run actually offered load
+        assert first.fingerprint() == second.fingerprint()
+        assert first.summary() == second.summary()
+
+    def test_open_loop_seed_changes_trace(self):
+        kwargs = dict(target_rate=300.0, period=4.0)
+        assert (
+            self.run("open", 7, **kwargs).fingerprint()
+            != self.run("open", 8, **kwargs).fingerprint()
+        )
+
+    def test_closed_loop_same_seed_bit_identical(self):
+        kwargs = dict(clients=12, think_time=0.01)
+        first = self.run("closed", 3, **kwargs)
+        second = self.run("closed", 3, **kwargs)
+        assert first.records
+        assert first.fingerprint() == second.fingerprint()
+
+    def test_closed_loop_self_limits(self):
+        trace = self.run("closed", 3, clients=12, think_time=0.01)
+        summary = trace.summary()
+        assert summary["shed_rate"] == 0.0
+        # offered load cannot exceed clients / (service + think)
+        assert summary["offered_qps"] <= 12 / 0.01
+
+    def test_every_offered_request_gets_one_terminal_record(self):
+        trace = self.run("open", 7, target_rate=300.0, period=4.0)
+        summary = trace.summary()
+        assert summary["offered"] == summary["served"] + summary["shed"]
+
+    def test_overload_sheds_and_bounds_the_tail(self):
+        capacity = capacity_qps(lat, 16, 2)
+        trace = self.run(
+            "open", 5, target_rate=3.0 * capacity, period=4.0
+        )
+        summary = trace.summary()
+        assert summary["shed"] > 0
+        assert summary["p99_s"] <= 2.0 * 0.2  # shedding caps the tail
+
+    def test_capacity_qps(self):
+        assert capacity_qps(lat, 16, 2) == pytest.approx(2 * 16 / lat(16))
+        with pytest.raises(ConfigurationError):
+            capacity_qps(lambda b: 0.0, 16)
+
+
+@pytest.mark.chaos
+class TestChaosLoad:
+    def run_with_kill(self, seed):
+        frontend = ServeFrontend(config(tau=0.2, batch_sizes=(4, 8, 16)))
+        pool = ReplicaPool(lat, replicas=2)
+        capacity = capacity_qps(lat, 16, 2)
+        load = LoadGenConfig(
+            mode="open", target_rate=0.8 * capacity, period=6.0,
+            duration=6.0, seed=seed,
+        )
+        trace = run_load(
+            frontend, pool, load, events=[(2.0, lambda: pool.kill(0))]
+        )
+        return trace, pool
+
+    def test_replica_death_mid_load_sheds_boundedly(self):
+        trace, pool = self.run_with_kill(seed=9)
+        summary = trace.summary()
+        assert pool.live() == 1
+        assert summary["served"] > 0
+        # the survivor cannot carry the peak alone: admission sheds —
+        # but boundedly, and the tail of what is served stays capped.
+        assert 0 < summary["shed_rate"] < 0.6
+        assert summary["p99_s"] <= 2.0 * 0.2
+        assert summary["offered"] == summary["served"] + summary["shed"]
+
+    def test_replica_death_scenario_is_deterministic(self):
+        first, _ = self.run_with_kill(seed=9)
+        second, _ = self.run_with_kill(seed=9)
+        assert first.fingerprint() == second.fingerprint()
+
+
+class TestAsyncShell:
+    def test_concurrent_submissions_batch_and_backpressure(self):
+        batches = []
+
+        def executor(payloads, batch_size):
+            batches.append((len(payloads), batch_size))
+            return [p * 2 for p in payloads]
+
+        async def scenario():
+            cfg = FrontendConfig(
+                latency=lambda b: 0.001, tau=0.05,
+                batch_sizes=(1, 2, 4), max_queue=8,
+            )
+            served, shed = [], []
+
+            async def one(frontend, i):
+                try:
+                    served.append((i, await frontend.submit(i)))
+                except RequestShedError as exc:
+                    assert exc.retry_after >= 0.0
+                    shed.append(i)
+
+            async with AsyncServeFrontend(cfg, executor) as frontend:
+                await asyncio.gather(*(one(frontend, i) for i in range(16)))
+            return served, shed
+
+        served, shed = asyncio.run(scenario())
+        assert len(served) + len(shed) == 16
+        assert len(served) >= 8  # at least a queue's worth got through
+        for i, result in served:
+            assert result == i * 2
+        assert batches  # work actually went through the batcher
+
+    def test_executor_error_fails_the_future(self):
+        def executor(payloads, batch_size):
+            raise RuntimeError("backend exploded")
+
+        async def scenario():
+            cfg = FrontendConfig(
+                latency=lambda b: 0.001, tau=0.05, batch_sizes=(1,),
+            )
+            async with AsyncServeFrontend(cfg, executor) as frontend:
+                # the backend's own failure propagates to the caller
+                # (it is not a backpressure signal)
+                with pytest.raises(RuntimeError, match="backend exploded"):
+                    await frontend.submit(1)
+
+        asyncio.run(scenario())
+        assert telemetry.get_registry().counter(
+            "repro_serve_frontend_executor_errors_total", ""
+        ).value() == 1
+
+
+class TestGatewayBackpressure:
+    def test_shed_maps_to_429_with_retry_hint(self):
+        from repro.api.gateway import Gateway
+
+        response = Gateway._error_response(RequestShedError("queue_full", 0.25))
+        assert response.status == 429
+        assert response.body["reason"] == "queue_full"
+        assert response.body["retry_after"] == pytest.approx(0.25)
+
+    def test_queue_overflow_maps_to_429(self):
+        from repro.api.gateway import Gateway
+        from repro.exceptions import QueueOverflowError
+
+        response = Gateway._error_response(QueueOverflowError("queue full"))
+        assert response.status == 429
+        assert response.body["retry_after"] > 0.0
+
+    def test_handle_async_routes_through_attached_frontend(self):
+        from repro.api.gateway import Gateway
+        from repro.core.system import Rafiki
+        from repro.core.tune import HyperConf
+        from repro.data import make_image_classification
+
+        system = Rafiki(seed=5)
+        dataset = make_image_classification(
+            name="food", num_classes=3, image_shape=(3, 8, 8),
+            train_per_class=12, val_per_class=6, test_per_class=6,
+            difficulty=0.3, seed=11,
+        )
+        system.import_images(dataset)
+        job_id = system.create_train_job(
+            "t", "ImageClassification", "food",
+            hyper=HyperConf(max_trials=2, max_epochs_per_trial=3),
+        )
+        infer_id = system.create_inference_job(system.get_models(job_id))
+        gateway = Gateway(system)
+
+        from repro.api import make_query_executor
+
+        cfg = FrontendConfig(
+            latency=lambda b: 0.001, tau=0.2,
+            batch_sizes=(1, 2, 4), max_queue=4,
+        )
+        frontend = AsyncServeFrontend(
+            cfg, make_query_executor(system, infer_id)
+        )
+        gateway.attach_frontend(infer_id, frontend)
+
+        async def scenario():
+            async with frontend:
+                return await asyncio.gather(*(
+                    gateway.handle_async(
+                        "POST", f"/query/{infer_id}",
+                        {"img": dataset.test_x[i % len(dataset.test_x)].tolist()},
+                        client_id=f"c{i}",
+                    )
+                    for i in range(12)
+                ))
+
+        responses = asyncio.run(scenario())
+        by_status = {}
+        for response in responses:
+            by_status.setdefault(response.status, []).append(response)
+        assert set(by_status) <= {200, 429}
+        assert by_status.get(200), "no query was served"
+        for ok in by_status.get(200, []):
+            assert "label" in ok.body
+        for throttled in by_status.get(429, []):
+            assert throttled.body["retry_after"] >= 0.0
+            assert throttled.body["reason"]
+        gateway.detach_frontend(infer_id)
+
+    def test_handle_async_rejects_missing_img(self):
+        from repro.api.gateway import Gateway
+        from repro.core.system import Rafiki
+
+        gateway = Gateway(Rafiki(seed=5))
+        cfg = FrontendConfig(latency=lambda b: 0.001, tau=0.2, batch_sizes=(1,))
+        frontend = AsyncServeFrontend(cfg, lambda payloads, b: payloads)
+        gateway.attach_frontend("job", frontend)
+
+        async def scenario():
+            async with frontend:
+                return await gateway.handle_async("POST", "/query/job", {})
+
+        assert asyncio.run(scenario()).status == 400
+
+    def test_handle_async_delegates_other_routes(self):
+        from repro.api.gateway import Gateway
+        from repro.core.system import Rafiki
+
+        gateway = Gateway(Rafiki(seed=5))
+        response = asyncio.run(gateway.handle_async("GET", "/datasets"))
+        assert response.ok
+
+
+class TestScalingAdvisor:
+    def gauges(self):
+        registry = telemetry.get_registry()
+        return (
+            registry.gauge("repro_serve_frontend_queue_depth", ""),
+            registry.gauge("repro_serve_frontend_latency_p95_seconds", ""),
+        )
+
+    def test_watermarks_and_cooldown(self):
+        depth, p95 = self.gauges()
+        advisor = ScalingAdvisor(cooldown=5.0)
+        depth.set(300.0)
+        assert advisor.evaluate(0.0) == 1
+        assert advisor.evaluate(2.0) == 0  # cooldown suppresses
+        assert advisor.evaluate(6.0) == 1
+        depth.set(0.0)
+        p95.set(0.0)
+        assert advisor.evaluate(7.0) == 0  # still cooling down
+        assert advisor.evaluate(12.0) == -1
+        hint = telemetry.get_registry().gauge(
+            "repro_serve_frontend_scale_hint", ""
+        )
+        assert hint.value() == -1
+
+    def test_hold_band_between_watermarks(self):
+        depth, p95 = self.gauges()
+        advisor = ScalingAdvisor()
+        depth.set(100.0)  # between low (16) and high (256)
+        p95.set(0.3)  # between low (0.2) and high (0.5)
+        assert advisor.evaluate(0.0) == 0
+
+    def test_watermark_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScalingAdvisor(high_depth=10.0, low_depth=20.0)
+        with pytest.raises(ConfigurationError):
+            ScalingAdvisor(high_p95=0.1, low_p95=0.2)
+
+    def test_autoscaled_load_grows_the_pool(self):
+        frontend = ServeFrontend(config(tau=0.2, batch_sizes=(4, 8, 16)))
+        pool = ReplicaPool(lat, replicas=1)
+        capacity = capacity_qps(lat, 16, 1)
+        load = LoadGenConfig(
+            mode="open", target_rate=2.5 * capacity, period=6.0,
+            duration=6.0, seed=2,
+        )
+        advisor = ScalingAdvisor(
+            high_depth=8.0, low_depth=1.0, high_p95=0.15, low_p95=0.01,
+            cooldown=0.5,
+        )
+        trace = run_load(
+            frontend, pool, load,
+            autoscaler=advisor, scale_bounds=(1, 8),
+            autoscale_interval=0.5,
+        )
+        assert pool.size > 1  # overload triggered scale-out hints
+        assert trace.summary()["served"] > 0

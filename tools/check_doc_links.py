@@ -1,0 +1,93 @@
+"""Fail on dead relative links in the repository's markdown docs.
+
+Scans README.md, EXPERIMENTS.md, docs/*.md and benchmarks/README.md for
+markdown links/images (``[text](target)``) whose targets are relative
+paths, and exits non-zero if any target does not exist on disk.
+External links (``http(s)://``, ``mailto:``) and pure in-page anchors
+(``#section``) are skipped; a relative target's ``#anchor`` suffix is
+stripped before the existence check (anchors themselves are not
+verified — renames are the failure mode this guards against).
+
+Usage::
+
+    python tools/check_doc_links.py [root]
+
+Run from anywhere; ``root`` defaults to the repository root (the parent
+of this file's directory). CI runs it on every push so a moved or
+renamed file cannot leave dangling references behind.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+#: inline markdown links/images: [text](target) / ![alt](target).
+#: Targets with spaces or nested parens are not used in this repo.
+_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)\)")
+
+#: schemes that are not filesystem paths.
+_EXTERNAL = ("http://", "https://", "mailto:", "ftp://")
+
+
+def iter_doc_files(root: str) -> list[str]:
+    """The markdown files the checker covers, relative to ``root``."""
+    docs = []
+    for name in sorted(os.listdir(root)):
+        if name.endswith(".md"):
+            docs.append(name)
+    for sub in ("docs", "benchmarks"):
+        directory = os.path.join(root, sub)
+        if os.path.isdir(directory):
+            for name in sorted(os.listdir(directory)):
+                if name.endswith(".md"):
+                    docs.append(os.path.join(sub, name))
+    return docs
+
+
+def check_file(root: str, rel_path: str) -> list[str]:
+    """Dead-link messages for one markdown file."""
+    failures = []
+    path = os.path.join(root, rel_path)
+    base = os.path.dirname(path)
+    with open(path, encoding="utf-8") as f:
+        for line_no, line in enumerate(f, start=1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_EXTERNAL) or target.startswith("#"):
+                    continue
+                target_path = target.split("#", 1)[0]
+                if not target_path:
+                    continue
+                resolved = os.path.normpath(os.path.join(base, target_path))
+                if not os.path.exists(resolved):
+                    failures.append(
+                        f"{rel_path}:{line_no}: dead link -> {target}"
+                    )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = os.path.abspath(
+        argv[0] if argv
+        else os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir)
+    )
+    failures = []
+    checked = 0
+    for rel_path in iter_doc_files(root):
+        failures.extend(check_file(root, rel_path))
+        checked += 1
+    if failures:
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        print(f"{len(failures)} dead link(s) across {checked} file(s)",
+              file=sys.stderr)
+        return 1
+    print(f"docs links OK ({checked} markdown file(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
