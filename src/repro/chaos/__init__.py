@@ -31,6 +31,10 @@ Fault-point names currently wired in:
 ``frontend.dispatch``       batch hand-off in :meth:`ServeFrontend.poll`
 ``serve.model.<name>``      per-replica model execution in :meth:`Rafiki.query`
 ``tune.trial``              per-epoch trial execution in :class:`TuneWorker`
+``data.store.put``          chunk upload in :meth:`BlockStore.put`
+``data.store.get``          chunk fetch in :meth:`BlockStore.get_chunk`
+``data.store.node.<n>.put`` per-datanode chunk upload (kill/slow one datanode)
+``data.store.node.<n>.get`` per-datanode chunk fetch
 ==========================  ====================================================
 """
 

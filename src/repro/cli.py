@@ -17,7 +17,13 @@ Commands:
 * ``serve`` — drive the serving path under load: with ``--frontend``,
   the admission-controlled front end + open/closed-loop load harness
   (docs/SERVING.md); without it, the classic greedy serving
-  environment.
+  environment;
+* ``store`` — exercise the chunked, content-addressable, replicated
+  block store: write near-duplicate checkpoint versions and report the
+  dedup/replication audit (``--kill`` adds a datanode kill + repair +
+  rejoin reconciliation; ``--scenario`` runs the seeded mid-write/
+  mid-read store-kill chaos scenario, ``--verify`` asserting the trace
+  is bit-identical across two same-seed runs).
 """
 
 from __future__ import annotations
@@ -131,6 +137,33 @@ def build_parser() -> argparse.ArgumentParser:
     serve_cmd.add_argument("--seed", type=int, default=0)
     serve_cmd.add_argument("--json", action="store_true",
                            help="print the summary as JSON")
+
+    store_cmd = sub.add_parser(
+        "store",
+        help="exercise the chunked, replicated block store and audit it",
+    )
+    store_cmd.add_argument("--nodes", type=int, default=3,
+                           help="datanodes in the store")
+    store_cmd.add_argument("--replicas", type=int, default=2,
+                           help="copies of each chunk")
+    store_cmd.add_argument("--chunk-size", type=int, default=4096,
+                           help="chunk size in bytes")
+    store_cmd.add_argument("--versions", type=int, default=10,
+                           help="near-duplicate checkpoint versions to write")
+    store_cmd.add_argument("--size", type=int, default=64 * 1024,
+                           help="checkpoint size in bytes")
+    store_cmd.add_argument("--kill", action="store_true",
+                           help="kill a datanode after writing, then repair "
+                                "and reconcile its rejoin")
+    store_cmd.add_argument("--scenario", action="store_true",
+                           help="run the seeded store-kill chaos scenario "
+                                "(mid-write + mid-read datanode kills) instead")
+    store_cmd.add_argument("--verify", action="store_true",
+                           help="with --scenario: run twice and require "
+                                "identical recovery traces")
+    store_cmd.add_argument("--seed", type=int, default=0)
+    store_cmd.add_argument("--json", action="store_true",
+                           help="print the full result as JSON")
     return parser
 
 
@@ -436,6 +469,93 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_store(args) -> int:
+    """Exercise the chunked block store: dedup, kill/repair, audit."""
+    import json
+
+    if args.scenario:
+        from repro.chaos.scenarios import run_store_kill_scenario
+
+        out = run_store_kill_scenario(
+            seed=args.seed, datanodes=args.nodes, replicas=args.replicas
+        )
+        if args.verify:
+            again = run_store_kill_scenario(
+                seed=args.seed, datanodes=args.nodes, replicas=args.replicas
+            )
+            if again["trace"] != out["trace"]:
+                print("FAIL: recovery traces differ across same-seed runs",
+                      file=sys.stderr)
+                return 1
+        if args.json:
+            print(json.dumps(out, indent=2, sort_keys=True))
+            return 0
+        audit, results = out["audit"], out["results"]
+        print(f"store-kill scenario (seed {out['seed']}): "
+              f"{out['faults_injected']} faults injected")
+        print(f"  mid-write kill: datanode {out['victims']['mid_write']['datanode']} "
+              f"on {out['victims']['mid_write']['node']} "
+              f"(version intact: {results['mid_write_intact']})")
+        print(f"  mid-read kill:  datanode {out['victims']['mid_read']['datanode']} "
+              f"on {out['victims']['mid_read']['node']} "
+              f"(read intact: {results['mid_read_intact']})")
+        print(f"  repair: {results['repaired_after_write']} copies after the "
+              f"write kill, {results['repaired_final']} after recovery; "
+              f"{audit['trash_reconciled']} stale chunks reconciled on rejoin")
+        print(f"  audit: {audit['chunks']} chunks, lost {audit['lost']}, "
+              f"under-replicated {audit['under_replicated']}, "
+              f"corrupt files {out['corrupt']}")
+        if args.verify:
+            print("verify: recovery trace identical across two same-seed runs")
+        return 1 if (out["corrupt"] or audit["lost"]) else 0
+
+    from repro.data import BlockStore, FileNamespace
+
+    store = BlockStore(nodes=args.nodes, replicas=args.replicas,
+                       chunk_size=args.chunk_size)
+    fs = FileNamespace(store, name="cli")
+    rng = np.random.default_rng(args.seed)
+    ckpt = bytearray(rng.integers(0, 256, args.size, dtype=np.uint8).tobytes())
+    for version in range(args.versions):
+        offset = (version * 997) % max(1, len(ckpt) - 64)
+        ckpt[offset : offset + 64] = rng.integers(0, 256, 64, dtype=np.uint8).tobytes()
+        fs.write("model/ckpt", bytes(ckpt), writer="cli")
+    read_back_ok = fs.read("model/ckpt") == bytes(ckpt)
+    killed = repaired = reconciled = None
+    if args.kill and args.nodes > 1:
+        victim = store.nodes[0].name
+        store.kill_node(victim)
+        repaired = store.repair()
+        read_back_ok = read_back_ok and fs.read("model/ckpt") == bytes(ckpt)
+        reconciled = store.rejoin_node(victim)
+        killed = victim
+    audit = store.audit()
+    if args.json:
+        print(json.dumps({
+            "audit": audit,
+            "versions": len(fs.versions("model/ckpt")),
+            "read_back_ok": read_back_ok,
+            "killed": killed,
+            "repaired": repaired,
+            "reconciled": reconciled,
+        }, indent=2, sort_keys=True))
+        return 0 if read_back_ok else 1
+    print(f"block store: {args.nodes} datanodes, R={store.replicas}, "
+          f"{store.chunk_size}B chunks")
+    print(f"wrote {args.versions} near-duplicate versions of model/ckpt "
+          f"({args.size}B each): {audit['chunks']} unique chunks")
+    print(f"dedup: {audit['logical_bytes']}B logical -> "
+          f"{audit['unique_bytes']}B unique ({audit['dedup_ratio']}x, "
+          f"{audit['dedup_hits']} chunk hits)")
+    if killed is not None:
+        print(f"killed {killed}: {repaired} chunks re-replicated, "
+              f"{reconciled} stale chunks reconciled on rejoin")
+    print(f"audit: lost {audit['lost']}, under-replicated "
+          f"{audit['under_replicated']}, live {audit['live_nodes']}, "
+          f"read-back {'ok' if read_back_ok else 'CORRUPT'}")
+    return 0 if read_back_ok else 1
+
+
 def _cmd_serve(args) -> int:
     """Drive the serving path under generated load and summarise it."""
     import json
@@ -541,6 +661,7 @@ _COMMANDS = {
     "telemetry": _cmd_telemetry,
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
+    "store": _cmd_store,
 }
 
 

@@ -29,6 +29,8 @@ class JobKind(enum.Enum):
     INFERENCE = "inference"
     #: system job hosting parameter-server shards (Figure 7's storage boxes).
     PARAMSERVER = "paramserver"
+    #: system job hosting block-store datanodes (the HDFS-shaped layer).
+    DATASTORE = "datastore"
 
 
 class JobState(enum.Enum):

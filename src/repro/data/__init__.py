@@ -8,7 +8,9 @@ pipeline Section 7.1 describes (per-channel standardisation, 4-pixel
 padding, random 32x32 crop, random horizontal flip).
 """
 
+from repro.data.blockstore import BlockStore, DataNode, chunk_digest, split_chunks
 from repro.data.datasets import ImageDataset, make_image_classification, make_sentiment_dataset
+from repro.data.fs import FileNamespace, Manifest, PendingWrite
 from repro.data.loader import BatchLoader
 from repro.data.preprocess import (
     Compose,
@@ -22,6 +24,13 @@ from repro.data.preprocess import (
 from repro.data.store import DataStore, DatasetHandle
 
 __all__ = [
+    "BlockStore",
+    "DataNode",
+    "FileNamespace",
+    "Manifest",
+    "PendingWrite",
+    "chunk_digest",
+    "split_chunks",
     "DataStore",
     "DatasetHandle",
     "ImageDataset",

@@ -1,0 +1,733 @@
+"""Chunked, content-addressable, replicated block storage.
+
+The datanode half of the HDFS-shaped store (the namenode half —
+paths, manifests, versions — lives in :mod:`repro.data.fs`). Files are
+split into fixed-size chunks addressed by their sha256 digest, so
+
+* **dedup is structural**: two files (or two versions, or two
+  parameter-server replicas) that share bytes share chunks — the
+  near-duplicate checkpoints a tuning study writes collapse to the
+  few chunks that actually changed;
+* **replication is per chunk**: every chunk is placed on ``replicas``
+  distinct :class:`DataNode`\\ s chosen by rendezvous hashing
+  (preferring distinct cluster nodes when the store is
+  cluster-registered), so one machine failure cannot destroy any
+  chunk;
+* **failure handling mirrors the sharded parameter server**: reads
+  fail over through the chunk's holders behind per-node circuit
+  breakers, a dead node's chunks are re-replicated from the surviving
+  copies, and ``repair()``/``audit()`` heal and report replication
+  health;
+* **trash reconciliation follows HMDFS**: a datanode death does not
+  destroy its disk. While it is down, deletions that would have
+  reached it are queued in a per-node *trash* set; when the node
+  rejoins, trashed and over-replicated chunks are removed from its
+  disk and still-referenced survivors are re-admitted to the
+  directory (which can resurrect chunks whose every live copy died).
+
+Chaos integration: every datanode operation passes through
+``data.store.node.<name>.<put|get>`` fault points (plus the aggregate
+``data.store.put``/``data.store.get`` points), so plans can kill or
+slow a single datanode; injected faults feed the node's
+:class:`~repro.utils.retry.CircuitBreaker` and trigger failover or
+re-placement exactly as real disk errors would.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from repro import chaos, telemetry
+from repro.exceptions import (
+    ChunkLostError,
+    ConfigurationError,
+    InjectedFault,
+    RetryExhaustedError,
+    StorageError,
+)
+from repro.utils.retry import CircuitBreaker
+
+__all__ = ["BlockStore", "DataNode", "chunk_digest", "split_chunks", "DEFAULT_CHUNK_SIZE"]
+
+#: default chunk size in bytes. Small enough that a ~70KB checkpoint
+#: spans several chunks (so partial updates dedup), large enough that
+#: digest overhead stays negligible.
+DEFAULT_CHUNK_SIZE = 64 * 1024
+
+#: exception types that count as "this datanode failed, try another".
+_FAILOVER_ERRORS = (InjectedFault, RetryExhaustedError)
+
+
+def chunk_digest(data: bytes) -> str:
+    """Content address of one chunk: its sha256 hex digest."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def split_chunks(data: bytes, chunk_size: int) -> list[bytes]:
+    """Split ``data`` into fixed-size chunks (the last one may be short).
+
+    Empty input yields an empty list — a zero-length file is a manifest
+    with no chunks, not a chunk of no bytes.
+    """
+    if chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    return [data[i : i + chunk_size] for i in range(0, len(data), chunk_size)]
+
+
+def _rendezvous_score(digest: str, node_name: str) -> int:
+    """Stable highest-random-weight score (independent of PYTHONHASHSEED)."""
+    return int.from_bytes(
+        hashlib.md5(f"{digest}|{node_name}".encode("utf-8")).digest()[:8], "big"
+    )
+
+
+@dataclass
+class DataNode:
+    """One storage daemon: a chunk disk plus liveness bookkeeping.
+
+    ``chunks`` is the node's disk — it survives :meth:`BlockStore.kill_node`
+    (process death leaves the disk behind) and is either reconciled on
+    rejoin or discarded when the node's container restarts on a
+    different machine.
+    """
+
+    name: str
+    breaker: CircuitBreaker
+    alive: bool = True
+    #: digest -> chunk bytes (the disk).
+    chunks: dict[str, bytes] = field(default_factory=dict)
+    #: cluster container currently hosting this datanode (None standalone).
+    container_id: str | None = None
+    #: cluster node that container runs on (tracks disk locality).
+    node_name: str | None = None
+    #: lifetime death count (kills + node failures).
+    deaths: int = 0
+
+    @property
+    def stored_bytes(self) -> int:
+        """Bytes currently on this node's disk."""
+        return sum(len(chunk) for chunk in self.chunks.values())
+
+
+class BlockStore:
+    """Fixed-size chunks, sha256 addressing, R-way replica placement.
+
+    The store is the *chunk* layer only: it knows digests, holders and
+    reference counts, never paths (see :class:`repro.data.fs.FileNamespace`
+    for the namenode role). ``replicas`` is clamped to the node count.
+    Reference counts are owned by the namespaces committing manifests:
+    :meth:`put` stores bytes, :meth:`incref`/:meth:`decref` pin and
+    release them, and a chunk's bytes are deleted everywhere when its
+    last reference drops.
+    """
+
+    def __init__(
+        self,
+        nodes: int = 3,
+        replicas: int = 2,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        breaker_factory=None,
+    ):
+        if nodes < 1:
+            raise ConfigurationError(f"nodes must be >= 1, got {nodes}")
+        if replicas < 1:
+            raise ConfigurationError(f"replicas must be >= 1, got {replicas}")
+        if chunk_size < 1:
+            raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.replicas = min(replicas, nodes)
+        self.chunk_size = chunk_size
+        self._nodes: list[DataNode] = []
+        for i in range(nodes):
+            name = f"dn-{i}"
+            breaker = (
+                breaker_factory(name)
+                if breaker_factory is not None
+                else CircuitBreaker(
+                    name=f"blockstore/{name}", failure_threshold=3, recovery_time=30.0
+                )
+            )
+            self._nodes.append(DataNode(name=name, breaker=breaker))
+        self._by_name = {node.name: node for node in self._nodes}
+        #: digest -> live holder names (the namenode's block map).
+        self._directory: dict[str, list[str]] = {}
+        #: digest -> chunk length in bytes.
+        self._sizes: dict[str, int] = {}
+        #: digest -> number of committed manifest references.
+        self._refcounts: dict[str, int] = {}
+        #: dead node -> digests to delete from its disk when it rejoins.
+        self._trash: dict[str, set[str]] = {}
+        #: digests whose every live copy is gone (until rejoin restores them).
+        self._lost: set[str] = set()
+        #: cluster integration (None when standalone).
+        self.manager = None
+        self.cluster_job_id: str | None = None
+        #: last heartbeat per datanode, on the injectable telemetry clock.
+        self.last_heartbeat: dict[str, float] = {
+            node.name: telemetry.get_clock().now() for node in self._nodes
+        }
+        self.rereplications = 0
+        self.dedup_hits = 0
+        self.trash_reconciled = 0
+        self._publish_gauges()
+
+    # ------------------------------------------------------------------
+    # topology
+    # ------------------------------------------------------------------
+
+    @property
+    def nodes(self) -> list[DataNode]:
+        """The datanode records (read-only use: tests, benchmarks, repr)."""
+        return list(self._nodes)
+
+    def node(self, name: str) -> DataNode:
+        """Look a datanode up by name."""
+        if name not in self._by_name:
+            raise ConfigurationError(f"unknown datanode {name!r}")
+        return self._by_name[name]
+
+    def live_nodes(self) -> list[DataNode]:
+        """Datanodes currently alive (refreshing cluster liveness first)."""
+        self._refresh_liveness()
+        return [node for node in self._nodes if node.alive]
+
+    def _preference(self, digest: str) -> list[DataNode]:
+        """Every datanode, ordered by the chunk's rendezvous-hash weight."""
+        return sorted(
+            self._nodes,
+            key=lambda n: (-_rendezvous_score(digest, n.name), n.name),
+        )
+
+    def _host_of(self, node: DataNode) -> str | None:
+        if self.manager is None or node.container_id is None:
+            return None
+        container = self.manager.containers.get(node.container_id)
+        return container.node_name if container is not None else None
+
+    def _targets(self, digest: str) -> list[DataNode]:
+        """First ``replicas`` live datanodes in preference order.
+
+        Prefers datanodes on distinct cluster nodes (rack-awareness) so
+        one machine failure cannot take every copy; falls back to
+        co-located datanodes only when there aren't enough hosts.
+        """
+        order = [n for n in self._preference(digest) if n.alive]
+        targets: list[DataNode] = []
+        seen_hosts: set[str] = set()
+        for node in order:
+            host = self._host_of(node)
+            if host is not None and host in seen_hosts:
+                continue
+            targets.append(node)
+            if host is not None:
+                seen_hosts.add(host)
+            if len(targets) == self.replicas:
+                return targets
+        for node in order:
+            if node not in targets:
+                targets.append(node)
+                if len(targets) == self.replicas:
+                    break
+        return targets
+
+    def _needed(self) -> int:
+        """The replication factor achievable right now."""
+        return min(self.replicas, sum(1 for n in self._nodes if n.alive))
+
+    # ------------------------------------------------------------------
+    # chunk I/O
+    # ------------------------------------------------------------------
+
+    def put(self, data: bytes, on_chunk=None) -> list[str]:
+        """Chunk ``data`` and store every chunk; return its digest list.
+
+        Identical chunks (within this call or against anything already
+        stored) are stored once and counted as dedup hits. ``on_chunk``
+        — called as ``on_chunk(index, digest)`` after each chunk lands —
+        lets chaos scenarios kill a node *mid-write* deterministically.
+        Bytes are stored unreferenced until a namespace commits a
+        manifest and calls :meth:`incref`.
+        """
+        self._refresh_liveness()
+        digests: list[str] = []
+        for index, chunk in enumerate(split_chunks(data, self.chunk_size)):
+            digest = chunk_digest(chunk)
+            if digest in self._directory and digest not in self._lost:
+                self.dedup_hits += 1
+                telemetry.get_registry().counter(
+                    "repro_blockstore_dedup_hits_total",
+                    "Chunk puts answered by an already-stored identical chunk.",
+                ).inc()
+            else:
+                self._store_chunk(digest, chunk)
+            digests.append(digest)
+            if on_chunk is not None:
+                on_chunk(index, digest)
+        self._publish_gauges()
+        return digests
+
+    def _store_chunk(self, digest: str, data: bytes) -> None:
+        """Place one chunk on ``replicas`` datanodes (at least one)."""
+        placed: list[str] = []
+        last_error: BaseException | None = None
+        for node in self._targets(digest):
+            if not node.breaker.allow():
+                self._count_failover(node, "put")
+                continue
+            try:
+                self._node_call(node, "put")
+            except _FAILOVER_ERRORS as exc:
+                node.breaker.record_failure()
+                self._count_failover(node, "put")
+                last_error = exc
+                continue
+            node.breaker.record_success()
+            node.chunks[digest] = data
+            placed.append(node.name)
+        if not placed:
+            if last_error is not None:
+                raise last_error
+            raise StorageError(f"no live datanode accepted chunk {digest[:12]}…")
+        self._directory[digest] = placed
+        self._sizes[digest] = len(data)
+        self._refcounts.setdefault(digest, 0)
+        self._lost.discard(digest)
+        telemetry.get_registry().counter(
+            "repro_blockstore_chunk_writes_total", "Distinct chunks written."
+        ).inc()
+
+    def get_chunk(self, digest: str) -> bytes:
+        """Fetch one chunk, failing over through its holders as needed."""
+        self._refresh_liveness()
+        holders = self._directory.get(digest)
+        if holders is None:
+            raise ChunkLostError(f"unknown chunk {digest[:12]}…")
+        ordered = [
+            node
+            for node in self._preference(digest)
+            if node.name in holders and node.alive
+        ]
+        last_error: BaseException | None = None
+        for node in ordered:
+            if not node.breaker.allow():
+                self._count_failover(node, "get")
+                continue
+            try:
+                self._node_call(node, "get")
+            except _FAILOVER_ERRORS as exc:
+                node.breaker.record_failure()
+                self._count_failover(node, "get")
+                last_error = exc
+                continue
+            node.breaker.record_success()
+            return node.chunks[digest]
+        if last_error is not None:
+            raise last_error
+        raise ChunkLostError(
+            f"chunk {digest[:12]}… has no live replica "
+            f"(holders: {', '.join(holders) or 'none'})"
+        )
+
+    def has_chunk(self, digest: str) -> bool:
+        """Whether the chunk has at least one live copy."""
+        holders = self._directory.get(digest)
+        if not holders:
+            return False
+        return any(self._by_name[name].alive for name in holders)
+
+    def ensure(self, digests: list[str], data: bytes) -> int:
+        """Re-store any chunk of ``data`` that lost every live copy.
+
+        The writer still holds the bytes, so a node death *during* a
+        write costs nothing: commit calls this before publishing the
+        manifest, closing the mid-write window. Returns the number of
+        chunks re-stored.
+        """
+        self._refresh_liveness()
+        chunks = split_chunks(data, self.chunk_size)
+        if len(chunks) != len(digests):
+            raise StorageError("digest list does not match the data being ensured")
+        healed = 0
+        for digest, chunk in zip(digests, chunks):
+            if not self.has_chunk(digest):
+                refs = self._refcounts.get(digest, 0)
+                self._store_chunk(digest, chunk)
+                self._refcounts[digest] = refs
+                healed += 1
+        if healed:
+            self._publish_gauges()
+        return healed
+
+    def _node_call(self, node: DataNode, op: str) -> None:
+        """One store->datanode operation: fault points plus telemetry."""
+        try:
+            chaos.fire(f"data.store.{op}")
+            chaos.fire(f"data.store.node.{node.name}.{op}")
+        except Exception:
+            telemetry.get_registry().counter(
+                "repro_blockstore_requests_total",
+                "Store->datanode chunk operations, by node, op and outcome.",
+            ).inc(node=node.name, op=op, outcome="error")
+            raise
+        telemetry.get_registry().counter(
+            "repro_blockstore_requests_total",
+            "Store->datanode chunk operations, by node, op and outcome.",
+        ).inc(node=node.name, op=op, outcome="ok")
+
+    def _count_failover(self, node: DataNode, op: str) -> None:
+        telemetry.get_registry().counter(
+            "repro_blockstore_failovers_total",
+            "Chunk operations redirected to another holder, by failed node.",
+        ).inc(node=node.name, op=op)
+
+    # ------------------------------------------------------------------
+    # reference counting (namespace-driven)
+    # ------------------------------------------------------------------
+
+    def incref(self, digests: list[str]) -> None:
+        """Pin chunks referenced by a newly committed manifest."""
+        for digest in digests:
+            if digest not in self._directory:
+                raise ChunkLostError(f"cannot reference unknown chunk {digest[:12]}…")
+            self._refcounts[digest] = self._refcounts.get(digest, 0) + 1
+        self._publish_gauges()
+
+    def decref(self, digests: list[str]) -> None:
+        """Release manifest references; delete chunks that reach zero.
+
+        Deleting from a *dead* node's disk is impossible, so those
+        deletions are queued in the node's trash set and applied when
+        it rejoins (the HMDFS trash pass).
+        """
+        for digest in digests:
+            if digest not in self._refcounts:
+                continue
+            self._refcounts[digest] -= 1
+            if self._refcounts[digest] > 0:
+                continue
+            for node in self._nodes:
+                if digest not in node.chunks:
+                    continue
+                if node.alive:
+                    del node.chunks[digest]
+                else:
+                    self._trash.setdefault(node.name, set()).add(digest)
+            self._directory.pop(digest, None)
+            self._sizes.pop(digest, None)
+            self._refcounts.pop(digest, None)
+            self._lost.discard(digest)
+        self._publish_gauges()
+
+    # ------------------------------------------------------------------
+    # liveness, death, rejoin
+    # ------------------------------------------------------------------
+
+    def heartbeat(self, name: str) -> bool:
+        """Record a datanode liveness heartbeat; returns whether it is alive."""
+        node = self.node(name)
+        self.last_heartbeat[name] = telemetry.get_clock().now()
+        telemetry.get_registry().counter(
+            "repro_blockstore_heartbeats_total", "Datanode heartbeats received."
+        ).inc(node=name)
+        return node.alive
+
+    def detect_failures(self, timeout: float) -> list[str]:
+        """Kill every alive datanode silent for longer than ``timeout``.
+
+        The push-based failure detector mirroring
+        :meth:`~repro.cluster.manager.ClusterManager.detect_failures`:
+        silence on the injectable telemetry clock is treated as a node
+        death, triggering re-replication. Returns newly dead node names.
+        """
+        now = telemetry.get_clock().now()
+        stale = [
+            node.name
+            for node in self._nodes
+            if node.alive and now - self.last_heartbeat.get(node.name, now) > timeout
+        ]
+        for name in stale:
+            self.kill_node(name)
+        return stale
+
+    def kill_node(self, name: str) -> None:
+        """Kill a datanode (its disk survives for a later rejoin)."""
+        node = self.node(name)
+        if node.alive:
+            self._handle_node_down(node)
+
+    def _handle_node_down(self, node: DataNode) -> None:
+        """Mark a node dead and restore replication from surviving copies."""
+        node.alive = False
+        node.deaths += 1
+        self._trash.setdefault(node.name, set())
+        telemetry.get_registry().counter(
+            "repro_blockstore_node_deaths_total", "Datanode deaths observed."
+        ).inc(node=node.name)
+        for digest in sorted(self._directory):
+            holders = self._directory[digest]
+            if node.name not in holders:
+                continue
+            holders.remove(node.name)
+            if holders:
+                self._restore_replication(digest)
+            else:
+                self._lost.add(digest)
+                telemetry.get_registry().counter(
+                    "repro_blockstore_chunks_lost_total",
+                    "Chunks whose every live copy died before re-replication.",
+                ).inc()
+        self._publish_gauges()
+
+    def _restore_replication(self, digest: str) -> int:
+        """Re-copy ``digest`` until it is back at ``replicas`` live copies."""
+        holders = self._directory.get(digest)
+        if not holders:
+            return 0
+        source = self._by_name[holders[0]]
+        copied = 0
+        for target in self._targets(digest):
+            if len(holders) >= self._needed():
+                break
+            if target.name in holders:
+                continue
+            target.chunks[digest] = source.chunks[digest]
+            holders.append(target.name)
+            copied += 1
+            self.rereplications += 1
+            telemetry.get_registry().counter(
+                "repro_blockstore_rereplications_total",
+                "Chunks re-copied to restore the replication factor.",
+            ).inc(node=target.name)
+        return copied
+
+    def rejoin_node(self, name: str) -> int:
+        """Bring a dead datanode back with its disk and reconcile it.
+
+        The HMDFS trash pass: chunks deleted (or re-replicated past the
+        factor) while the node was down are removed from its disk;
+        still-referenced survivors are re-admitted to the directory —
+        which resurrects any chunk whose every live copy had died.
+        Returns the number of chunks deleted from the rejoining disk.
+        """
+        node = self.node(name)
+        if node.alive:
+            return 0
+        node.alive = True
+        self.last_heartbeat[name] = telemetry.get_clock().now()
+        removed = self._reconcile(node)
+        self._publish_gauges()
+        return removed
+
+    def _reconcile(self, node: DataNode) -> int:
+        """Apply the trash pass to a rejoining node's preserved disk."""
+        trash = self._trash.pop(node.name, set())
+        removed = 0
+        registry = telemetry.get_registry()
+        for digest in sorted(node.chunks):
+            holders = self._directory.get(digest)
+            stale = (
+                digest in trash
+                or holders is None
+                or (node.name not in holders and len(holders) >= self._needed())
+            )
+            if stale:
+                del node.chunks[digest]
+                removed += 1
+                self.trash_reconciled += 1
+                registry.counter(
+                    "repro_blockstore_trash_reconciled_total",
+                    "Stale chunks deleted from a rejoining datanode's disk.",
+                ).inc(node=node.name)
+                continue
+            if node.name not in holders:
+                holders.append(node.name)
+                if digest in self._lost:
+                    self._lost.discard(digest)
+                    registry.counter(
+                        "repro_blockstore_chunks_restored_total",
+                        "Lost chunks resurrected from a rejoining disk.",
+                    ).inc(node=node.name)
+        return removed
+
+    def repair(self) -> int:
+        """Re-replicate every under-replicated chunk; return copies made.
+
+        Writes that ran degraded (an open breaker, an injected fault, a
+        mid-write death) leave chunks below the replication factor.
+        Operators — and the chaos scenarios — call this once the fault
+        clears to heal everything immediately.
+        """
+        self._refresh_liveness()
+        before = self.rereplications
+        for digest in sorted(self._directory):
+            if len(self._directory[digest]) < self._needed():
+                self._restore_replication(digest)
+        self._publish_gauges()
+        return self.rereplications - before
+
+    # ------------------------------------------------------------------
+    # cluster-manager integration
+    # ------------------------------------------------------------------
+
+    def register_with_cluster(self, manager, worker_request=None):
+        """Host the datanodes as DATA-role containers under ``manager``.
+
+        Placement is spread (anti-affinity) so chunk replicas land on
+        distinct machines. Node failures — injected directly or noticed
+        by ``detect_failures`` — kill the datanodes they host; the
+        manager's recovery hook hands each replacement container back:
+        a replacement on the *same* machine rejoins with its disk and
+        runs the trash pass, a replacement elsewhere starts with an
+        empty disk and is re-synced from the surviving replicas.
+        """
+        from repro.cluster.container import ContainerRole
+        from repro.cluster.manager import JobKind
+        from repro.cluster.node import Resources
+
+        if self.manager is not None:
+            raise ConfigurationError("datanodes are already cluster-registered")
+        job = manager.submit_job(
+            JobKind.DATASTORE,
+            name="blockstore",
+            num_workers=len(self._nodes),
+            master_request=Resources(cpus=1, gpus=0, memory_gb=4),
+            worker_request=worker_request or Resources(cpus=1, gpus=0, memory_gb=8),
+            worker_role=ContainerRole.DATA,
+            spread=True,
+        )
+        self.manager = manager
+        self.cluster_job_id = job.job_id
+        hosts = [c for c in job.containers if c.role is ContainerRole.DATA]
+        for node, container in zip(self._nodes, hosts):
+            node.container_id = container.container_id
+            node.node_name = container.node_name
+        manager.on_recovery(self._on_container_recovered)
+        return job
+
+    def _refresh_liveness(self) -> None:
+        """Notice cluster-container deaths the manager hasn't replaced yet."""
+        if self.manager is None:
+            return
+        for node in self._nodes:
+            if not node.alive or node.container_id is None:
+                continue
+            container = self.manager.containers.get(node.container_id)
+            if container is None or not container.running:
+                self._handle_node_down(node)
+
+    def _on_container_recovered(self, container) -> None:
+        from repro.cluster.container import ContainerRole
+
+        if container.role is not ContainerRole.DATA:
+            return
+        if container.job_id != self.cluster_job_id:
+            return
+        node = next(
+            (n for n in self._nodes if n.container_id == container.predecessor),
+            None,
+        )
+        if node is None:
+            return
+        if node.alive:
+            # The hook fires synchronously inside fail_node, possibly
+            # before any lazy liveness check noticed the death.
+            self._handle_node_down(node)
+        same_host = container.node_name == node.node_name
+        node.container_id = container.container_id
+        node.node_name = container.node_name
+        node.alive = True
+        self.last_heartbeat[node.name] = telemetry.get_clock().now()
+        if same_host:
+            # The machine came back: the disk survived — trash pass.
+            self._reconcile(node)
+        else:
+            # Restarted elsewhere: the old disk is orphaned — start
+            # empty and re-sync from the surviving replicas.
+            node.chunks.clear()
+            self._trash.pop(node.name, None)
+            self._rebalance_onto(node)
+        self._publish_gauges()
+
+    def _rebalance_onto(self, node: DataNode) -> None:
+        """Re-sync an empty (re)joined datanode with its assigned chunks."""
+        for digest in sorted(self._directory):
+            holders = self._directory[digest]
+            if node.name in holders or len(holders) >= self._needed():
+                continue
+            if node in self._targets(digest):
+                self._restore_replication(digest)
+
+    # ------------------------------------------------------------------
+    # auditing
+    # ------------------------------------------------------------------
+
+    def audit(self) -> dict:
+        """Replication health: lost, under-replicated chunks, dedup ratio.
+
+        ``logical_bytes`` counts every manifest reference, ``unique_bytes``
+        each stored chunk once, ``replicated_bytes`` every live copy —
+        so ``dedup_ratio = logical / unique`` measures what content
+        addressing saved. The store-kill chaos scenario asserts ``lost``
+        and ``under_replicated`` are empty after repair.
+        """
+        self._refresh_liveness()
+        needed = self._needed()
+        under = sorted(
+            digest
+            for digest, holders in self._directory.items()
+            if 0 < len(holders) < needed
+        )
+        unique = sum(self._sizes.values())
+        logical = sum(
+            self._sizes[digest] * self._refcounts.get(digest, 0)
+            for digest in self._directory
+        )
+        replicated = sum(
+            self._sizes[digest] * len(holders)
+            for digest, holders in self._directory.items()
+        )
+        return {
+            "chunks": len(self._directory),
+            "lost": sorted(self._lost),
+            "under_replicated": under,
+            "unique_bytes": unique,
+            "logical_bytes": logical,
+            "replicated_bytes": replicated,
+            "dedup_ratio": round(logical / unique, 4) if unique else 1.0,
+            "dedup_hits": self.dedup_hits,
+            "rereplications": self.rereplications,
+            "trash_reconciled": self.trash_reconciled,
+            "trash_pending": {
+                name: len(digests)
+                for name, digests in sorted(self._trash.items())
+                if digests
+            },
+            "live_nodes": [n.name for n in self._nodes if n.alive],
+        }
+
+    def _publish_gauges(self) -> None:
+        registry = telemetry.get_registry()
+        registry.gauge(
+            "repro_blockstore_nodes_live", "Datanodes currently alive."
+        ).set(sum(1 for n in self._nodes if n.alive))
+        registry.gauge(
+            "repro_blockstore_chunks", "Distinct chunks currently stored."
+        ).set(len(self._directory))
+        unique = sum(self._sizes.values())
+        logical = sum(
+            self._sizes[digest] * self._refcounts.get(digest, 0)
+            for digest in self._directory
+        )
+        registry.gauge(
+            "repro_blockstore_bytes", "Stored bytes, by accounting kind."
+        ).set(unique, kind="unique")
+        registry.gauge(
+            "repro_blockstore_bytes", "Stored bytes, by accounting kind."
+        ).set(logical, kind="logical")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        live = sum(1 for n in self._nodes if n.alive)
+        return (
+            f"BlockStore(nodes={len(self._nodes)}, live={live}, "
+            f"replicas={self.replicas}, chunks={len(self._directory)})"
+        )

@@ -1,0 +1,209 @@
+"""Namenode-style file namespace over the chunked block store.
+
+:class:`FileNamespace` maps ``path -> [chunk digests]`` through
+versioned, immutable :class:`Manifest` records, playing the namenode
+role to :class:`repro.data.blockstore.BlockStore`'s datanodes: the
+namespace owns *names* and *versions*, the block store owns *bytes*.
+
+Two semantics the regression tests pin down live here:
+
+* **last-writer-wins commits** — a write is two phases,
+  :meth:`FileNamespace.begin_write` (chunks uploaded, nothing visible)
+  then :meth:`FileNamespace.commit` (chunks healed via
+  ``BlockStore.ensure``, then the manifest appended atomically). Two
+  concurrent writers to one path each commit a *complete* manifest;
+  whichever commits last wins, and no reader ever sees an interleaved
+  chunk list.
+* **no partial reads** — :meth:`FileNamespace.read_chunks` re-checks
+  the manifest before serving each chunk; if the path (or the version
+  being read) was deleted mid-read it raises
+  :class:`~repro.exceptions.NotFoundError` instead of returning a
+  truncated blob.
+
+Overwrites never destroy history: every commit appends a new version
+and old manifests stay reachable through
+:meth:`FileNamespace.versions` until the path is deleted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro import telemetry
+from repro.data.blockstore import BlockStore
+from repro.exceptions import NotFoundError, StorageError
+
+__all__ = ["FileNamespace", "Manifest", "PendingWrite"]
+
+
+@dataclass(frozen=True)
+class Manifest:
+    """One immutable version of one path: its ordered chunk digests."""
+
+    path: str
+    version: int
+    length: int
+    chunk_size: int
+    digests: tuple[str, ...]
+    writer: str = ""
+
+
+@dataclass(frozen=True)
+class PendingWrite:
+    """A write whose chunks are uploaded but whose manifest isn't committed.
+
+    Holds the full payload so :meth:`FileNamespace.commit` can re-store
+    any chunk that lost every replica between upload and commit — the
+    zero-bytes-lost guarantee under mid-write node kills.
+    """
+
+    path: str
+    data: bytes
+    digests: tuple[str, ...]
+    writer: str = ""
+
+
+class FileNamespace:
+    """Versioned ``path -> manifest`` namespace over a :class:`BlockStore`.
+
+    Multiple namespaces may share one block store (the sharded
+    parameter server gives each shard its own namespace over a shared
+    chunk pool): names are isolated, identical bytes dedup across all
+    of them. Reference counts on chunks are maintained here — commit
+    increfs, delete decrefs — so the store can garbage-collect bytes
+    the moment no manifest anywhere references them.
+    """
+
+    def __init__(self, store: BlockStore, name: str = "fs"):
+        self.store = store
+        self.name = name
+        #: path -> list of manifests, oldest first; last one is current.
+        self._manifests: dict[str, list[Manifest]] = {}
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def begin_write(self, path: str, data: bytes, writer: str = "", on_chunk=None):
+        """Phase one: upload chunks; the path is untouched until commit."""
+        if not path:
+            raise StorageError("path must be non-empty")
+        data = bytes(data)
+        digests = self.store.put(data, on_chunk=on_chunk)
+        return PendingWrite(path=path, data=data, digests=tuple(digests), writer=writer)
+
+    def commit(self, pending: PendingWrite) -> Manifest:
+        """Phase two: heal any replica lost mid-write, then publish.
+
+        The manifest append is the commit point — a single atomic
+        mutation, so concurrent writers serialize into last-writer-wins
+        whole manifests rather than interleaved chunk lists.
+        """
+        healed = self.store.ensure(list(pending.digests), pending.data)
+        if healed:
+            telemetry.get_registry().counter(
+                "repro_fs_commit_heals_total",
+                "Chunks re-stored at commit after losing every replica mid-write.",
+            ).inc(namespace=self.name)
+        history = self._manifests.setdefault(pending.path, [])
+        manifest = Manifest(
+            path=pending.path,
+            version=len(history) + 1,
+            length=len(pending.data),
+            chunk_size=self.store.chunk_size,
+            digests=pending.digests,
+            writer=pending.writer,
+        )
+        self.store.incref(list(manifest.digests))
+        history.append(manifest)
+        telemetry.get_registry().counter(
+            "repro_fs_commits_total", "Manifest versions committed."
+        ).inc(namespace=self.name)
+        return manifest
+
+    def write(self, path: str, data: bytes, writer: str = "", on_chunk=None) -> Manifest:
+        """begin_write + commit in one call (the common, uncontended case)."""
+        return self.commit(self.begin_write(path, data, writer=writer, on_chunk=on_chunk))
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def stat(self, path: str, version: int | None = None) -> Manifest:
+        """The manifest for ``path`` (current version by default)."""
+        history = self._manifests.get(path)
+        if not history:
+            raise NotFoundError(f"no such path: {path!r}")
+        if version is None:
+            return history[-1]
+        for manifest in history:
+            if manifest.version == version:
+                return manifest
+        raise NotFoundError(f"no version {version} of path {path!r}")
+
+    def exists(self, path: str) -> bool:
+        """Whether ``path`` currently resolves to a manifest."""
+        return bool(self._manifests.get(path))
+
+    def versions(self, path: str) -> list[Manifest]:
+        """Every retained manifest of ``path``, oldest first."""
+        history = self._manifests.get(path)
+        if not history:
+            raise NotFoundError(f"no such path: {path!r}")
+        return list(history)
+
+    def read_chunks(self, path: str, version: int | None = None):
+        """Yield the file's chunks, re-validating the manifest each step.
+
+        If the path or the version being read is deleted mid-iteration,
+        raises :class:`NotFoundError` — a reader never silently gets a
+        truncated blob.
+        """
+        manifest = self.stat(path, version)
+        for digest in manifest.digests:
+            current = self._manifests.get(path)
+            if not current or manifest not in current:
+                raise NotFoundError(
+                    f"path {path!r} version {manifest.version} deleted mid-read"
+                )
+            yield self.store.get_chunk(digest)
+
+    def read(self, path: str, version: int | None = None) -> bytes:
+        """The file's full contents (current version by default)."""
+        return b"".join(self.read_chunks(path, version))
+
+    # ------------------------------------------------------------------
+    # namespace management
+    # ------------------------------------------------------------------
+
+    def delete(self, path: str) -> int:
+        """Drop every version of ``path``; returns versions removed.
+
+        Dereferences all their chunks — bytes unreferenced by any other
+        manifest are garbage-collected by the store (or trashed for
+        currently-dead datanodes).
+        """
+        history = self._manifests.pop(path, None)
+        if not history:
+            raise NotFoundError(f"no such path: {path!r}")
+        for manifest in history:
+            self.store.decref(list(manifest.digests))
+        return len(history)
+
+    def list_paths(self, prefix: str = "") -> list[str]:
+        """Paths with at least one version, filtered by prefix, sorted."""
+        return sorted(p for p in self._manifests if p.startswith(prefix))
+
+    def logical_bytes(self) -> int:
+        """Bytes addressed by every retained manifest (before dedup)."""
+        return sum(
+            manifest.length
+            for history in self._manifests.values()
+            for manifest in history
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FileNamespace({self.name!r}, paths={len(self._manifests)}, "
+            f"store={self.store!r})"
+        )

@@ -10,6 +10,15 @@ in-memory namespace with the same user-facing operations:
   synthetic generators);
 * blobs can be stored under arbitrary paths (used by the parameter
   server for cold parameters).
+
+Since PR 8 the blob namespace is no longer a flat dict: blobs live in
+a :class:`~repro.data.fs.FileNamespace` over a chunked, replicated,
+content-addressed :class:`~repro.data.blockstore.BlockStore` — so
+near-duplicate blobs (successive model checkpoints) dedup structurally,
+every chunk has R replicas, and overwrites retain version history
+reachable via :meth:`DataStore.versions`. The blob API is unchanged;
+several stores may share one block store (pass ``block_store=``) to
+dedup across them.
 """
 
 from __future__ import annotations
@@ -19,8 +28,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.data.blockstore import DEFAULT_CHUNK_SIZE, BlockStore
 from repro.data.datasets import ImageDataset
-from repro.exceptions import DatasetNotFoundError, StorageError
+from repro.data.fs import FileNamespace, Manifest
+from repro.exceptions import DatasetNotFoundError, NotFoundError, StorageError
 
 __all__ = ["DataStore", "DatasetHandle"]
 
@@ -38,13 +49,29 @@ class DatasetHandle:
 
 
 class DataStore:
-    """Hierarchical namespace of datasets and raw blobs."""
+    """Hierarchical namespace of datasets and raw blobs.
 
-    def __init__(self, name: str = "hdfs"):
+    Datasets stay in-memory handles; blobs are chunked into the block
+    store. ``nodes``/``replicas``/``chunk_size`` size a private block
+    store, or pass an existing ``block_store`` to share its chunk pool
+    (and dedup) with other stores.
+    """
+
+    def __init__(
+        self,
+        name: str = "hdfs",
+        block_store: BlockStore | None = None,
+        nodes: int = 3,
+        replicas: int = 2,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ):
         self.name = name
         self._datasets: dict[str, ImageDataset] = {}
         self._handles: dict[str, DatasetHandle] = {}
-        self._blobs: dict[str, bytes] = {}
+        self.blocks = block_store or BlockStore(
+            nodes=nodes, replicas=replicas, chunk_size=chunk_size
+        )
+        self.fs = FileNamespace(self.blocks, name=name)
         self.bytes_written = 0
         self.bytes_read = 0
 
@@ -186,26 +213,54 @@ class DataStore:
     # ------------------------------------------------------------------
 
     def put_blob(self, path: str, blob: bytes) -> None:
-        self._blobs[path] = bytes(blob)
+        """Store ``blob`` under ``path`` (a new version if it exists)."""
+        self.fs.write(path, bytes(blob), writer=self.name)
         self.bytes_written += len(blob)
 
-    def get_blob(self, path: str) -> bytes:
-        if path not in self._blobs:
-            raise DatasetNotFoundError(path)
-        blob = self._blobs[path]
+    def get_blob(self, path: str, version: int | None = None) -> bytes:
+        """Fetch a blob (current version by default, or an older one)."""
+        try:
+            blob = self.fs.read(path, version)
+        except DatasetNotFoundError:
+            raise
+        except NotFoundError as exc:
+            raise DatasetNotFoundError(path) from exc
         self.bytes_read += len(blob)
         return blob
 
     def has_blob(self, path: str) -> bool:
-        return path in self._blobs
+        return self.fs.exists(path)
 
     def delete_blob(self, path: str) -> None:
-        if path not in self._blobs:
-            raise DatasetNotFoundError(path)
-        del self._blobs[path]
+        try:
+            self.fs.delete(path)
+        except NotFoundError as exc:
+            raise DatasetNotFoundError(path) from exc
 
     def list_blobs(self, prefix: str = "") -> list[str]:
-        return sorted(path for path in self._blobs if path.startswith(prefix))
+        return sorted(self.fs.list_paths(prefix))
+
+    def versions(self, path: str) -> list[Manifest]:
+        """Every retained manifest version of a blob, oldest first.
+
+        Overwriting a path no longer destroys the previous contents —
+        pass ``version=`` to :meth:`get_blob` to read one back.
+        """
+        try:
+            return self.fs.versions(path)
+        except NotFoundError as exc:
+            raise DatasetNotFoundError(path) from exc
+
+    def audit(self) -> dict:
+        """Replication/dedup health of the underlying block store."""
+        return self.blocks.audit()
+
+    def repair(self) -> int:
+        """Re-replicate under-replicated chunks; returns copies made."""
+        return self.blocks.repair()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"DataStore({self.name!r}, datasets={len(self._datasets)}, blobs={len(self._blobs)})"
+        return (
+            f"DataStore({self.name!r}, datasets={len(self._datasets)}, "
+            f"blobs={len(self.fs.list_paths())})"
+        )

@@ -49,8 +49,25 @@ class StorageError(RafikiError):
     """A data-store operation failed."""
 
 
-class DatasetNotFoundError(StorageError, KeyError):
+class NotFoundError(StorageError, KeyError):
+    """The referenced path, version or chunk does not exist in the store.
+
+    Also raised when a path is deleted *while being read* — readers get
+    this instead of a silently truncated blob.
+    """
+
+
+class DatasetNotFoundError(NotFoundError):
     """The named dataset is not present in the data store."""
+
+
+class ChunkLostError(StorageError):
+    """A chunk has no live replica (every holding datanode is down).
+
+    Recoverable: the chunk's bytes may still exist on a dead node's
+    disk and be resurrected when that node rejoins, or be re-stored by
+    a writer-side :meth:`~repro.data.blockstore.BlockStore.ensure`.
+    """
 
 
 class ClusterError(RafikiError):

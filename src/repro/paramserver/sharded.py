@@ -50,6 +50,7 @@ from typing import Any, Callable
 import numpy as np
 
 from repro import chaos, telemetry
+from repro.data.blockstore import BlockStore
 from repro.data.store import DataStore
 from repro.exceptions import (
     ConfigurationError,
@@ -94,6 +95,14 @@ class ShardedParameterServer:
     shards — scaling out does not multiply memory. ``retry`` is applied
     around each individual shard operation (shards themselves run
     without a policy), exactly where the single server applies it.
+
+    Checkpoint history blobs are stored through one shared, chunked
+    :class:`~repro.data.blockstore.BlockStore` (pass ``block_store=``
+    to supply your own): each shard keeps its *own* blob namespace, but
+    identical chunks — R replicas of the same version, successive
+    near-duplicate checkpoints — are stored once, so ``adopt_history``
+    re-replication is physically near-free. A custom ``store_factory``
+    overrides this entirely.
     """
 
     def __init__(
@@ -105,6 +114,7 @@ class ShardedParameterServer:
         vnodes: int = 64,
         store_factory: Callable[[str], DataStore] | None = None,
         breaker_factory: Callable[[str], CircuitBreaker] | None = None,
+        block_store: BlockStore | None = None,
     ):
         if shards < 1:
             raise ConfigurationError(f"shards must be >= 1, got {shards}")
@@ -114,11 +124,23 @@ class ShardedParameterServer:
             raise ConfigurationError(f"vnodes must be >= 1, got {vnodes}")
         self.replicas = min(replicas, shards)
         self.retry = retry
+        if store_factory is None:
+            # One chunk pool under every shard's blob namespace: shard
+            # replication and checkpoint versioning dedup down to the
+            # chunks that actually differ. Durability across *shard*
+            # deaths comes from the coordinator's R-way replication, so
+            # the pool itself runs single-node.
+            self.block_store = block_store or BlockStore(nodes=1, replicas=1)
+            store_factory = lambda name: DataStore(  # noqa: E731
+                f"ps-backing-{name}", block_store=self.block_store
+            )
+        else:
+            self.block_store = block_store
         per_shard_cache = max(1, cache_bytes // shards)
         self._shards: list[Shard] = []
         for i in range(shards):
             name = f"ps-{i}"
-            store = store_factory(name) if store_factory is not None else None
+            store = store_factory(name)
             breaker = (
                 breaker_factory(name)
                 if breaker_factory is not None

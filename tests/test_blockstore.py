@@ -1,0 +1,522 @@
+"""Tests for the chunked, content-addressable, replicated block store.
+
+Covers the chunk layer (:mod:`repro.data.blockstore`), the namenode
+layer (:mod:`repro.data.fs`), their cluster integration, and the
+seeded store-kill chaos scenario. The round-trip tests are
+property-based in the seeded-random-size style: byte streams of every
+length class around the chunk boundary (0, partial, exact, multiple,
+multiple±1) must survive write/read/overwrite/delete bit-identically
+at every replication factor.
+"""
+
+import json
+import random
+
+import numpy as np
+import pytest
+
+from repro.data import BlockStore, DataStore, FileNamespace, chunk_digest, split_chunks
+from repro.exceptions import (
+    ChunkLostError,
+    ConfigurationError,
+    NotFoundError,
+    StorageError,
+)
+
+CHUNK = 256
+
+
+def _random_bytes(rng: random.Random, length: int) -> bytes:
+    return rng.randbytes(length)
+
+
+def _lengths(rng: random.Random) -> list[int]:
+    """Every length class around the chunk boundary, plus random fill."""
+    fixed = [0, 1, CHUNK - 1, CHUNK, CHUNK + 1, 2 * CHUNK, 3 * CHUNK - 1,
+             4 * CHUNK, 4 * CHUNK + 1]
+    return fixed + [rng.randrange(0, 4 * CHUNK + 2) for _ in range(8)]
+
+
+class TestChunking:
+    def test_split_sizes(self):
+        chunks = split_chunks(b"x" * 1000, 256)
+        assert [len(c) for c in chunks] == [256, 256, 256, 232]
+
+    def test_split_empty_is_no_chunks(self):
+        assert split_chunks(b"", 256) == []
+
+    def test_split_rejects_bad_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            split_chunks(b"x", 0)
+
+    def test_digest_is_content_address(self):
+        assert chunk_digest(b"abc") == chunk_digest(b"abc")
+        assert chunk_digest(b"abc") != chunk_digest(b"abd")
+
+    def test_identical_chunks_stored_once(self):
+        store = BlockStore(nodes=2, replicas=1, chunk_size=CHUNK)
+        store.put(b"A" * CHUNK * 3)
+        assert store.audit()["chunks"] == 1
+        assert store.dedup_hits == 2
+
+    def test_constructor_validation(self):
+        with pytest.raises(ConfigurationError):
+            BlockStore(nodes=0)
+        with pytest.raises(ConfigurationError):
+            BlockStore(replicas=0)
+        with pytest.raises(ConfigurationError):
+            BlockStore(chunk_size=0)
+
+    def test_replicas_clamped_to_nodes(self):
+        assert BlockStore(nodes=2, replicas=5).replicas == 2
+
+
+class TestRoundTripProperties:
+    """Seeded random-size round trips at every replication factor."""
+
+    @pytest.mark.parametrize("replicas", [1, 2, 3])
+    def test_write_read_bit_identical(self, replicas):
+        rng = random.Random(100 + replicas)
+        store = BlockStore(nodes=3, replicas=replicas, chunk_size=CHUNK)
+        fs = FileNamespace(store)
+        blobs = {f"p/{i}": _random_bytes(rng, n)
+                 for i, n in enumerate(_lengths(rng))}
+        for path, data in blobs.items():
+            fs.write(path, data)
+        for path, data in blobs.items():
+            assert fs.read(path) == data
+
+    @pytest.mark.parametrize("replicas", [1, 2, 3])
+    def test_overwrite_then_read_all_versions(self, replicas):
+        rng = random.Random(200 + replicas)
+        store = BlockStore(nodes=3, replicas=replicas, chunk_size=CHUNK)
+        fs = FileNamespace(store)
+        history = [_random_bytes(rng, n) for n in _lengths(rng)]
+        for data in history:
+            fs.write("path", data)
+        assert fs.read("path") == history[-1]
+        for version, data in enumerate(history, start=1):
+            assert fs.read("path", version=version) == data
+
+    @pytest.mark.parametrize("replicas", [1, 2, 3])
+    def test_delete_frees_every_chunk(self, replicas):
+        rng = random.Random(300 + replicas)
+        store = BlockStore(nodes=3, replicas=replicas, chunk_size=CHUNK)
+        fs = FileNamespace(store)
+        for i, n in enumerate(_lengths(rng)):
+            fs.write(f"p/{i}", _random_bytes(rng, n))
+        for path in fs.list_paths():
+            fs.delete(path)
+        audit = store.audit()
+        assert audit["chunks"] == 0
+        assert audit["unique_bytes"] == 0
+        assert all(not node.chunks for node in store.nodes)
+
+    def test_chunk_replica_counts_match_factor(self):
+        rng = random.Random(7)
+        store = BlockStore(nodes=4, replicas=2, chunk_size=CHUNK)
+        fs = FileNamespace(store)
+        fs.write("p", _random_bytes(rng, 10 * CHUNK))
+        for digest, holders in store._directory.items():
+            assert len(holders) == 2, digest
+            assert len(set(holders)) == 2
+
+    def test_dedup_ratio_on_near_duplicate_checkpoints(self):
+        """Successive near-dup checkpoints collapse to the changed chunks."""
+        rng = random.Random(11)
+        store = BlockStore(nodes=1, replicas=1, chunk_size=CHUNK)
+        fs = FileNamespace(store)
+        ckpt = bytearray(_random_bytes(rng, 16 * CHUNK))
+        for version in range(10):
+            offset = (version * 131) % (len(ckpt) - 8)
+            ckpt[offset : offset + 8] = _random_bytes(rng, 8)
+            fs.write("ckpt", bytes(ckpt))
+        audit = store.audit()
+        # 10 versions x 16 chunks logical; each version dirties at most
+        # 2 chunks, so >= 16 + 9*2 = 34 would be the worst case and the
+        # expected ratio is at least 160/34 > 4.
+        assert audit["dedup_ratio"] >= 4.0
+        assert audit["chunks"] <= 34
+
+    def test_logical_bytes_accounting(self):
+        store = BlockStore(nodes=1, replicas=1, chunk_size=CHUNK)
+        fs = FileNamespace(store)
+        fs.write("a", b"x" * CHUNK)
+        fs.write("b", b"x" * CHUNK)
+        audit = store.audit()
+        assert audit["unique_bytes"] == CHUNK
+        assert audit["logical_bytes"] == 2 * CHUNK
+        assert audit["dedup_ratio"] == 2.0
+
+
+class TestNamespace:
+    def test_missing_path_raises(self):
+        fs = FileNamespace(BlockStore(nodes=1, replicas=1))
+        with pytest.raises(NotFoundError):
+            fs.read("ghost")
+        with pytest.raises(NotFoundError):
+            fs.stat("ghost")
+        with pytest.raises(NotFoundError):
+            fs.versions("ghost")
+        with pytest.raises(NotFoundError):
+            fs.delete("ghost")
+
+    def test_missing_version_raises(self):
+        fs = FileNamespace(BlockStore(nodes=1, replicas=1))
+        fs.write("p", b"one")
+        with pytest.raises(NotFoundError):
+            fs.read("p", version=2)
+
+    def test_empty_path_rejected(self):
+        fs = FileNamespace(BlockStore(nodes=1, replicas=1))
+        with pytest.raises(StorageError):
+            fs.write("", b"data")
+
+    def test_list_paths_by_prefix(self):
+        fs = FileNamespace(BlockStore(nodes=1, replicas=1))
+        fs.write("a/1", b"x")
+        fs.write("a/2", b"y")
+        fs.write("b/1", b"z")
+        assert fs.list_paths("a/") == ["a/1", "a/2"]
+
+    def test_manifest_metadata(self):
+        fs = FileNamespace(BlockStore(nodes=1, replicas=1, chunk_size=4))
+        manifest = fs.write("p", b"abcdefgh", writer="w0")
+        assert manifest.version == 1
+        assert manifest.length == 8
+        assert manifest.chunk_size == 4
+        assert len(manifest.digests) == 2
+        assert manifest.writer == "w0"
+
+    def test_concurrent_writers_last_writer_wins(self):
+        """Interleaved two-phase writes commit whole manifests only."""
+        fs = FileNamespace(BlockStore(nodes=1, replicas=1, chunk_size=4))
+        first = fs.begin_write("p", b"AAAABBBBCCCC", writer="w1")
+        second = fs.begin_write("p", b"XXXXYYYYZZZZ", writer="w2")
+        fs.commit(first)
+        committed = fs.commit(second)
+        # The last committer wins with its *complete* chunk list — no
+        # mixture of w1's and w2's chunks.
+        assert fs.read("p") == b"XXXXYYYYZZZZ"
+        assert committed.digests == tuple(
+            chunk_digest(c) for c in split_chunks(b"XXXXYYYYZZZZ", 4)
+        )
+        # And the loser's version is still fully readable history.
+        assert fs.read("p", version=1) == b"AAAABBBBCCCC"
+        assert [m.writer for m in fs.versions("p")] == ["w1", "w2"]
+
+    def test_delete_mid_read_raises_not_partial(self):
+        """A reader must get NotFound, never a truncated blob."""
+        fs = FileNamespace(BlockStore(nodes=1, replicas=1, chunk_size=4))
+        fs.write("p", b"AAAABBBBCCCCDDDD")
+        reader = fs.read_chunks("p")
+        assert next(reader) == b"AAAA"
+        fs.delete("p")
+        with pytest.raises(NotFoundError, match="mid-read"):
+            next(reader)
+
+    def test_overwrite_mid_read_keeps_old_version_readable(self):
+        """Version retention means an overwrite does NOT break readers."""
+        fs = FileNamespace(BlockStore(nodes=1, replicas=1, chunk_size=4))
+        fs.write("p", b"AAAABBBB")
+        reader = fs.read_chunks("p")
+        assert next(reader) == b"AAAA"
+        fs.write("p", b"XXXXYYYY")
+        assert next(reader) == b"BBBB"
+
+    def test_shared_store_dedups_across_namespaces(self):
+        store = BlockStore(nodes=1, replicas=1, chunk_size=CHUNK)
+        one = FileNamespace(store, name="one")
+        two = FileNamespace(store, name="two")
+        data = b"q" * (4 * CHUNK)
+        one.write("a", data)
+        two.write("b", data)
+        assert store.audit()["chunks"] == 1
+        # Namespaces are isolated: deleting in one leaves the other's
+        # reference (and the shared bytes) intact.
+        one.delete("a")
+        assert two.read("b") == data
+
+
+class TestReplication:
+    def _populated(self, replicas=2, nodes=3, paths=6):
+        rng = random.Random(42)
+        store = BlockStore(nodes=nodes, replicas=replicas, chunk_size=CHUNK)
+        fs = FileNamespace(store)
+        blobs = {f"p/{i}": _random_bytes(rng, rng.randrange(1, 4 * CHUNK))
+                 for i in range(paths)}
+        for path, data in blobs.items():
+            fs.write(path, data)
+        return store, fs, blobs
+
+    def test_node_death_keeps_every_file_readable(self):
+        store, fs, blobs = self._populated()
+        store.kill_node("dn-1")
+        for path, data in blobs.items():
+            assert fs.read(path) == data
+        audit = store.audit()
+        assert audit["lost"] == []
+        assert audit["under_replicated"] == []
+        assert store.rereplications > 0
+
+    def test_single_replica_death_loses_chunks_until_rejoin(self):
+        store, fs, blobs = self._populated(replicas=1)
+        victim = store._directory[next(iter(store._directory))][0]
+        store.kill_node(victim)
+        assert store.audit()["lost"] != []
+        with pytest.raises(ChunkLostError):
+            for path in blobs:
+                fs.read(path)
+        # The disk survived: rejoin resurrects every lost chunk.
+        store.rejoin_node(victim)
+        assert store.audit()["lost"] == []
+        for path, data in blobs.items():
+            assert fs.read(path) == data
+
+    def test_delete_while_dead_goes_to_trash_and_reconciles(self):
+        store, fs, blobs = self._populated()
+        victim = "dn-0"
+        before = dict(store.node(victim).chunks)
+        store.kill_node(victim)
+        for path in list(blobs):
+            fs.delete(path)
+        assert store.audit()["chunks"] == 0
+        # The dead node still physically holds its copies.
+        assert store.node(victim).chunks == before
+        removed = store.rejoin_node(victim)
+        assert removed == len(before)
+        assert store.node(victim).chunks == {}
+        assert store.audit()["trash_pending"] == {}
+
+    def test_rejoin_trims_over_replicated_chunks(self):
+        store, fs, blobs = self._populated()
+        store.kill_node("dn-2")
+        store.repair()
+        # Everything is back at R=2 on dn-0/dn-1; dn-2's copies are now
+        # surplus and must all be trimmed by the rejoin trash pass.
+        held = len(store.node("dn-2").chunks)
+        assert held > 0
+        removed = store.rejoin_node("dn-2")
+        assert removed == held
+        audit = store.audit()
+        assert audit["lost"] == []
+        assert audit["under_replicated"] == []
+        for path, data in blobs.items():
+            assert fs.read(path) == data
+
+    def test_mid_write_kill_zero_bytes_lost(self):
+        """commit() re-stores chunks whose every replica died mid-write."""
+        rng = random.Random(5)
+        store = BlockStore(nodes=3, replicas=2, chunk_size=CHUNK)
+        fs = FileNamespace(store)
+        data = _random_bytes(rng, 8 * CHUNK)
+
+        def kill_two(index, digest):
+            if index == 3:
+                store.kill_node("dn-0")
+                store.kill_node("dn-1")
+
+        manifest = fs.write("p", data, on_chunk=kill_two)
+        assert fs.read("p") == data
+        assert manifest.length == len(data)
+        audit = store.audit()
+        assert audit["lost"] == []
+
+    def test_repair_restores_factor(self):
+        store, fs, blobs = self._populated()
+        store.kill_node("dn-0")
+        store.rejoin_node("dn-0")
+        assert store.repair() == 0
+        assert store.audit()["under_replicated"] == []
+
+    def test_ensure_rejects_mismatched_digests(self):
+        store = BlockStore(nodes=1, replicas=1, chunk_size=CHUNK)
+        digests = store.put(b"x" * CHUNK)
+        with pytest.raises(StorageError):
+            store.ensure(digests, b"y" * 3 * CHUNK)
+
+    def test_get_unknown_chunk_raises(self):
+        store = BlockStore(nodes=1, replicas=1)
+        with pytest.raises(ChunkLostError):
+            store.get_chunk("0" * 64)
+
+    def test_heartbeat_failure_detection(self, manual_clock):
+        store, fs, blobs = self._populated()
+        manual_clock.advance(100.0)
+        store.heartbeat("dn-0")
+        store.heartbeat("dn-1")
+        assert store.detect_failures(timeout=50.0) == ["dn-2"]
+        assert not store.node("dn-2").alive
+        for path, data in blobs.items():
+            assert fs.read(path) == data
+
+
+class TestDataStoreRebase:
+    """DataStore blobs ride the BlockStore behind the unchanged API."""
+
+    def test_versions_reachable_after_overwrite(self):
+        store = DataStore()
+        store.put_blob("model/ckpt", b"version one")
+        store.put_blob("model/ckpt", b"version two")
+        assert store.get_blob("model/ckpt") == b"version two"
+        assert store.get_blob("model/ckpt", version=1) == b"version one"
+        manifests = store.versions("model/ckpt")
+        assert [m.version for m in manifests] == [1, 2]
+
+    def test_audit_and_repair_exposed(self):
+        store = DataStore()
+        store.put_blob("a", b"payload")
+        audit = store.audit()
+        assert audit["lost"] == []
+        assert store.repair() == 0
+
+    def test_shared_block_store_dedups_across_stores(self):
+        shared = BlockStore(nodes=1, replicas=1, chunk_size=CHUNK)
+        one = DataStore("one", block_store=shared)
+        two = DataStore("two", block_store=shared)
+        data = b"d" * (3 * CHUNK)
+        one.put_blob("x", data)
+        two.put_blob("y", data)
+        assert shared.audit()["chunks"] == 1
+        assert two.get_blob("y") == data
+
+
+class TestClusterIntegration:
+    def _cluster(self, nodes=4, cpus=8):
+        from repro.cluster import ClusterManager, Node
+        from repro.cluster.node import Resources
+
+        manager = ClusterManager()
+        for i in range(nodes):
+            manager.add_node(
+                Node(f"n{i}", capacity=Resources(cpus=cpus, gpus=0, memory_gb=64))
+            )
+        return manager
+
+    def test_registration_spreads_datanodes(self):
+        from repro.cluster.container import ContainerRole
+
+        manager = self._cluster()
+        store = BlockStore(nodes=3, replicas=2, chunk_size=CHUNK)
+        job = store.register_with_cluster(manager)
+        hosts = [c.node_name for c in job.containers
+                 if c.role is ContainerRole.DATA]
+        assert len(set(hosts)) == 3
+        with pytest.raises(ConfigurationError):
+            store.register_with_cluster(manager)
+
+    def test_node_failure_rereplicates_and_replacement_resyncs(self):
+        rng = random.Random(9)
+        manager = self._cluster()
+        store = BlockStore(nodes=3, replicas=2, chunk_size=CHUNK)
+        store.register_with_cluster(manager)
+        fs = FileNamespace(store)
+        blobs = {f"p/{i}": _random_bytes(rng, rng.randrange(1, 4 * CHUNK))
+                 for i in range(6)}
+        for path, data in blobs.items():
+            fs.write(path, data)
+        victim = store.nodes[0]
+        host = manager.containers[victim.container_id].node_name
+        manager.fail_node(host)
+        # Capacity exists elsewhere: the replacement datanode restarts
+        # on a different machine with a fresh disk and is re-synced.
+        assert victim.alive
+        assert victim.node_name != host
+        store.repair()
+        audit = store.audit()
+        assert audit["lost"] == []
+        assert audit["under_replicated"] == []
+        for path, data in blobs.items():
+            assert fs.read(path) == data
+
+    def test_same_host_restart_reconciles_preserved_disk(self):
+        rng = random.Random(10)
+        # Tight capacity: the replacement can only ever fit back on its
+        # original machine, so the disk-preserving path is exercised.
+        manager = self._cluster(cpus=2)
+        store = BlockStore(nodes=3, replicas=2, chunk_size=CHUNK)
+        from repro.cluster.node import Resources
+
+        store.register_with_cluster(
+            manager, worker_request=Resources(cpus=2, gpus=0, memory_gb=8)
+        )
+        fs = FileNamespace(store)
+        for i in range(6):
+            fs.write(f"p/{i}", _random_bytes(rng, rng.randrange(1, 4 * CHUNK)))
+        victim = store.nodes[0]
+        host = manager.containers[victim.container_id].node_name
+        manager.fail_node(host)
+        assert not store.live_nodes() or victim not in store.live_nodes()
+        fs.delete("p/0")
+        manager.recover_node(host)
+        assert victim.alive
+        assert victim.node_name == host
+        audit = store.audit()
+        assert audit["lost"] == []
+        assert audit["trash_pending"] == {}
+
+
+@pytest.mark.chaos
+class TestStoreKillScenario:
+    def test_store_kill_loses_zero_bytes(self):
+        from repro.chaos.scenarios import run_store_kill_scenario
+
+        result = run_store_kill_scenario(seed=0)
+        assert result["victims"]["mid_write"]["deaths"] >= 1
+        assert result["victims"]["mid_read"]["deaths"] >= 1
+        assert result["results"]["mid_write_intact"]
+        assert result["results"]["mid_read_intact"]
+        assert result["corrupt"] == []
+        audit = result["audit"]
+        assert audit["lost"] == []
+        assert audit["under_replicated"] == []
+        assert audit["trash_reconciled"] > 0
+        assert audit["rereplications"] > 0
+
+    def test_same_seed_traces_bit_identical(self):
+        from repro.chaos.scenarios import run_store_kill_scenario
+
+        first = run_store_kill_scenario(seed=0)
+        second = run_store_kill_scenario(seed=0)
+        assert json.dumps(first["trace"], sort_keys=True) == json.dumps(
+            second["trace"], sort_keys=True
+        )
+
+    def test_different_seed_traces_differ(self):
+        from repro.chaos.scenarios import run_store_kill_scenario
+
+        first = run_store_kill_scenario(seed=0)
+        other = run_store_kill_scenario(seed=3)
+        assert json.dumps(first["trace"], sort_keys=True) != json.dumps(
+            other["trace"], sort_keys=True
+        )
+
+
+class TestShardedPSOnBlockStore:
+    def test_checkpoint_history_dedups_across_replicas_and_versions(self):
+        from repro.paramserver import ShardedParameterServer
+
+        sps = ShardedParameterServer(
+            shards=3, replicas=2,
+            block_store=BlockStore(nodes=1, replicas=1, chunk_size=4096),
+        )
+        rng = np.random.default_rng(0)
+        state = {"w": rng.standard_normal((64, 64)).astype(np.float32)}
+        for i in range(10):
+            state["w"][i, :4] += 0.01
+            sps.put("model/ckpt", {k: v.copy() for k, v in state.items()},
+                    performance=float(i))
+        audit = sps.block_store.audit()
+        assert audit["dedup_ratio"] > 2.0
+        got = sps.get("model/ckpt")
+        np.testing.assert_array_equal(got["w"], state["w"])
+
+    def test_default_block_store_is_shared_across_shards(self):
+        from repro.paramserver import ShardedParameterServer
+
+        sps = ShardedParameterServer(shards=2, replicas=2)
+        assert sps.block_store is not None
+        rng = np.random.default_rng(1)
+        sps.put("k", {"w": rng.standard_normal((32, 32))})
+        # Both shard replicas wrote the same pickle: stored once.
+        assert sps.block_store.dedup_hits > 0

@@ -121,6 +121,57 @@ class TestBlobs:
             store.get_blob("x")
 
 
+class TestBlobRegressions:
+    """Gaps the flat-namespace store had before the BlockStore re-base."""
+
+    def test_overwrite_keeps_old_version_reachable(self):
+        # Regression: a name collision used to silently destroy the old
+        # blob. Now every overwrite appends a manifest version.
+        store = DataStore()
+        store.put_blob("model/ckpt", b"old weights")
+        store.put_blob("model/ckpt", b"new weights")
+        assert store.get_blob("model/ckpt") == b"new weights"
+        assert store.get_blob("model/ckpt", version=1) == b"old weights"
+        assert [m.version for m in store.versions("model/ckpt")] == [1, 2]
+
+    def test_versions_of_missing_path_raises(self):
+        with pytest.raises(DatasetNotFoundError):
+            DataStore().versions("ghost")
+
+    def test_concurrent_writers_last_writer_wins(self):
+        # Two interleaved two-phase writes must each commit a complete
+        # manifest — never a mixture of the writers' chunk lists.
+        store = DataStore(chunk_size=4)
+        first = store.fs.begin_write("p", b"AAAABBBBCCCC", writer="w1")
+        second = store.fs.begin_write("p", b"XXXXYYYYZZZZ", writer="w2")
+        store.fs.commit(first)
+        store.fs.commit(second)
+        assert store.get_blob("p") == b"XXXXYYYYZZZZ"
+        assert store.get_blob("p", version=1) == b"AAAABBBBCCCC"
+
+    def test_get_of_path_deleted_mid_read_raises_not_found(self):
+        # A reader must see NotFound, never a partial blob.
+        from repro.exceptions import NotFoundError
+
+        store = DataStore(chunk_size=4)
+        store.put_blob("p", b"AAAABBBBCCCCDDDD")
+        reader = store.fs.read_chunks("p")
+        assert next(reader) == b"AAAA"
+        store.delete_blob("p")
+        with pytest.raises(NotFoundError):
+            next(reader)
+        # And the plain get after deletion maps to the dataset error.
+        with pytest.raises(DatasetNotFoundError):
+            store.get_blob("p")
+
+    def test_blob_accounting_still_counts_logical_bytes(self):
+        store = DataStore()
+        store.put_blob("a", b"12345678")
+        assert store.bytes_written >= 8
+        store.get_blob("a")
+        assert store.bytes_read >= 8
+
+
 class TestBatchLoader:
     def test_covers_all_examples(self, rng):
         x = np.arange(10).reshape(10, 1).astype(float)

@@ -10,6 +10,8 @@ PACKAGES = [
     "repro.sim",
     "repro.tensor",
     "repro.data",
+    "repro.data.blockstore",
+    "repro.data.fs",
     "repro.paramserver",
     "repro.cluster",
     "repro.zoo",
