@@ -34,7 +34,10 @@ def deployment():
     ).run()
     infer_id = rafiki.Inference(rafiki.get_models(job_id)).run()
 
-    db = Database()
+    # The cross-query prediction cache is off: this study measures the
+    # pushdown saving in raw inference calls, so the second (unfiltered)
+    # query must not be served from the first query's cache.
+    db = Database(udf_cache=False)
     db.create_table(
         "foodlog",
         [Column("user_id", "integer"), Column("age", "integer", not_null=True),

@@ -1,0 +1,233 @@
+"""SQL analytics throughput: row-at-a-time vs batched vs cached UDFs.
+
+The workload is the paper's case-study shape — a full-table scan whose
+select list calls an ML UDF (here a small NumPy MLP forward pass) and
+aggregates the predictions::
+
+    SELECT classify(x) AS label, count(*) AS n FROM logs GROUP BY label
+
+Three executions of the same query:
+
+1. **row-at-a-time** — the ``NaiveExecutor`` oracle: one scalar model
+   call per row (the pre-plan engine's only mode);
+2. **batched** — the planned executor with the cross-query cache off:
+   the EvalUdf operator collects every argument and dispatches
+   hardware batches through the serving batcher, so the MLP runs a few
+   vectorised forward passes instead of one per row;
+3. **cached** — the planned executor with the prediction cache on,
+   timing a *repeated* scan: the second run serves every argument from
+   the cache (cache hits > 0 is an acceptance gate).
+
+``--smoke`` runs the CI gates only: planned ≡ naive bit-for-bit on a
+fixed query corpus, batched dispatch count < row count, and cache hits
+on the repeated scan. A full run also *gates* batched and cached
+beating row-at-a-time rows/s, then writes ``BENCH_sql.json`` at the
+repository root.
+
+Usage::
+
+    python benchmarks/bench_perf_sql.py [--smoke] [--seed N]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+_ROOT = os.path.dirname(_HERE)
+sys.path.insert(0, _HERE)
+sys.path.insert(0, os.path.join(_ROOT, "src"))
+
+import numpy as np  # noqa: E402
+
+from _harness import emit  # noqa: E402
+from repro.sqlext import Column, Database  # noqa: E402
+
+BENCH_JSON = os.path.join(_ROOT, "BENCH_sql.json")
+
+QUERY = "SELECT classify(x) AS label, count(*) AS n FROM logs GROUP BY label"
+
+#: fixed differential corpus for the planned ≡ naive smoke gate.
+CORPUS = (
+    "SELECT x, y FROM logs WHERE x > 100 ORDER BY x LIMIT 20",
+    "SELECT classify(x) AS label, count(*) AS n FROM logs GROUP BY label",
+    "SELECT classify(x) AS label, y FROM logs WHERE classify(x) >= 2 "
+    "AND y > 0 GROUP BY label, y ORDER BY y LIMIT 15",
+    "SELECT count(*) AS n, sum(y) AS s, avg(x) AS m FROM logs WHERE x <= 500",
+    "SELECT classify(y) AS a, classify(x) AS b FROM logs "
+    "WHERE y != 13 GROUP BY a, b",
+)
+
+
+def make_model(seed: int, dim: int = 64, hidden: int = 256):
+    """A fixed-weight MLP classifier over a deterministic featurizer."""
+    rng = np.random.default_rng(seed)
+    w1 = rng.standard_normal((dim, hidden)) / np.sqrt(dim)
+    w2 = rng.standard_normal((hidden, 8)) / np.sqrt(hidden)
+    scale = np.arange(1, dim + 1) * 0.01
+
+    def features(values: np.ndarray) -> np.ndarray:
+        return np.sin(np.outer(np.asarray(values, dtype=np.float64), scale))
+
+    def classify_one(value) -> int:
+        hidden_act = np.tanh(features([value]) @ w1)
+        return int(np.argmax(hidden_act @ w2, axis=1)[0])
+
+    def classify_batch(values: list) -> list[int]:
+        hidden_act = np.tanh(features(values) @ w1)
+        return [int(v) for v in np.argmax(hidden_act @ w2, axis=1)]
+
+    return classify_one, classify_batch
+
+
+def make_database(rows: int, seed: int, udf_cache: bool,
+                  batched_udf: bool) -> Database:
+    """The ``logs`` table plus the ``classify`` model UDF."""
+    # Cache sized to the workload so the repeated scan is all hits.
+    db = Database(udf_cache=udf_cache, cache_capacity=max(1024, rows))
+    db.create_table("logs", [Column("id", "int"), Column("x", "int"),
+                             Column("y", "int")])
+    rng = np.random.default_rng(seed)
+    # x values are distinct: the batched-vs-naive comparison measures
+    # vectorisation, not dedup.
+    xs = rng.permutation(rows * 3)[:rows]
+    for i in range(rows):
+        db.insert("logs", id=i, x=int(xs[i]), y=int(rng.integers(-20, 21)))
+    classify_one, classify_batch = make_model(seed)
+    db.udfs.register(
+        "classify", classify_one,
+        batch_fn=classify_batch if batched_udf else None,
+    )
+    return db
+
+
+def gate_differential(rows: int, seed: int) -> int:
+    """Planned ≡ naive bit-for-bit over the fixed corpus; returns checks."""
+    db = make_database(rows, seed, udf_cache=True, batched_udf=True)
+    checks = 0
+    for sql in CORPUS:
+        naive = db.execute(sql, executor="naive")
+        planned = db.execute(sql, executor="planned")
+        assert planned.columns == naive.columns, sql
+        assert repr(planned.rows) == repr(naive.rows), (
+            f"planned != naive for: {sql}"
+        )
+        checks += 1
+    return checks
+
+
+def bench_modes(rows: int, seed: int) -> dict:
+    """Time the three execution modes over the same workload."""
+    results = {}
+
+    db = make_database(rows, seed, udf_cache=False, batched_udf=False)
+    start = time.perf_counter()
+    naive = db.execute(QUERY, executor="naive")
+    naive_seconds = time.perf_counter() - start
+    results["naive"] = {
+        "rows_per_s": round(rows / naive_seconds, 1),
+        "udf_calls": naive.udf_calls,
+        "dispatches": 0,
+    }
+
+    db = make_database(rows, seed, udf_cache=False, batched_udf=True)
+    start = time.perf_counter()
+    batched = db.execute(QUERY, executor="planned")
+    batched_seconds = time.perf_counter() - start
+    assert repr(batched.rows) == repr(naive.rows), "batched != naive"
+    assert batched.udf_batches < rows, (
+        f"batched dispatch count {batched.udf_batches} not < row count {rows}"
+    )
+    results["batched"] = {
+        "rows_per_s": round(rows / batched_seconds, 1),
+        "udf_calls": batched.udf_calls,
+        "dispatches": batched.udf_batches,
+    }
+
+    db = make_database(rows, seed, udf_cache=True, batched_udf=True)
+    db.execute(QUERY, executor="planned")  # cold scan warms the cache
+    start = time.perf_counter()
+    cached = db.execute(QUERY, executor="planned")
+    cached_seconds = time.perf_counter() - start
+    assert repr(cached.rows) == repr(naive.rows), "cached != naive"
+    assert cached.cache_hits > 0, "repeated scan produced no cache hits"
+    assert cached.udf_calls == 0, (
+        f"repeated scan still made {cached.udf_calls} model calls"
+    )
+    results["cached"] = {
+        "rows_per_s": round(rows / cached_seconds, 1),
+        "udf_calls": cached.udf_calls,
+        "cache_hits": cached.cache_hits,
+        "dispatches": cached.udf_batches,
+    }
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: run the planned≡naive, batching and "
+                             "cache-hit gates on a small workload; the "
+                             "committed baseline is not rewritten")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+
+    rows = 400 if args.smoke else 2000
+
+    checks = gate_differential(min(rows, 400), args.seed)
+    modes = bench_modes(rows, args.seed)
+
+    batched_speedup = round(
+        modes["batched"]["rows_per_s"] / modes["naive"]["rows_per_s"], 2
+    )
+    cached_speedup = round(
+        modes["cached"]["rows_per_s"] / modes["naive"]["rows_per_s"], 2
+    )
+    lines = [
+        f"differential corpus: {checks} queries, planned == naive",
+        f"{'mode':>10} {'rows/s':>12} {'udf calls':>10} {'dispatches':>11}",
+        f"{'naive':>10} {modes['naive']['rows_per_s']:>12.1f} "
+        f"{modes['naive']['udf_calls']:>10} {'-':>11}",
+        f"{'batched':>10} {modes['batched']['rows_per_s']:>12.1f} "
+        f"{modes['batched']['udf_calls']:>10} "
+        f"{modes['batched']['dispatches']:>11}",
+        f"{'cached':>10} {modes['cached']['rows_per_s']:>12.1f} "
+        f"{modes['cached']['udf_calls']:>10} "
+        f"{modes['cached']['dispatches']:>11}",
+        f"speedup vs naive: batched {batched_speedup}x, "
+        f"cached {cached_speedup}x "
+        f"(cache hits: {modes['cached']['cache_hits']})",
+    ]
+    emit("perf_sql", "\n".join(lines))
+
+    if not args.smoke:
+        # The acceptance criterion: batched+cached must beat
+        # row-at-a-time on the full workload.
+        assert batched_speedup > 1.0, (
+            f"batched {batched_speedup}x did not beat row-at-a-time"
+        )
+        assert cached_speedup > 1.0, (
+            f"cached {cached_speedup}x did not beat row-at-a-time"
+        )
+        payload = {
+            "workload": {"rows": rows, "seed": args.seed, "query": QUERY},
+            "differential_corpus_queries": checks,
+            "modes": modes,
+            "speedup_vs_naive": {
+                "batched": batched_speedup,
+                "cached": cached_speedup,
+            },
+        }
+        with open(BENCH_JSON, "w") as f:
+            json.dump(payload, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {BENCH_JSON}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -103,9 +103,12 @@ class Gateway:
              "/inference/{job_id}"),
             ("POST", re.compile(r"^/query/(?P<job_id>[\w\-./]+)$"), self._post_query,
              "/query/{job_id}"),
+            ("POST", re.compile(r"^/sql$"), self._post_sql, "/sql"),
             ("GET", re.compile(r"^/dashboard$"), self._get_dashboard, "/dashboard"),
         ]
         self.requests_handled = 0
+        #: the Database behind POST /sql (None until attached).
+        self._sql_database: Any = None
         #: job_id -> AsyncServeFrontend for the async query path.
         self._frontends: dict[str, Any] = {}
         self._query_pattern = re.compile(r"^/query/(?P<job_id>[\w\-./]+)$")
@@ -384,6 +387,34 @@ class Gateway:
             raise GatewayError("POST /query requires 'img'")
         image = np.asarray(body["img"], dtype=np.float64)
         return self.system.query(job_id, image)
+
+    def attach_sql_database(self, database: Any) -> None:
+        """Serve ``POST /sql`` from this :class:`~repro.sqlext.Database`.
+
+        Queries run on the planned executor by default; a shed from the
+        batched UDF dispatch path surfaces as HTTP 429 with a
+        ``retry_after`` hint, exactly like the serving front end.
+        """
+        self._sql_database = database
+
+    def _post_sql(self, body: dict) -> dict:
+        if self._sql_database is None:
+            raise GatewayError("no SQL database attached to this gateway")
+        if "sql" not in body:
+            raise GatewayError("POST /sql requires 'sql'")
+        sql = body["sql"]
+        executor = body.get("executor")
+        if body.get("explain"):
+            return {"plan": self._sql_database.explain(sql)}
+        result = self._sql_database.execute(sql, executor=executor)
+        return {
+            "columns": result.columns,
+            "rows": [list(row) for row in result.rows],
+            "executor": result.executor,
+            "udf_calls": result.udf_calls,
+            "udf_batches": result.udf_batches,
+            "cache_hits": result.cache_hits,
+        }
 
     def _get_dashboard(self, body: dict) -> dict:
         from repro.api.monitor import dashboard_data

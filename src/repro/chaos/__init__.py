@@ -35,6 +35,7 @@ Fault-point names currently wired in:
 ``data.store.get``          chunk fetch in :meth:`BlockStore.get_chunk`
 ``data.store.node.<n>.put`` per-datanode chunk upload (kill/slow one datanode)
 ``data.store.node.<n>.get`` per-datanode chunk fetch
+``sql.udf.dispatch``        batched UDF dispatch in the SQL planned executor
 ==========================  ====================================================
 """
 

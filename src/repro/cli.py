@@ -84,7 +84,17 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("--trials", type=int, default=3)
     demo.add_argument("--seed", type=int, default=0)
 
-    sub.add_parser("sql", help="run the Section 8 SQL/UDF case study")
+    sql = sub.add_parser("sql", help="run the Section 8 SQL/UDF case study")
+    sql.add_argument("--query", default=None,
+                     help="SQL to run instead of the built-in case-study query")
+    sql.add_argument("--executor", choices=("planned", "naive", "both"),
+                     default="both",
+                     help="which executor to run (default: both, comparing)")
+    sql.add_argument("--explain", action="store_true",
+                     help="print the optimized logical plan before running")
+    sql.add_argument("--rows", type=int, default=30,
+                     help="rows in the generated foodlog table")
+    sql.add_argument("--seed", type=int, default=0)
 
     tele = sub.add_parser(
         "telemetry",
@@ -340,19 +350,33 @@ def _cmd_sql(args) -> int:
         Column("user_id", "integer"), Column("age", "integer", not_null=True),
         Column("food", "text", not_null=True),
     ], primary_key=("user_id",))
-    rng = np.random.default_rng(0)
+    rng = np.random.default_rng(args.seed)
     foods = ("laksa", "chicken rice", "salad")
-    for i in range(30):
+    for i in range(args.rows):
         db.insert("foodlog", user_id=i, age=int(rng.integers(18, 80)),
                   food=foods[int(rng.integers(0, 3))])
     db.udfs.register("age_band", lambda age: "young" if age < 40 else "older")
-    sql = ("SELECT age_band(age) AS band, food, count(*) FROM foodlog "
-           "GROUP BY band, food")
+    sql = args.query or (
+        "SELECT age_band(age) AS band, food, count(*) FROM foodlog "
+        "WHERE age > 30 GROUP BY band, food"
+    )
     print(sql)
-    result = db.execute(sql)
-    for row in result.rows:
-        print(" ", row)
-    print(f"(UDF calls: {result.udf_calls})")
+    if args.explain:
+        print(db.explain(sql))
+    executors = ("planned", "naive") if args.executor == "both" else (args.executor,)
+    results = {}
+    for executor in executors:
+        result = db.execute(sql, executor=executor)
+        results[executor] = result
+        for row in result.rows:
+            print(" ", row)
+        print(f"[{executor}] UDF calls: {result.udf_calls}, "
+              f"batches: {result.udf_batches}, cache hits: {result.cache_hits}")
+    if len(results) == 2:
+        match = (results["planned"].columns == results["naive"].columns
+                 and results["planned"].rows == results["naive"].rows)
+        print(f"planned == naive: {match}")
+        return 0 if match else 1
     return 0
 
 

@@ -33,19 +33,29 @@ def _digest(array: np.ndarray) -> str:
 
 
 class PredictionCache:
-    """An LRU result cache keyed by input digest."""
+    """An LRU result cache keyed by input digest.
 
-    def __init__(self, predict: Callable[[np.ndarray], Any], capacity: int = 1024):
+    ``predict`` may be ``None`` for batch-only use: callers that always
+    supply ``predict_batch`` to :meth:`query_batch` (the SQL engine's
+    UDF dispatcher) never need a per-item model function.
+    """
+
+    def __init__(self, predict: Callable[[np.ndarray], Any] | None,
+                 capacity: int = 1024):
         if capacity < 1:
             raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
         self._predict = predict
         self.capacity = int(capacity)
-        self._entries: OrderedDict[str, Any] = OrderedDict()
+        self._entries: OrderedDict[Any, Any] = OrderedDict()
         self.hits = 0
         self.misses = 0
 
     def query(self, data: np.ndarray) -> Any:
         """Predict for one input, serving repeats from the cache."""
+        if self._predict is None:
+            raise ConfigurationError(
+                "this cache has no per-item predict function; use query_batch"
+            )
         data = np.asarray(data)
         key = _digest(data)
         if key in self._entries:
@@ -58,6 +68,69 @@ class PredictionCache:
         if len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
         return result
+
+    def query_batch(
+        self,
+        batch: list[Any],
+        predict_batch: Callable[[list[Any]], list[Any]] | None = None,
+        key: Callable[[Any], Any] | None = None,
+    ) -> list[Any]:
+        """Serve many inputs with at most one underlying model call.
+
+        Distinct inputs absent from the cache are collected in
+        first-seen order and handed to ``predict_batch`` as one list
+        (falling back to per-item ``predict`` calls when omitted);
+        everything already cached — including duplicates *within* the
+        batch — is served without touching the model. ``key`` overrides
+        the array digest for non-array inputs (e.g. SQL scalars).
+        Returns results aligned with ``batch``.
+        """
+        keyed = [
+            (key(item) if key is not None else _digest(np.asarray(item)), item)
+            for item in batch
+        ]
+        # Snapshot hits before inserting: a fill larger than capacity
+        # may evict entries this very batch still needs.
+        cached: dict[Any, Any] = {}
+        miss_keys: list[Any] = []
+        miss_items: list[Any] = []
+        missing = set()
+        for k, item in keyed:
+            if k in cached or k in missing:
+                continue
+            if k in self._entries:
+                self._entries.move_to_end(k)
+                cached[k] = self._entries[k]
+            else:
+                missing.add(k)
+                miss_keys.append(k)
+                miss_items.append(item)
+        fresh: dict[Any, Any] = {}
+        if miss_items:
+            if predict_batch is not None:
+                outputs = list(predict_batch(list(miss_items)))
+            elif self._predict is not None:
+                outputs = [self._predict(np.asarray(item)) for item in miss_items]
+            else:
+                raise ConfigurationError(
+                    "query_batch needs predict_batch when the cache has "
+                    "no per-item predict function"
+                )
+            if len(outputs) != len(miss_items):
+                raise ConfigurationError(
+                    f"predict_batch returned {len(outputs)} results "
+                    f"for {len(miss_items)} inputs"
+                )
+            for k, value in zip(miss_keys, outputs):
+                fresh[k] = value
+                self._entries[k] = value
+                if len(self._entries) > self.capacity:
+                    self._entries.popitem(last=False)
+        self.misses += len(miss_items)
+        self.hits += len(batch) - len(miss_items)
+        return [
+            fresh[k] if k in fresh else cached[k] for k, _ in keyed
+        ]
 
     def invalidate_all(self) -> None:
         """Drop everything (call after re-deploying a model)."""

@@ -3,18 +3,38 @@
 Supports the case-study workload: ``CREATE TABLE``-style table
 definitions, ``INSERT``, and ``SELECT`` with ``WHERE``, ``GROUP BY``
 and aggregates, where select expressions may invoke registered
-user-defined functions. The engine evaluates the ``WHERE`` predicate
-*before* any select-list UDF, so a query like
+user-defined functions. Queries compile to a logical plan
+(:mod:`repro.sqlext.plan`), run through optimizer passes
+(:mod:`repro.sqlext.optimizer`: predicate pushdown below UDF
+evaluation, common-UDF-subexpression elimination, projection pruning)
+and execute on a vectorized executor (:mod:`repro.sqlext.exec`) whose
+UDF operator dispatches each batch of surviving rows as one call
+through the serving batcher and prediction cache. A query like
 
     SELECT food_name(image_path) AS name, count(*)
     FROM foodlog WHERE age > 52 GROUP BY name
 
-only pays one inference call per *filtered* row — the cost saving the
-paper's case study demonstrates.
+therefore pays one *batched*, cached inference dispatch over the
+filtered rows — the cost saving the paper's case study demonstrates.
+The pre-plan row-at-a-time interpreter survives as
+:class:`~repro.sqlext.exec.NaiveExecutor`, the oracle the differential
+test harness checks the planner against bit-for-bit.
 """
 
 from repro.sqlext.engine import Database, ResultSet
+from repro.sqlext.exec import NaiveExecutor, PlannedExecutor, UdfBatchDispatcher
 from repro.sqlext.table import Column, Table
-from repro.sqlext.udf import UdfRegistry, make_inference_udf
+from repro.sqlext.udf import UdfRegistry, make_batched_inference_udf, make_inference_udf
 
-__all__ = ["Database", "ResultSet", "Table", "Column", "UdfRegistry", "make_inference_udf"]
+__all__ = [
+    "Database",
+    "ResultSet",
+    "Table",
+    "Column",
+    "UdfRegistry",
+    "NaiveExecutor",
+    "PlannedExecutor",
+    "UdfBatchDispatcher",
+    "make_inference_udf",
+    "make_batched_inference_udf",
+]

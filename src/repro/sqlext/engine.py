@@ -1,4 +1,4 @@
-"""The SQL parser and executor.
+"""SQL text handling: tokenizer, AST, parser, and the ``Database`` facade.
 
 Grammar (keywords case-insensitive)::
 
@@ -10,10 +10,23 @@ Grammar (keywords case-insensitive)::
     cmp   := expr op expr        op in = != <> < <= > >=
 
 Aggregates: ``count``, ``sum``, ``avg``, ``min``, ``max``. Any other
-function name resolves against the UDF registry. The executor applies
-``WHERE`` before evaluating select-list expressions, so UDFs run only
-on surviving rows (the Section 8 saving), and tracks how many UDF
-calls each query made.
+function name resolves against the UDF registry.
+
+Execution lives in :mod:`repro.sqlext.exec`: :meth:`Database.execute`
+compiles the parsed statement into a logical plan
+(:mod:`repro.sqlext.plan`), optimizes it
+(:mod:`repro.sqlext.optimizer`) and runs it on the vectorized
+:class:`~repro.sqlext.exec.PlannedExecutor`, whose UDF operator
+dispatches whole batches of surviving rows through the serving batcher
+and prediction cache. The original row-at-a-time interpreter survives
+as :class:`~repro.sqlext.exec.NaiveExecutor` — the differential-test
+oracle — selectable with ``executor="naive"``.
+
+Tokenizer notes: ``-`` is its own operator token (a leading minus on a
+number literal is resolved by the *parser* as unary minus, so ``x>-3``
+and a future binary minus cannot be confused), string literals escape
+quotes by doubling (``'it''s'``), and every token carries its source
+position so parse errors can point at the offending character.
 """
 
 from __future__ import annotations
@@ -22,7 +35,7 @@ import re
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
-from repro.exceptions import SQLExecutionError, SQLParseError
+from repro.exceptions import ConfigurationError, SQLExecutionError, SQLParseError
 from repro.sqlext.table import Column, Table
 from repro.sqlext.udf import UdfRegistry
 
@@ -32,30 +45,50 @@ _AGGREGATES = ("count", "sum", "avg", "min", "max")
 
 _TOKEN_RE = re.compile(
     r"\s*(?:"
-    r"(?P<number>-?\d+\.\d+|-?\d+)"
+    r"(?P<number>\d+\.\d+|\d+)"
     r"|(?P<string>'(?:[^']|'')*')"
     r"|(?P<ident>[A-Za-z_][A-Za-z0-9_.]*)"
-    r"|(?P<op><=|>=|!=|<>|=|<|>)"
+    r"|(?P<op><=|>=|!=|<>|=|<|>|-)"
     r"|(?P<punct>[(),*])"
     r")"
 )
 
+#: the comparison operators the grammar accepts (``-`` is an op *token*
+#: but only valid as unary minus inside an expression).
+COMPARISON_OPS = ("=", "!=", "<>", "<", "<=", ">", ">=")
 
-def _tokenize(sql: str) -> list[tuple[str, str]]:
-    tokens: list[tuple[str, str]] = []
+
+def _tokenize_spans(sql: str) -> list[tuple[str, str, int]]:
+    """Tokenize into ``(kind, value, position)`` triples.
+
+    ``position`` is the 0-based offset of the token's first character in
+    the stripped statement text, so :class:`SQLParseError` can report
+    where things went wrong.
+    """
+    tokens: list[tuple[str, str, int]] = []
     pos = 0
     text = sql.strip().rstrip(";")
     while pos < len(text):
+        if text[pos].isspace():
+            pos += 1
+            continue
         match = _TOKEN_RE.match(text, pos)
-        if match is None:
-            raise SQLParseError(f"cannot tokenise at: {text[pos:pos+20]!r}")
+        if match is None or match.end() == match.start():
+            raise SQLParseError(
+                f"cannot tokenise at position {pos}: {text[pos:pos+20]!r}"
+            )
         pos = match.end()
         for kind in ("number", "string", "ident", "op", "punct"):
             value = match.group(kind)
             if value is not None:
-                tokens.append((kind, value))
+                tokens.append((kind, value, match.start(kind)))
                 break
     return tokens
+
+
+def _tokenize(sql: str) -> list[tuple[str, str]]:
+    """Tokenize into ``(kind, value)`` pairs (position-free view)."""
+    return [(kind, value) for kind, value, _ in _tokenize_spans(sql)]
 
 
 # ----------------------------------------------------------------------
@@ -65,22 +98,30 @@ def _tokenize(sql: str) -> list[tuple[str, str]]:
 
 @dataclass(frozen=True)
 class ColumnRef:
+    """A reference to a named column."""
+
     name: str
 
 
 @dataclass(frozen=True)
 class Literal:
+    """A constant value (number or string)."""
+
     value: Any
 
 
 @dataclass(frozen=True)
 class FuncCall:
+    """A function application: an aggregate or a registered UDF."""
+
     name: str
     arg: Any  # ColumnRef | Literal | FuncCall | "*"
 
 
 @dataclass(frozen=True)
 class Comparison:
+    """One ``left op right`` predicate from a WHERE conjunction."""
+
     left: Any
     op: str
     right: Any
@@ -88,10 +129,13 @@ class Comparison:
 
 @dataclass(frozen=True)
 class SelectItem:
+    """One select-list entry: an expression plus optional alias."""
+
     expr: Any
     alias: str | None
 
     def output_name(self) -> str:
+        """The result-column name this item produces."""
         if self.alias:
             return self.alias
         if isinstance(self.expr, ColumnRef):
@@ -112,8 +156,32 @@ def _expr_name(expr: Any) -> str:
     return "expr"
 
 
+def render_expr(expr: Any) -> str:
+    """Render an expression back to SQL text (used by ``explain()``).
+
+    Unlike :func:`_expr_name` (which feeds result-column *names* and is
+    frozen for backward compatibility), this renders valid SQL: string
+    literals are single-quoted with embedded quotes doubled, so an
+    ``explain()`` line round-trips through the tokenizer.
+    """
+    if isinstance(expr, ColumnRef):
+        return expr.name
+    if isinstance(expr, Literal):
+        if isinstance(expr.value, str):
+            return "'" + expr.value.replace("'", "''") + "'"
+        return repr(expr.value)
+    if isinstance(expr, FuncCall):
+        inner = "*" if expr.arg == "*" else render_expr(expr.arg)
+        return f"{expr.name}({inner})"
+    if isinstance(expr, Comparison):
+        return f"{render_expr(expr.left)} {expr.op} {render_expr(expr.right)}"
+    return str(expr)
+
+
 @dataclass(frozen=True)
 class SelectStatement:
+    """A parsed SELECT: items, source table and the trailing clauses."""
+
     items: tuple[SelectItem, ...]
     table: str
     where: tuple[Comparison, ...]
@@ -123,16 +191,20 @@ class SelectStatement:
 
 
 class _Parser:
-    """Recursive-descent parser over the token list."""
+    """Recursive-descent parser over the position-tagged token list."""
 
-    def __init__(self, tokens: list[tuple[str, str]]):
+    def __init__(self, tokens: list[tuple[str, str, int]]):
         self.tokens = tokens
         self.pos = 0
 
-    def _peek(self) -> tuple[str, str] | None:
+    def _peek(self) -> tuple[str, str, int] | None:
         return self.tokens[self.pos] if self.pos < len(self.tokens) else None
 
-    def _next(self) -> tuple[str, str]:
+    def _peek_pair(self) -> tuple[str, str] | None:
+        token = self._peek()
+        return (token[0], token[1]) if token is not None else None
+
+    def _next(self) -> tuple[str, str, int]:
         token = self._peek()
         if token is None:
             raise SQLParseError("unexpected end of statement")
@@ -140,24 +212,27 @@ class _Parser:
         return token
 
     def _expect_keyword(self, word: str) -> None:
-        kind, value = self._next()
+        kind, value, pos = self._next()
         if kind != "ident" or value.lower() != word:
-            raise SQLParseError(f"expected {word.upper()}, got {value!r}")
+            raise SQLParseError(
+                f"expected {word.upper()}, got {value!r} at position {pos}"
+            )
 
     def _at_keyword(self, word: str) -> bool:
         token = self._peek()
         return token is not None and token[0] == "ident" and token[1].lower() == word
 
     def parse_select(self) -> SelectStatement:
+        """Parse one full SELECT statement (rejecting trailing tokens)."""
         self._expect_keyword("select")
         items = [self._parse_item()]
-        while self._peek() == ("punct", ","):
+        while self._peek_pair() == ("punct", ","):
             self._next()
             items.append(self._parse_item())
         self._expect_keyword("from")
-        kind, table = self._next()
+        kind, table, pos = self._next()
         if kind != "ident":
-            raise SQLParseError(f"expected table name, got {table!r}")
+            raise SQLParseError(f"expected table name, got {table!r} at position {pos}")
         where: list[Comparison] = []
         if self._at_keyword("where"):
             self._next()
@@ -169,40 +244,51 @@ class _Parser:
         if self._at_keyword("group"):
             self._next()
             self._expect_keyword("by")
-            kind, name = self._next()
-            if kind != "ident":
-                raise SQLParseError(f"expected GROUP BY column, got {name!r}")
-            group_by.append(name)
-            while self._peek() == ("punct", ","):
+            group_by.append(self._parse_group_column())
+            while self._peek_pair() == ("punct", ","):
                 self._next()
-                kind, name = self._next()
-                if kind != "ident":
-                    raise SQLParseError(f"expected GROUP BY column, got {name!r}")
-                group_by.append(name)
+                group_by.append(self._parse_group_column())
         order_by: list[tuple[str, bool]] = []
         if self._at_keyword("order"):
             self._next()
             self._expect_keyword("by")
             order_by.append(self._parse_order_term())
-            while self._peek() == ("punct", ","):
+            while self._peek_pair() == ("punct", ","):
                 self._next()
                 order_by.append(self._parse_order_term())
         limit: int | None = None
         if self._at_keyword("limit"):
             self._next()
-            kind, value = self._next()
-            if kind != "number" or "." in value or int(value) < 0:
-                raise SQLParseError(f"LIMIT expects a non-negative integer, got {value!r}")
+            kind, value, pos = self._next()
+            if kind != "number" or "." in value:
+                raise SQLParseError(
+                    f"LIMIT expects a non-negative integer, "
+                    f"got {value!r} at position {pos}"
+                )
             limit = int(value)
-        if self._peek() is not None:
-            raise SQLParseError(f"trailing tokens: {self.tokens[self.pos:]}")
+        trailing = self._peek()
+        if trailing is not None:
+            rest = [(kind, value) for kind, value, _ in self.tokens[self.pos:]]
+            raise SQLParseError(
+                f"trailing tokens at position {trailing[2]}: {rest}"
+            )
         return SelectStatement(tuple(items), table, tuple(where), tuple(group_by),
                                tuple(order_by), limit)
 
-    def _parse_order_term(self) -> tuple[str, bool]:
-        kind, name = self._next()
+    def _parse_group_column(self) -> str:
+        kind, name, pos = self._next()
         if kind != "ident":
-            raise SQLParseError(f"expected ORDER BY column, got {name!r}")
+            raise SQLParseError(
+                f"expected GROUP BY column, got {name!r} at position {pos}"
+            )
+        return name
+
+    def _parse_order_term(self) -> tuple[str, bool]:
+        kind, name, pos = self._next()
+        if kind != "ident":
+            raise SQLParseError(
+                f"expected ORDER BY column, got {name!r} at position {pos}"
+            )
         descending = False
         if self._at_keyword("desc"):
             self._next()
@@ -216,56 +302,88 @@ class _Parser:
         alias = None
         if self._at_keyword("as"):
             self._next()
-            kind, alias_token = self._next()
+            kind, alias_token, pos = self._next()
             if kind != "ident":
-                raise SQLParseError(f"expected alias, got {alias_token!r}")
+                raise SQLParseError(
+                    f"expected alias, got {alias_token!r} at position {pos}"
+                )
             alias = alias_token
         return SelectItem(expr, alias)
 
     def _parse_expr(self) -> Any:
-        kind, value = self._next()
+        kind, value, pos = self._next()
+        if kind == "op" and value == "-":
+            # Unary minus: the tokenizer never folds the sign into the
+            # number, so negative literals and any future binary minus
+            # cannot be confused.
+            kind, value, num_pos = self._next()
+            if kind != "number":
+                raise SQLParseError(
+                    f"expected a number after unary '-', got {value!r} "
+                    f"at position {num_pos}"
+                )
+            return Literal(-float(value) if "." in value else -int(value))
         if kind == "number":
             return Literal(float(value) if "." in value else int(value))
         if kind == "string":
             return Literal(value[1:-1].replace("''", "'"))
         if kind == "ident":
-            if self._peek() == ("punct", "("):
+            if self._peek_pair() == ("punct", "("):
                 self._next()
-                if self._peek() == ("punct", "*"):
+                if self._peek_pair() == ("punct", "*"):
                     self._next()
                     arg: Any = "*"
                 else:
                     arg = self._parse_expr()
                 closing = self._next()
-                if closing != ("punct", ")"):
-                    raise SQLParseError(f"expected ')', got {closing[1]!r}")
+                if (closing[0], closing[1]) != ("punct", ")"):
+                    raise SQLParseError(
+                        f"expected ')', got {closing[1]!r} at position {closing[2]}"
+                    )
                 return FuncCall(value.lower(), arg)
             return ColumnRef(value)
-        raise SQLParseError(f"unexpected token {value!r}")
+        raise SQLParseError(f"unexpected token {value!r} at position {pos}")
 
     def _parse_comparison(self) -> Comparison:
         left = self._parse_expr()
-        kind, op = self._next()
-        if kind != "op":
-            raise SQLParseError(f"expected comparison operator, got {op!r}")
+        kind, op, pos = self._next()
+        if kind != "op" or op not in COMPARISON_OPS:
+            raise SQLParseError(
+                f"expected comparison operator, got {op!r} at position {pos}"
+            )
         right = self._parse_expr()
         return Comparison(left, op, right)
 
 
+def parse_select(sql: str) -> SelectStatement:
+    """Parse one SELECT statement from SQL text."""
+    return _Parser(_tokenize_spans(sql)).parse_select()
+
+
 # ----------------------------------------------------------------------
-# execution
+# results + shared evaluation pieces
 # ----------------------------------------------------------------------
 
 
 @dataclass
 class ResultSet:
-    """Query output: column names plus row tuples."""
+    """Query output: column names plus row tuples.
+
+    ``udf_calls`` counts per-argument UDF invocations the query made;
+    on the planned executor ``udf_batches`` counts how many batched
+    dispatches those rode in and ``cache_hits`` how many arguments were
+    served from the prediction cache without any dispatch at all.
+    """
 
     columns: list[str]
     rows: list[tuple]
     udf_calls: int = 0
+    udf_batches: int = 0
+    cache_hits: int = 0
+    executor: str = ""
 
     def as_dicts(self) -> list[dict[str, Any]]:
+        """Rows as a list of ``{column: value}`` dicts."""
         return [dict(zip(self.columns, row)) for row in self.rows]
 
     def __len__(self) -> int:
@@ -284,15 +402,42 @@ _OPS: dict[str, Callable[[Any, Any], bool]] = {
 
 
 class Database:
-    """Tables + UDF registry + query execution."""
+    """Tables + UDF registry + query execution.
 
-    def __init__(self):
+    ``execute`` compiles each SELECT to an optimized logical plan and
+    runs it on the vectorized executor, whose UDF operator dispatches
+    whole batches of surviving rows through the serving batcher and
+    prediction cache (``udf_batching``/``udf_cache`` toggle that path;
+    with batching off UDFs run row-at-a-time like the naive oracle).
+    """
+
+    def __init__(
+        self,
+        udf_batching: bool = True,
+        udf_cache: bool = True,
+        cache_capacity: int = 1024,
+        batch_sizes=None,
+        tau: float = 0.56,
+    ):
+        from repro.sqlext.exec import NaiveExecutor, PlannedExecutor, UdfBatchDispatcher
+
         self.tables: dict[str, Table] = {}
         self.udfs = UdfRegistry()
         self.last_udf_calls = 0
+        self.dispatcher = UdfBatchDispatcher(
+            self.udfs,
+            batching=udf_batching,
+            cache_capacity=cache_capacity if udf_cache else 0,
+            batch_sizes=batch_sizes,
+            tau=tau,
+        )
+        self._planned = PlannedExecutor(self, self.dispatcher)
+        self._naive = NaiveExecutor(self)
+        self.default_executor = "planned"
 
     def create_table(self, name: str, columns: list[Column],
                      primary_key: tuple[str, ...] = ()) -> Table:
+        """Create a new table (name must be unused)."""
         if name in self.tables:
             raise SQLExecutionError(f"table {name!r} already exists")
         table = Table(name=name, columns=columns, primary_key=primary_key)
@@ -300,6 +445,7 @@ class Database:
         return table
 
     def insert(self, table_name: str, **values: Any) -> None:
+        """Insert one row into the named table."""
         self._table(table_name).insert(**values)
 
     def _table(self, name: str) -> Table:
@@ -312,150 +458,61 @@ class Database:
 
     # ------------------------------------------------------------------
 
-    def execute(self, sql: str) -> ResultSet:
-        """Parse and run one SELECT statement."""
-        statement = _Parser(_tokenize(sql)).parse_select()
+    def execute(self, sql: str, executor: str | None = None,
+                optimize: bool = True) -> ResultSet:
+        """Parse and run one SELECT statement.
+
+        ``executor`` selects ``"planned"`` (the default: logical plan +
+        optimizer + batched UDF dispatch) or ``"naive"`` (the original
+        row-at-a-time interpreter, kept as the differential-test
+        oracle). ``optimize=False`` runs the planned executor on the
+        canonical unoptimized plan.
+        """
+        from repro import telemetry
+
+        statement = parse_select(sql)
         table = self._table(statement.table)
-        udf_calls_before = self.udfs.total_calls
-
-        # 1. WHERE first — no select-list UDF has run yet.
-        survivors = [row for row in table if self._passes(statement.where, row)]
-
-        # 2. Evaluate select expressions (UDFs fire here, per survivor).
-        has_aggregate = any(
-            isinstance(item.expr, FuncCall) and item.expr.name in _AGGREGATES
-            for item in statement.items
-        )
-        if has_aggregate or statement.group_by:
-            result = self._execute_grouped(statement, survivors)
+        which = executor or self.default_executor
+        calls_before = self.udfs.total_calls
+        batches_before = self.dispatcher.batches_dispatched
+        hits_before = self.dispatcher.cache_hits
+        if which == "naive":
+            result = self._naive.execute(statement, table)
+        elif which == "planned":
+            result = self._planned.execute(statement, table, optimize=optimize)
         else:
-            columns = [item.output_name() for item in statement.items]
-            rows = [
-                tuple(self._evaluate(item.expr, row) for item in statement.items)
-                for row in survivors
-            ]
-            result = ResultSet(columns, rows)
-        self._apply_order_and_limit(statement, result)
-        result.udf_calls = self.udfs.total_calls - udf_calls_before
+            raise ConfigurationError(
+                f"executor must be 'planned' or 'naive', got {which!r}"
+            )
+        result.executor = which
+        result.udf_calls = self.udfs.total_calls - calls_before
+        result.udf_batches = self.dispatcher.batches_dispatched - batches_before
+        result.cache_hits = self.dispatcher.cache_hits - hits_before
         self.last_udf_calls = result.udf_calls
+        registry = telemetry.get_registry()
+        registry.counter(
+            "repro_sql_queries_total", "SQL queries executed, by executor."
+        ).inc(executor=which)
+        registry.counter(
+            "repro_sql_rows_scanned_total", "Base-table rows scanned by SQL queries."
+        ).inc(len(table), table=table.name)
+        if result.udf_calls:
+            registry.counter(
+                "repro_sql_udf_calls_total",
+                "Per-argument UDF invocations made by SQL queries.",
+            ).inc(result.udf_calls, executor=which)
         return result
 
-    def _apply_order_and_limit(self, statement: SelectStatement, result: ResultSet) -> None:
-        if statement.order_by:
-            lowered = [c.lower() for c in result.columns]
-            indices = []
-            for name, descending in statement.order_by:
-                if name in result.columns:
-                    indices.append((result.columns.index(name), descending))
-                elif name.lower() in lowered:
-                    indices.append((lowered.index(name.lower()), descending))
-                else:
-                    raise SQLExecutionError(
-                        f"ORDER BY column {name!r} is not in the select list"
-                    )
-            # Stable sorts applied right-to-left give lexicographic order.
-            for index, descending in reversed(indices):
-                result.rows.sort(
-                    key=lambda row: (
-                        row[index] is None,
-                        0 if row[index] is None else row[index],
-                    ),
-                    reverse=descending,
-                )
-        if statement.limit is not None:
-            del result.rows[statement.limit:]
+    def explain(self, sql: str, optimize: bool = True) -> str:
+        """The textual logical plan ``execute`` would run for ``sql``."""
+        from repro.sqlext.optimizer import optimize_plan
+        from repro.sqlext.plan import build_plan, explain_plan
 
-    def _execute_grouped(self, statement: SelectStatement, rows: list[dict]) -> ResultSet:
-        key_items = [
-            item for item in statement.items
-            if not (isinstance(item.expr, FuncCall) and item.expr.name in _AGGREGATES)
-        ]
-        agg_items = [
-            item for item in statement.items
-            if isinstance(item.expr, FuncCall) and item.expr.name in _AGGREGATES
-        ]
-        # GROUP BY columns must cover every non-aggregate select item
-        # (by alias or by expression name).
-        group_names = set(statement.group_by)
-        if statement.group_by:
-            for item in key_items:
-                if item.output_name() not in group_names and not (
-                    isinstance(item.expr, ColumnRef) and item.expr.name in group_names
-                ):
-                    raise SQLExecutionError(
-                        f"{item.output_name()!r} must appear in GROUP BY"
-                    )
-        elif key_items:
-            raise SQLExecutionError(
-                "non-aggregate select items require GROUP BY"
-            )
+        plan = build_plan(parse_select(sql))
+        if optimize:
+            plan = optimize_plan(plan)
+        return explain_plan(plan)
 
-        groups: dict[tuple, list[dict]] = {}
-        key_cache: dict[int, tuple] = {}
-        for index, row in enumerate(rows):
-            key = tuple(self._evaluate(item.expr, row) for item in key_items)
-            key_cache[index] = key
-            groups.setdefault(key, []).append(row)
-
-        columns = [item.output_name() for item in statement.items]
-        out_rows: list[tuple] = []
-        for key, members in groups.items():
-            values: list[Any] = []
-            key_iter = iter(key)
-            for item in statement.items:
-                if item in agg_items:
-                    values.append(self._aggregate(item.expr, members))
-                else:
-                    values.append(next(key_iter))
-            out_rows.append(tuple(values))
-        out_rows.sort(key=lambda r: tuple((v is None, str(v)) for v in r))
-        return ResultSet(columns, out_rows)
-
-    def _aggregate(self, call: FuncCall, rows: list[dict]) -> Any:
-        if call.name == "count" and call.arg == "*":
-            return len(rows)
-        values = [self._evaluate(call.arg, row) for row in rows]
-        values = [v for v in values if v is not None]
-        if call.name == "count":
-            return len(values)
-        if not values:
-            return None
-        if call.name == "sum":
-            return sum(values)
-        if call.name == "avg":
-            return sum(values) / len(values)
-        if call.name == "min":
-            return min(values)
-        if call.name == "max":
-            return max(values)
-        raise SQLExecutionError(f"unknown aggregate {call.name!r}")
-
-    def _evaluate(self, expr: Any, row: dict) -> Any:
-        if isinstance(expr, Literal):
-            return expr.value
-        if isinstance(expr, ColumnRef):
-            if expr.name in row:
-                return row[expr.name]
-            # SQL identifiers are case-insensitive.
-            lowered = expr.name.lower()
-            if lowered in row:
-                return row[lowered]
-            raise SQLExecutionError(f"unknown column {expr.name!r}")
-        if isinstance(expr, FuncCall):
-            if expr.name in _AGGREGATES:
-                raise SQLExecutionError(
-                    f"aggregate {expr.name!r} is not allowed here"
-                )
-            argument = self._evaluate(expr.arg, row)
-            return self.udfs.call(expr.name, argument)
-        raise SQLExecutionError(f"cannot evaluate {expr!r}")
-
-    def _passes(self, conditions: tuple[Comparison, ...], row: dict) -> bool:
-        for condition in conditions:
-            left = self._evaluate(condition.left, row)
-            right = self._evaluate(condition.right, row)
-            if left is None or right is None:
-                return False
-            if not _OPS[condition.op](left, right):
-                return False
-        return True
+    def invalidate_udf_cache(self) -> None:
+        """Drop every cached UDF result (call after re-deploying models)."""
+        self.dispatcher.invalidate()

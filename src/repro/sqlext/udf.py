@@ -5,17 +5,25 @@ path to a deployed Rafiki inference job over the gateway's web API and
 returns the predicted label's name. Results are memoised per argument
 — repeated paths cost one inference call — and every call is counted
 so the predicate-pushdown saving is measurable.
+
+The planned executor never calls UDFs one row at a time: its EvalUdf
+operator hands the whole argument batch to :meth:`UdfRegistry.call_batch`,
+which prefers a registered *vectorised* implementation
+(``register(name, fn, batch_fn=...)``) and otherwise maps the scalar
+function. Either way the per-function call counter advances by the
+batch length, so "UDF calls" always means model evaluations and the
+planned-vs-naive savings stay comparable.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping
+from typing import Any, Callable, Mapping, Sequence
 
 import numpy as np
 
 from repro.exceptions import SQLExecutionError
 
-__all__ = ["UdfRegistry", "make_inference_udf"]
+__all__ = ["UdfRegistry", "make_inference_udf", "make_batched_inference_udf"]
 
 
 class UdfRegistry:
@@ -23,32 +31,68 @@ class UdfRegistry:
 
     def __init__(self):
         self._functions: dict[str, Callable[[Any], Any]] = {}
+        self._batch_functions: dict[str, Callable[[list], list]] = {}
         self.calls: dict[str, int] = {}
 
-    def register(self, name: str, fn: Callable[[Any], Any]) -> None:
+    def register(self, name: str, fn: Callable[[Any], Any],
+                 batch_fn: Callable[[list], list] | None = None) -> None:
+        """Register ``fn`` (and optionally a vectorised ``batch_fn``)."""
         key = name.lower()
         if key in self._functions:
             raise SQLExecutionError(f"UDF {name!r} already registered")
         self._functions[key] = fn
+        if batch_fn is not None:
+            self._batch_functions[key] = batch_fn
         self.calls[key] = 0
 
     def unregister(self, name: str) -> None:
+        """Remove a UDF (no-op when absent)."""
         key = name.lower()
         self._functions.pop(key, None)
+        self._batch_functions.pop(key, None)
         self.calls.pop(key, None)
 
     def has(self, name: str) -> bool:
+        """Whether a UDF with this (case-insensitive) name exists."""
         return name.lower() in self._functions
 
     def call(self, name: str, argument: Any) -> Any:
+        """Invoke a UDF on one argument (counts one call)."""
         key = name.lower()
         if key not in self._functions:
             raise SQLExecutionError(f"unknown function {name!r}")
         self.calls[key] += 1
         return self._functions[key](argument)
 
+    def call_batch(self, name: str, arguments: Sequence[Any]) -> list[Any]:
+        """Invoke a UDF once per argument, vectorised when possible.
+
+        Counts ``len(arguments)`` calls — one model evaluation per
+        argument — regardless of how the batch is executed, so call
+        counters compare across executors.
+        """
+        key = name.lower()
+        if key not in self._functions:
+            raise SQLExecutionError(f"unknown function {name!r}")
+        arguments = list(arguments)
+        if not arguments:
+            return []
+        self.calls[key] += len(arguments)
+        batch_fn = self._batch_functions.get(key)
+        if batch_fn is not None:
+            results = list(batch_fn(arguments))
+            if len(results) != len(arguments):
+                raise SQLExecutionError(
+                    f"batch UDF {name!r} returned {len(results)} results "
+                    f"for {len(arguments)} arguments"
+                )
+            return results
+        fn = self._functions[key]
+        return [fn(argument) for argument in arguments]
+
     @property
     def total_calls(self) -> int:
+        """Sum of every function's call counter."""
         return sum(self.calls.values())
 
 
@@ -89,3 +133,40 @@ def make_inference_udf(
         return result
 
     return _udf
+
+
+def make_batched_inference_udf(
+    gateway,
+    inference_job_id: str,
+    image_store: Mapping[str, np.ndarray],
+    label_names: tuple[str, ...] | None = None,
+) -> Callable[[list[str]], list[Any]]:
+    """Vectorised counterpart of :func:`make_inference_udf`.
+
+    Stacks the images behind a batch of paths into one ``/query/<job>``
+    POST — register it as a ``batch_fn`` so the planned executor's
+    batched dispatches cost one gateway round-trip each instead of one
+    per row.
+    """
+
+    def _batch_udf(image_paths: list[str]) -> list[Any]:
+        images = []
+        for image_path in image_paths:
+            if image_path not in image_store:
+                raise SQLExecutionError(f"no image at path {image_path!r}")
+            images.append(np.asarray(image_store[image_path]))
+        response = gateway.handle(
+            "POST", f"/query/{inference_job_id}",
+            {"img": np.stack(images).tolist()},
+        )
+        if not response.ok:
+            raise SQLExecutionError(
+                f"inference call failed: {response.body.get('error')}"
+            )
+        labels = response.body["label"]
+        labels = labels if isinstance(labels, list) else [labels]
+        if label_names is not None:
+            return [label_names[label] for label in labels]
+        return list(labels)
+
+    return _batch_udf

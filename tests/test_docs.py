@@ -21,6 +21,9 @@ PACKAGES = [
     "repro.core.serve.loadgen",
     "repro.api",
     "repro.sqlext",
+    "repro.sqlext.plan",
+    "repro.sqlext.optimizer",
+    "repro.sqlext.exec",
     "repro.telemetry",
     "repro.chaos",
     "repro.utils",

@@ -202,10 +202,20 @@ class TestTokenizerProperties:
         check()
 
     def test_number_parsing(self):
-        from repro.sqlext.engine import _tokenize
+        # The minus is its own operator token — the parser applies it
+        # as unary minus, so a negative literal can never be confused
+        # with a binary minus between two tokens.
+        from repro.sqlext.engine import _tokenize, parse_select
+        from repro.sqlext.engine import Comparison, Literal
 
         tokens = _tokenize("SELECT a FROM t WHERE x > -3.5")
-        assert ("number", "-3.5") in tokens
+        assert ("op", "-") in tokens
+        assert ("number", "3.5") in tokens
+        assert ("number", "-3.5") not in tokens
+        statement = parse_select("SELECT a FROM t WHERE x > -3.5")
+        assert statement.where[0] == Comparison(
+            statement.where[0].left, ">", Literal(-3.5)
+        )
 
     def test_string_with_doubled_quotes(self):
         from repro.sqlext.engine import _tokenize
