@@ -17,6 +17,7 @@ path unchanged.
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import re
 from dataclasses import dataclass
@@ -36,9 +37,12 @@ from repro.exceptions import (
     ModelNotFoundError,
     ParameterNotFoundError,
     QueueOverflowError,
+    QuotaExceededError,
     RafikiError,
     RequestShedError,
+    TenantAccessError,
 )
+from repro.tenancy import DEFAULT_TENANT, current_tenant, tenant_context
 
 __all__ = ["Gateway", "Response", "make_query_executor"]
 
@@ -113,12 +117,22 @@ class Gateway:
         self._frontends: dict[str, Any] = {}
         self._query_pattern = re.compile(r"^/query/(?P<job_id>[\w\-./]+)$")
 
-    def handle(self, method: str, path: str, body: dict[str, Any] | None = None) -> Response:
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: dict[str, Any] | None = None,
+        tenant: str | None = None,
+    ) -> Response:
         """Route one request. The body is round-tripped through JSON.
 
-        Every request — matched or not — is counted per route template
-        and status, and its handler latency (read from the injectable
-        telemetry clock) lands in the per-route latency histogram.
+        Every request — matched or not — is counted per route template,
+        status and tenant, and its handler latency (read from the
+        injectable telemetry clock) lands in the per-route latency
+        histogram. The tenant comes from the ``tenant`` argument (an
+        HTTP gateway would read a header), falling back to a
+        ``"tenant"`` body field, then to the default tenant; unknown or
+        suspended tenants get 403 before any handler runs.
         """
         clock = telemetry.get_clock()
         start = clock.now()
@@ -131,6 +145,12 @@ class Gateway:
         except (TypeError, ValueError) as exc:
             payload = None
             response = Response(400, {"error": f"body is not JSON-serialisable: {exc}"})
+        tenant_name = self._resolve_tenant_name(tenant, payload)
+        if response is None:
+            try:
+                self.system.tenants.resolve(tenant_name)
+            except TenantAccessError as exc:
+                response = self._error_response(exc)
         if response is None:
             for route_method, pattern, handler, name in self._routes:
                 if route_method != method.upper():
@@ -144,7 +164,8 @@ class Gateway:
                         # is lost (504); either way the gateway answers
                         # instead of crashing the server loop.
                         injected_latency = chaos.fire("gateway.dispatch")
-                        result = handler(payload, **match.groupdict())
+                        with tenant_context(tenant_name):
+                            result = handler(payload, **match.groupdict())
                         response = self._serialise(result)
                     except Exception as exc:
                         response = self._error_response(exc)
@@ -155,14 +176,25 @@ class Gateway:
             response = Response(404, {"error": f"no route for {method} {path}"})
         registry = telemetry.get_registry()
         registry.counter(
-            "repro_gateway_requests_total", "Gateway requests, by route and status."
-        ).inc(method=method.upper(), route=route_name, status=str(response.status))
+            "repro_gateway_requests_total",
+            "Gateway requests, by route, status and tenant.",
+        ).inc(method=method.upper(), route=route_name, status=str(response.status),
+              tenant=tenant_name)
         registry.histogram(
             "repro_gateway_request_seconds",
             "Gateway handler latency per route.",
             buckets=REQUEST_SECONDS_BUCKETS,
         ).observe(clock.now() - start + injected_latency, route=route_name)
         return response
+
+    @staticmethod
+    def _resolve_tenant_name(tenant: str | None, payload: Any) -> str:
+        """Explicit argument (header) > body field > default tenant."""
+        if tenant:
+            return str(tenant)
+        if isinstance(payload, dict) and payload.get("tenant"):
+            return str(payload["tenant"])
+        return DEFAULT_TENANT
 
     @staticmethod
     def _error_response(exc: Exception) -> Response | None:
@@ -185,6 +217,19 @@ class Gateway:
                 "reason": getattr(exc, "reason", "queue_full"),
                 "retry_after": float(getattr(exc, "retry_after", 0.1)),
             })
+        if isinstance(exc, QuotaExceededError):
+            # Over quota is a *temporary* condition — the tenant can
+            # free capacity (stop a job, delete parameters) and retry —
+            # so it speaks 429, not 403.
+            return Response(429, {
+                "error": str(exc),
+                "reason": "quota",
+                "tenant": exc.tenant,
+                "resource": exc.resource,
+                "retry_after": 1.0,
+            })
+        if isinstance(exc, TenantAccessError):
+            return Response(403, {"error": str(exc), "tenant": exc.tenant})
         if isinstance(exc, GatewayError):
             return Response(400, {"error": str(exc)})
         if isinstance(exc, _NOT_FOUND_ERRORS):
@@ -223,24 +268,31 @@ class Gateway:
         path: str,
         body: dict[str, Any] | None = None,
         client_id: str = "default",
+        tenant: str | None = None,
     ) -> Response:
         """Async twin of :meth:`handle`.
 
         Query routes for jobs with an attached front end await
-        admission + batching (and carry ``client_id`` into the
-        per-client rate limiter); every other request delegates to the
-        synchronous path unchanged.
+        admission + batching (and carry ``client_id`` and the resolved
+        tenant into the per-client and per-tenant rate limiters); every
+        other request delegates to the synchronous path unchanged.
         """
         if method.upper() == "POST":
             match = self._query_pattern.match(path)
             if match:
                 frontend = self._frontends.get(match.group("job_id"))
                 if frontend is not None:
-                    return await self._query_via_frontend(frontend, body, client_id)
-        return self.handle(method, path, body)
+                    return await self._query_via_frontend(
+                        frontend, body, client_id, tenant
+                    )
+        return self.handle(method, path, body, tenant=tenant)
 
     async def _query_via_frontend(
-        self, frontend: Any, body: dict[str, Any] | None, client_id: str
+        self,
+        frontend: Any,
+        body: dict[str, Any] | None,
+        client_id: str,
+        tenant: str | None = None,
     ) -> Response:
         clock = telemetry.get_clock()
         start = clock.now()
@@ -250,12 +302,16 @@ class Gateway:
         except (TypeError, ValueError) as exc:
             payload = None
             response = Response(400, {"error": f"body is not JSON-serialisable: {exc}"})
+        tenant_name = self._resolve_tenant_name(tenant, payload)
         if payload is not None:
             try:
+                self.system.tenants.resolve(tenant_name)
                 if "img" not in payload:
                     raise GatewayError("POST /query requires 'img'")
-                image = np.asarray(payload["img"], dtype=np.float64)
-                result = await frontend.submit(image, client_id=client_id)
+                image = _parse_image(payload["img"])
+                result = await frontend.submit(
+                    image, client_id=client_id, tenant=tenant_name
+                )
                 response = self._serialise(result)
             except Exception as exc:
                 response = self._error_response(exc)
@@ -263,8 +319,10 @@ class Gateway:
                     raise
         registry = telemetry.get_registry()
         registry.counter(
-            "repro_gateway_requests_total", "Gateway requests, by route and status."
-        ).inc(method="POST", route="/query/{job_id}", status=str(response.status))
+            "repro_gateway_requests_total",
+            "Gateway requests, by route, status and tenant.",
+        ).inc(method="POST", route="/query/{job_id}", status=str(response.status),
+              tenant=tenant_name)
         registry.histogram(
             "repro_gateway_request_seconds",
             "Gateway handler latency per route.",
@@ -307,8 +365,7 @@ class Gateway:
         for required in ("name", "task", "dataset"):
             if required not in body:
                 raise GatewayError(f"POST /train requires {required!r}")
-        hyper_kwargs = body.get("hyper", {})
-        hyper = HyperConf(**hyper_kwargs) if hyper_kwargs else None
+        hyper = self._parse_hyper(body.get("hyper", {}))
         job_id = self.system.create_train_job(
             name=body["name"],
             task=body["task"],
@@ -320,8 +377,37 @@ class Gateway:
             num_workers=int(body.get("num_workers", 2)),
             advisor=body.get("advisor", "bayesian"),
             collaborative=bool(body.get("collaborative", True)),
+            tenant=current_tenant(),
+            priority=int(body.get("priority", 0)),
         )
         return {"job_id": job_id}
+
+    @staticmethod
+    def _parse_hyper(hyper_kwargs: Any) -> HyperConf | None:
+        """Validate a request's ``hyper`` object into a :class:`HyperConf`.
+
+        Malformed bodies (wrong type, unknown fields, bad values) are a
+        *client* error and must answer 400 — a bare
+        ``HyperConf(**kwargs)`` would leak ``TypeError`` out of the
+        gateway and crash the caller instead.
+        """
+        if not hyper_kwargs:
+            return None
+        if not isinstance(hyper_kwargs, dict):
+            raise GatewayError(
+                f"'hyper' must be an object, got {type(hyper_kwargs).__name__}"
+            )
+        valid = {f.name for f in dataclasses.fields(HyperConf)}
+        unknown = sorted(str(key) for key in hyper_kwargs if key not in valid)
+        if unknown:
+            raise GatewayError(
+                f"unknown hyper field(s): {', '.join(unknown)}; "
+                f"valid fields: {', '.join(sorted(valid))}"
+            )
+        try:
+            return HyperConf(**hyper_kwargs)
+        except (TypeError, ValueError) as exc:
+            raise GatewayError(f"invalid 'hyper' configuration: {exc}") from exc
 
     def _get_train(self, body: dict, job_id: str) -> dict:
         info = self.system.get_train_job(job_id)
@@ -363,7 +449,12 @@ class Gateway:
             )
             for m in body["models"]
         ]
-        job_id = self.system.create_inference_job(specs, dataset=body.get("dataset"))
+        job_id = self.system.create_inference_job(
+            specs,
+            dataset=body.get("dataset"),
+            tenant=current_tenant(),
+            priority=int(body.get("priority", 0)),
+        )
         return {"job_id": job_id}
 
     def _get_inference(self, body: dict, job_id: str) -> dict:
@@ -385,8 +476,7 @@ class Gateway:
     def _post_query(self, body: dict, job_id: str) -> dict:
         if "img" not in body:
             raise GatewayError("POST /query requires 'img'")
-        image = np.asarray(body["img"], dtype=np.float64)
-        return self.system.query(job_id, image)
+        return self.system.query(job_id, _parse_image(body["img"]))
 
     def attach_sql_database(self, database: Any) -> None:
         """Serve ``POST /sql`` from this :class:`~repro.sqlext.Database`.
@@ -422,6 +512,20 @@ class Gateway:
         return dashboard_data(self.system)
 
 
+def _parse_image(raw: Any) -> np.ndarray:
+    """Decode a request's image payload into a float array, or 400.
+
+    A ragged nested list raises ``ValueError`` out of ``np.asarray``;
+    without this guard that crashes the server loop (sync path) or
+    poisons a whole batch (async path) instead of answering 400 for the
+    one malformed request.
+    """
+    try:
+        return np.asarray(raw, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise GatewayError(f"'img' is not a numeric image: {exc}") from exc
+
+
 def make_query_executor(system: Rafiki, job_id: str) -> Callable[[list, int], list]:
     """Build the batch executor an async front end runs queries with.
 
@@ -430,18 +534,52 @@ def make_query_executor(system: Rafiki, job_id: str) -> Callable[[list, int], li
     the whole batch pays one vote), and splits the batched result back
     into per-request ``{"label", "votes", "models"}`` dicts — the same
     shape a synchronous ``POST /query`` returns.
+
+    Shapes are validated *per payload*: one client's wrong-shaped image
+    gets its own :class:`GatewayError` (a 400 on its own future) while
+    the rest of the batch runs — a whole-batch ``np.stack`` failure
+    would shed every co-batched client's request as ``executor_error``,
+    a cross-tenant isolation hole.
     """
 
-    def executor(payloads: list, batch_size: int) -> list[dict[str, Any]]:
-        batch = np.stack([np.asarray(p, dtype=np.float64) for p in payloads])
-        result = system.query(job_id, batch)
-        return [
-            {
-                "label": result["label"][i],
-                "votes": result["votes"][i],
-                "models": result["models"],
-            }
-            for i in range(len(payloads))
-        ]
+    def expected_shape() -> tuple[int, ...] | None:
+        try:
+            info = system.get_inference_job(job_id)
+            dataset = next(s.dataset for s in info.specs if s.dataset)
+            return tuple(system.store.get_handle(dataset).image_shape)
+        except Exception:
+            return None
+
+    def executor(payloads: list, batch_size: int) -> list[Any]:
+        expected = expected_shape()
+        results: list[Any] = [None] * len(payloads)
+        arrays: list[np.ndarray] = []
+        kept: list[int] = []
+        for index, payload in enumerate(payloads):
+            try:
+                array = _parse_image(payload)
+            except GatewayError as exc:
+                results[index] = exc
+                continue
+            shape = expected if expected is not None else (
+                arrays[0].shape if arrays else array.shape
+            )
+            if array.shape != shape:
+                results[index] = GatewayError(
+                    f"image shape {array.shape} does not match expected {shape}"
+                )
+                continue
+            arrays.append(array)
+            kept.append(index)
+        if arrays:
+            batch = np.stack(arrays)
+            result = system.query(job_id, batch)
+            for position, index in enumerate(kept):
+                results[index] = {
+                    "label": result["label"][position],
+                    "votes": result["votes"][position],
+                    "models": result["models"],
+                }
+        return results
 
     return executor

@@ -36,6 +36,7 @@ from repro.exceptions import GatewayError
 __all__ = [
     "connect",
     "default_gateway",
+    "set_tenant",
     "import_images",
     "HyperConf",
     "Train",
@@ -45,13 +46,29 @@ __all__ = [
 ]
 
 _gateway: Gateway | None = None
+_tenant: str | None = None
 
 
-def connect(system: Rafiki | None = None) -> Gateway:
-    """Bind the SDK to a Rafiki system (creating a default one if needed)."""
-    global _gateway
+def connect(system: Rafiki | None = None, tenant: str | None = None) -> Gateway:
+    """Bind the SDK to a Rafiki system (creating a default one if needed).
+
+    ``tenant`` sets the identity every subsequent SDK call authenticates
+    as (the paper's per-user API key, reduced to a name).
+    """
+    global _gateway, _tenant
     _gateway = Gateway(system if system is not None else Rafiki())
+    _tenant = tenant
     return _gateway
+
+
+def set_tenant(tenant: str | None) -> None:
+    """Set (or clear, with ``None``) the tenant for subsequent SDK calls."""
+    global _tenant
+    _tenant = tenant
+
+
+def _effective_tenant(tenant: str | None) -> str | None:
+    return tenant if tenant is not None else _tenant
 
 
 def default_gateway() -> Gateway:
@@ -66,14 +83,23 @@ def _unwrap(response: Response) -> dict[str, Any]:
     return response.body
 
 
-def import_images(source: str | ImageDataset, name: str | None = None) -> str:
+def import_images(
+    source: str | ImageDataset, name: str | None = None, tenant: str | None = None
+) -> str:
     """Upload a labelled image folder (or in-memory dataset); returns its name."""
     gateway = default_gateway()
     if isinstance(source, ImageDataset):
         # In-memory datasets skip the JSON hop (they are not file paths).
         handle = gateway.system.import_images(source, name=name)
         return handle.name
-    body = _unwrap(gateway.handle("POST", "/datasets", {"directory": source, "name": name}))
+    body = _unwrap(
+        gateway.handle(
+            "POST",
+            "/datasets",
+            {"directory": source, "name": name},
+            tenant=_effective_tenant(tenant),
+        )
+    )
     return body["name"]
 
 
@@ -92,6 +118,8 @@ class Train:
         num_workers: int = 2,
         advisor: str = "bayesian",
         collaborative: bool = True,
+        tenant: str | None = None,
+        priority: int = 0,
     ):
         self.name = name
         self.data = data
@@ -103,6 +131,8 @@ class Train:
         self.num_workers = num_workers
         self.advisor = advisor
         self.collaborative = collaborative
+        self.tenant = tenant
+        self.priority = priority
 
     def run(self) -> str:
         """Submit the job; returns the job id used for monitoring."""
@@ -114,6 +144,7 @@ class Train:
             "num_workers": self.num_workers,
             "advisor": self.advisor,
             "collaborative": self.collaborative,
+            "priority": self.priority,
         }
         if self.input_shape is not None:
             body["input_shape"] = list(self.input_shape)
@@ -130,7 +161,11 @@ class Train:
                 "alpha_decay": self.hyper.alpha_decay,
                 "alpha_min": self.hyper.alpha_min,
             }
-        return _unwrap(default_gateway().handle("POST", "/train", body))["job_id"]
+        return _unwrap(
+            default_gateway().handle(
+                "POST", "/train", body, tenant=_effective_tenant(self.tenant)
+            )
+        )["job_id"]
 
 
 def get_models(job_id: str) -> list[dict[str, Any]]:
@@ -141,22 +176,38 @@ def get_models(job_id: str) -> list[dict[str, Any]]:
 class Inference:
     """A configured inference job over trained models."""
 
-    def __init__(self, models: Sequence[dict[str, Any]], dataset: str | None = None):
+    def __init__(
+        self,
+        models: Sequence[dict[str, Any]],
+        dataset: str | None = None,
+        tenant: str | None = None,
+        priority: int = 0,
+    ):
         self.models = list(models)
         self.dataset = dataset
+        self.tenant = tenant
+        self.priority = priority
 
     def run(self) -> str:
-        body: dict[str, Any] = {"models": self.models}
+        body: dict[str, Any] = {"models": self.models, "priority": self.priority}
         if self.dataset is not None:
             body["dataset"] = self.dataset
-        return _unwrap(default_gateway().handle("POST", "/inference", body))["job_id"]
+        return _unwrap(
+            default_gateway().handle(
+                "POST", "/inference", body, tenant=_effective_tenant(self.tenant)
+            )
+        )["job_id"]
 
 
-def query(job: str, data: dict[str, Any]) -> dict[str, Any]:
+def query(job: str, data: dict[str, Any], tenant: str | None = None) -> dict[str, Any]:
     """Figure 2's ``rafiki.query``: predict for one image."""
     img = data.get("img")
     if img is None:
         raise GatewayError("query data must contain 'img'")
     if isinstance(img, np.ndarray):
         img = img.tolist()
-    return _unwrap(default_gateway().handle("POST", f"/query/{job}", {"img": img}))
+    return _unwrap(
+        default_gateway().handle(
+            "POST", f"/query/{job}", {"img": img}, tenant=_effective_tenant(tenant)
+        )
+    )

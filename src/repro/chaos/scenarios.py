@@ -39,6 +39,7 @@ __all__ = [
     "run_chaos_scenario",
     "run_shard_kill_scenario",
     "run_store_kill_scenario",
+    "run_tenant_isolation_scenario",
 ]
 
 #: counter prefixes that make up the trace's counter section — the
@@ -494,6 +495,182 @@ def run_store_kill_scenario(
                 "faults": plan.trace(),
                 "counters": _trace_counters(registry, STORE_TRACE_METRIC_PREFIXES),
                 "files": files,
+            },
+        }
+    finally:
+        chaos.set_plan(previous_plan)
+        telemetry.set_clock(previous_clock)
+        telemetry.set_registry(previous_registry)
+
+
+#: the tenant-isolation scenario's trace additionally replays the
+#: quota/fair-share bookkeeping and the tenant-labelled serve counters.
+TENANT_TRACE_METRIC_PREFIXES = TRACE_METRIC_PREFIXES + (
+    "repro_tenant_",
+    "repro_cluster_jobs_queued_total",
+    "repro_cluster_pending_jobs",
+    "repro_serve_frontend_",
+)
+
+
+def run_tenant_isolation_scenario(seed: int = 0) -> dict[str, Any]:
+    """A noisy tenant floods and crash-loops; a quiet tenant is unharmed.
+
+    Two tenants share one control plane and one serving front end:
+
+    1. **cluster phase** — tenant A (quota: 8 concurrent trials) floods
+       the cluster with training jobs until both its quota and the
+       cluster's capacity are exhausted, then crash-loops the node its
+       first job runs on (three fail/recover cycles). Tenant B's jobs
+       place throughout; when A releases capacity, the pending queue
+       drains **max-min fair** — B's queued job (lower dominant share)
+       activates before A's earlier-queued ones.
+    2. **serve phase** — both tenants drive open-loop load at one
+       admission-controlled front end; A offers ~4x B's rate *and*
+       suffers injected admission faults on its tenant-targeted chaos
+       point (``frontend.accept.tenant.tenant-a``). A's aggregate is
+       clamped by its tenant token bucket and queue-share cap, so the
+       isolation gate holds: **zero** tenant-B sheds and tenant-B p99
+       within ``2 * tau``.
+
+    Everything is a pure function of the seed, so the returned trace
+    (fault log, quota/fair-share counters, the serve trace fingerprint)
+    is bit-identical across same-seed runs.
+    """
+    from repro.cluster import ClusterManager, Node
+    from repro.cluster.manager import JobKind, JobState
+    from repro.cluster.node import Resources
+    from repro.core.serve.frontend import FrontendConfig, ServeFrontend
+    from repro.core.serve.loadgen import LoadGenConfig, ReplicaPool, run_multi_load
+    from repro.tenancy import TenantQuota, TenantRegistry
+
+    _reset_id_counters()
+    plan = FaultPlan(
+        [
+            # Admission faults aimed at tenant A only: the tenant-scoped
+            # chaos point fires after the generic frontend.accept one,
+            # so B's admissions never see these.
+            FaultRule(
+                "frontend.accept.tenant.tenant-a",
+                FaultKind.EXCEPTION,
+                probability=0.05,
+                max_faults=25,
+            ),
+        ],
+        seed=seed,
+    )
+    registry = telemetry.MetricsRegistry()
+    clock = telemetry.ManualClock()
+    previous_registry = telemetry.set_registry(registry)
+    previous_clock = telemetry.set_clock(clock)
+    previous_plan = chaos.set_plan(plan)
+    try:
+        # -- cluster phase: quotas, flood, crash-loop, fair drain ------
+        tenants = TenantRegistry()
+        tenants.register("tenant-a", quota=TenantQuota(trials=8))
+        tenants.register("tenant-b")
+        manager = ClusterManager(tenants=tenants)
+        for i in range(3):
+            manager.add_node(
+                Node(f"n{i}", capacity=Resources(cpus=8, gpus=3, memory_gb=64))
+            )
+        # A floods: two jobs place (6 of 8 quota trials), the third
+        # trips the quota and queues.
+        a1 = manager.submit_job(JobKind.TRAIN, "a1", num_workers=3, tenant="tenant-a")
+        a2 = manager.submit_job(JobKind.TRAIN, "a2", num_workers=3, tenant="tenant-a")
+        a3 = manager.submit_job(JobKind.TRAIN, "a3", num_workers=3, tenant="tenant-a")
+        # B places immediately despite the flood (capacity remains
+        # because A's quota capped it)...
+        b1 = manager.submit_job(JobKind.TRAIN, "b1", num_workers=2, tenant="tenant-b")
+        # ...then queues one more on capacity, as does A again.
+        b2 = manager.submit_job(JobKind.TRAIN, "b2", num_workers=3, tenant="tenant-b")
+        a4 = manager.submit_job(JobKind.TRAIN, "a4", num_workers=3, tenant="tenant-a")
+        flood_states = {
+            job.name: job.state.name for job in (a1, a2, a3, b1, b2, a4)
+        }
+        # A crash-loops its first job's node; B's containers live
+        # elsewhere and are untouched.
+        crash_host = a1.containers[0].node_name
+        for _ in range(3):
+            manager.fail_node(crash_host)
+            manager.recover_node(crash_host)
+        b1_survived = b1.state is JobState.RUNNING and all(
+            c.running for c in b1.containers
+        )
+        # A releases capacity; the pending queue drains max-min fair:
+        # B's queued job (lower dominant share) activates first even
+        # though A's quota-queued job arrived earlier.
+        manager.stop_job(a1.job_id)
+        drain_states = {
+            job.name: job.state.name for job in (a3, b2, a4)
+        }
+        cluster = {
+            "flood_states": flood_states,
+            "crash_host": crash_host,
+            "crash_cycles": 3,
+            "b1_survived_crash_loop": b1_survived,
+            "drain_states": drain_states,
+            "fair_share_winner": (
+                "tenant-b" if b2.state is JobState.RUNNING else b2.state.name
+            ),
+            "a_pending_after_drain": sum(
+                1 for job in manager.pending_jobs() if job.tenant == "tenant-a"
+            ),
+            "recoveries": manager.recoveries,
+            "usage": tenants.ledger.snapshot(),
+        }
+
+        # -- serve phase: A floods one front end, B stays in SLO -------
+        tau = 0.2
+        latency = lambda b: 0.05 + 0.002 * b  # noqa: E731
+        frontend = ServeFrontend(
+            FrontendConfig(
+                latency=latency,
+                tau=tau,
+                max_queue=256,
+                tenant_rate_limits={"tenant-a": 80.0},
+                tenant_max_queue_share=0.5,
+            )
+        )
+        pool = ReplicaPool(latency, replicas=2)
+        trace = run_multi_load(
+            frontend,
+            pool,
+            [
+                LoadGenConfig(
+                    mode="open", target_rate=320.0, period=20.0,
+                    duration=30.0, seed=seed, tenant="tenant-a",
+                ),
+                LoadGenConfig(
+                    mode="open", target_rate=40.0, period=20.0,
+                    duration=30.0, seed=seed + 1, tenant="tenant-b",
+                ),
+            ],
+        )
+        a_summary = trace.summary("tenant-a")
+        b_summary = trace.summary("tenant-b")
+        isolation = {
+            "tau": tau,
+            "b_shed": b_summary["shed"],
+            "b_p99_s": b_summary["p99_s"],
+            "zero_b_sheds": b_summary["shed"] == 0,
+            "b_p99_within_2tau": b_summary["p99_s"] <= 2.0 * tau,
+            "a_shed_rate": a_summary["shed_rate"],
+        }
+        return {
+            "seed": seed,
+            "results": {
+                "cluster": cluster,
+                "serve": {"tenant-a": a_summary, "tenant-b": b_summary},
+                "isolation": isolation,
+            },
+            "points_hit": plan.points_hit(),
+            "kinds_hit": plan.kinds_hit(),
+            "faults_injected": plan.faults_injected(),
+            "trace": {
+                "faults": plan.trace(),
+                "counters": _trace_counters(registry, TENANT_TRACE_METRIC_PREFIXES),
+                "serve_fingerprint": trace.fingerprint(),
             },
         }
     finally:

@@ -23,7 +23,11 @@ Commands:
   dedup/replication audit (``--kill`` adds a datanode kill + repair +
   rejoin reconciliation; ``--scenario`` runs the seeded mid-write/
   mid-read store-kill chaos scenario, ``--verify`` asserting the trace
-  is bit-identical across two same-seed runs).
+  is bit-identical across two same-seed runs);
+* ``tenants`` — run the seeded tenant-isolation scenario: a noisy
+  tenant floods and crash-loops while a quiet tenant's jobs keep
+  placing and its served p99 stays within 2x the SLO (``--verify``
+  asserts the trace is bit-identical across two same-seed runs).
 """
 
 from __future__ import annotations
@@ -115,6 +119,17 @@ def build_parser() -> argparse.ArgumentParser:
                            help="print the full result (trace included) as JSON")
     chaos_cmd.add_argument("--verify", action="store_true",
                            help="run the scenario twice and require identical traces")
+
+    tenants_cmd = sub.add_parser(
+        "tenants",
+        help="run the seeded tenant-isolation scenario and print the verdict",
+    )
+    tenants_cmd.add_argument("--seed", type=int, default=0)
+    tenants_cmd.add_argument("--json", action="store_true",
+                             help="print the full result (trace included) as JSON")
+    tenants_cmd.add_argument("--verify", action="store_true",
+                             help="run the scenario twice and require identical "
+                                  "traces")
 
     serve_cmd = sub.add_parser(
         "serve", help="drive the serving path under generated load"
@@ -493,6 +508,44 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_tenants(args) -> int:
+    """Run the tenant-isolation scenario and print the isolation verdict."""
+    import json
+
+    from repro.chaos.scenarios import run_tenant_isolation_scenario
+
+    out = run_tenant_isolation_scenario(seed=args.seed)
+    if args.verify:
+        again = run_tenant_isolation_scenario(seed=args.seed)
+        if again["trace"] != out["trace"]:
+            print("FAIL: tenant-isolation traces differ across same-seed runs",
+                  file=sys.stderr)
+            return 1
+    if args.json:
+        print(json.dumps(out, indent=2, sort_keys=True))
+        return 0
+    cluster = out["results"]["cluster"]
+    isolation = out["results"]["isolation"]
+    serve_a = out["results"]["serve"]["tenant-a"]
+    serve_b = out["results"]["serve"]["tenant-b"]
+    ok = isolation["zero_b_sheds"] and isolation["b_p99_within_2tau"]
+    print(f"tenant isolation (seed {out['seed']}): "
+          f"{out['faults_injected']} admission faults aimed at tenant-a")
+    print(f"cluster: flood {cluster['flood_states']}; "
+          f"{cluster['crash_cycles']} crash cycles on {cluster['crash_host']}; "
+          f"B survived: {cluster['b1_survived_crash_loop']}; "
+          f"fair drain winner: {cluster['fair_share_winner']}")
+    print(f"serve:   A offered {serve_a['offered']} "
+          f"(shed rate {serve_a['shed_rate']:.2f}); "
+          f"B offered {serve_b['offered']}, shed {serve_b['shed']}, "
+          f"p99 {serve_b['p99_s'] * 1000:.0f}ms vs 2*tau "
+          f"{2 * isolation['tau'] * 1000:.0f}ms")
+    print(f"verdict: {'ISOLATED' if ok else 'VIOLATED'}")
+    if args.verify:
+        print("verify: trace identical across two same-seed runs")
+    return 0 if ok else 1
+
+
 def _cmd_store(args) -> int:
     """Exercise the chunked block store: dedup, kill/repair, audit."""
     import json
@@ -686,6 +739,7 @@ _COMMANDS = {
     "chaos": _cmd_chaos,
     "serve": _cmd_serve,
     "store": _cmd_store,
+    "tenants": _cmd_tenants,
 }
 
 

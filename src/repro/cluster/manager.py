@@ -17,9 +17,19 @@ from repro import telemetry
 from repro.cluster.checkpoint import CheckpointStore
 from repro.cluster.container import Container, ContainerRole, ContainerState
 from repro.cluster.node import Node, Resources
-from repro.exceptions import ClusterError, JobNotFoundError, PlacementError
+from repro.exceptions import (
+    ClusterError,
+    JobNotFoundError,
+    PlacementError,
+    QuotaExceededError,
+    TenantAccessError,
+)
+from repro.tenancy import DEFAULT_TENANT, TenantRegistry
 
 __all__ = ["ClusterManager", "JobRecord", "JobKind", "JobState"]
+
+#: governed quota resource per job kind (system jobs are uncounted).
+_QUOTA_RESOURCE = {"train": "trials", "inference": "replicas"}
 
 _job_ids = itertools.count(1)
 
@@ -55,6 +65,14 @@ class JobRecord:
     containers: list[Container] = field(default_factory=list)
     state: JobState = JobState.PENDING
     spec: dict = field(default_factory=dict)
+    #: owning tenant; quota charges and fair-share accounting key off this.
+    tenant: str = DEFAULT_TENANT
+    #: higher runs earlier among jobs of the same tenant in the pending queue.
+    priority: int = 0
+    #: anti-affinity preference, remembered so queued jobs place correctly.
+    spread: bool = False
+    #: why the job is queued (``"quota"`` or ``"capacity"``), while PENDING.
+    pending_reason: str | None = None
 
     @property
     def master(self) -> Container | None:
@@ -71,15 +89,23 @@ class JobRecord:
 class ClusterManager:
     """Places containers on nodes and recovers from failures."""
 
-    def __init__(self, checkpoint_store: CheckpointStore | None = None):
+    def __init__(
+        self,
+        checkpoint_store: CheckpointStore | None = None,
+        tenants: TenantRegistry | None = None,
+    ):
         self.nodes: dict[str, Node] = {}
         self.jobs: dict[str, JobRecord] = {}
         self.containers: dict[str, Container] = {}
         self.checkpoints = checkpoint_store if checkpoint_store is not None else CheckpointStore()
+        #: quota + fair-share authority; ``None`` disables enforcement.
+        self.tenants = tenants
         self.recoveries = 0
         self._recovery_hooks: list[Callable[[Container], None]] = []
         #: failed containers waiting for capacity, oldest first.
         self._pending_restarts: list[Container] = []
+        #: submitted jobs waiting for quota or capacity, oldest first.
+        self._pending_jobs: list[JobRecord] = []
         #: last heartbeat per node, on the injectable telemetry clock.
         self.last_heartbeat: dict[str, float] = {}
 
@@ -93,6 +119,7 @@ class ClusterManager:
         self.nodes[node.name] = node
         self.last_heartbeat[node.name] = telemetry.get_clock().now()
         self._publish_node_gauges()
+        self._schedule_pending()
 
     def heartbeat(self, node_name: str) -> bool:
         """Record a liveness heartbeat from ``node_name``.
@@ -162,19 +189,31 @@ class ClusterManager:
         spec: dict | None = None,
         worker_role: ContainerRole = ContainerRole.WORKER,
         spread: bool = False,
+        tenant: str = DEFAULT_TENANT,
+        priority: int = 0,
+        queue: bool = True,
     ) -> JobRecord:
         """Create containers for a job and place them.
 
         One master plus ``num_workers`` workers (``worker_role`` lets
-        system jobs mark them e.g. ``PARAMETER`` shards). Raises
-        :class:`PlacementError` (and places nothing) if the cluster
-        cannot host the full job. ``spread=True`` skips the single-node
-        co-location preference: replicated storage wants its containers
-        on *different* nodes (anti-affinity), the opposite of a tuning
-        job's network-locality preference.
+        system jobs mark them e.g. ``PARAMETER`` shards). ``spread=True``
+        skips the single-node co-location preference *and* enforces
+        anti-affinity: replicated storage wants its containers on
+        *different* nodes, the opposite of a tuning job's
+        network-locality preference.
+
+        When the tenant is over quota or the cluster lacks capacity the
+        job is *queued* (returned in :attr:`JobState.PENDING`, no
+        containers placed) and scheduled later in max-min fair-share
+        order as resources free up. ``queue=False`` restores the old
+        fail-fast contract — :class:`QuotaExceededError` /
+        :class:`PlacementError` — for system jobs whose callers need
+        containers immediately.
         """
         if num_workers < 0:
             raise ClusterError(f"num_workers must be >= 0, got {num_workers}")
+        if self.tenants is not None:
+            self.tenants.resolve(tenant)
         job_id = f"job-{next(_job_ids)}"
         master_request = master_request or Resources(cpus=1, gpus=0, memory_gb=4)
         worker_request = worker_request or Resources(cpus=1, gpus=1, memory_gb=8)
@@ -187,20 +226,57 @@ class ClusterManager:
                 Container(image=f"rafiki/{kind.value}-worker", role=worker_role,
                           job_id=job_id, request=worker_request)
             )
-        placements = self._plan_placement(containers, spread=spread)
-        job = JobRecord(job_id=job_id, kind=kind, name=name, spec=dict(spec or {}))
-        for container, node in zip(containers, placements):
+        job = JobRecord(
+            job_id=job_id, kind=kind, name=name, containers=containers,
+            spec=dict(spec or {}), tenant=tenant, priority=int(priority),
+            spread=spread,
+        )
+        self.jobs[job_id] = job
+        telemetry.get_registry().counter(
+            "repro_cluster_jobs_submitted_total",
+            "Jobs submitted to the cluster, by kind and tenant.",
+        ).inc(kind=kind.value, tenant=tenant)
+        try:
+            self._quota_check(job)
+        except Exception:
+            if not queue:
+                del self.jobs[job_id]
+                raise
+            self._enqueue_pending(job, reason="quota")
+            return job
+        try:
+            self._activate(job)
+        except PlacementError:
+            if not queue:
+                del self.jobs[job_id]
+                raise
+            self._enqueue_pending(job, reason="capacity")
+        return job
+
+    def _quota_check(self, job: JobRecord) -> None:
+        """Raise if placing ``job`` would take its tenant over quota."""
+        resource = _QUOTA_RESOURCE.get(job.kind.value)
+        if self.tenants is None or resource is None:
+            return
+        self.tenants.check(job.tenant, resource, len(job.workers))
+
+    def _activate(self, job: JobRecord) -> None:
+        """Place all of a job's containers and charge the tenant quota.
+
+        Raises :class:`PlacementError` (placing nothing) if the full
+        job does not fit on the alive nodes.
+        """
+        placements = self._plan_placement(job.containers, spread=job.spread)
+        for container, node in zip(job.containers, placements):
             node.allocate(container.container_id, container.request)
             container.node_name = node.name
             container.state = ContainerState.RUNNING
-            job.containers.append(container)
             self.containers[container.container_id] = container
+        resource = _QUOTA_RESOURCE.get(job.kind.value)
+        if self.tenants is not None and resource is not None:
+            self.tenants.charge(job.tenant, resource, len(job.workers))
         job.state = JobState.RUNNING
-        self.jobs[job_id] = job
-        telemetry.get_registry().counter(
-            "repro_cluster_jobs_submitted_total", "Jobs placed on the cluster, by kind."
-        ).inc(kind=kind.value)
-        return job
+        job.pending_reason = None
 
     def _plan_placement(self, containers: list[Container], spread: bool = False) -> list[Node]:
         """Choose a node per container, co-locating the job when possible."""
@@ -213,15 +289,22 @@ class ClusterManager:
             for node in self._nodes_by_free():
                 if node.can_host(total):
                     return [node] * len(containers)
-        # Otherwise spread greedily: emptiest node first per container,
-        # simulating the allocation without mutating nodes.
+        # Otherwise spread greedily, simulating the allocation without
+        # mutating nodes. Nodes already planned for this job sort last
+        # (anti-affinity): a single over-provisioned node must not
+        # absorb every replica of a spread job, or the block store's
+        # host-diversity assumption silently breaks.
         free: dict[str, Resources] = {n.name: n.free for n in self.alive_nodes()}
+        planned: dict[str, int] = {}
         plan: list[Node] = []
         for container in containers:
             candidates = sorted(
                 (node for node in self.alive_nodes()
                  if container.request.fits_within(free[node.name])),
-                key=lambda n: (-free[n.name].gpus, -free[n.name].cpus, n.name),
+                key=lambda n: (
+                    planned.get(n.name, 0) if spread else 0,
+                    -free[n.name].gpus, -free[n.name].cpus, n.name,
+                ),
             )
             if not candidates:
                 raise PlacementError(
@@ -229,6 +312,7 @@ class ClusterManager:
                 )
             chosen = candidates[0]
             free[chosen.name] = free[chosen.name] - container.request
+            planned[chosen.name] = planned.get(chosen.name, 0) + 1
             plan.append(chosen)
         return plan
 
@@ -237,6 +321,97 @@ class ClusterManager:
             self.alive_nodes(),
             key=lambda n: (-n.free.gpus, -n.free.cpus, n.name),
         )
+
+    # ------------------------------------------------------------------
+    # pending-job queue and fair-share scheduling
+    # ------------------------------------------------------------------
+
+    def pending_jobs(self) -> list[JobRecord]:
+        """Jobs queued for quota or capacity, in arrival order."""
+        return list(self._pending_jobs)
+
+    def _enqueue_pending(self, job: JobRecord, reason: str) -> None:
+        job.state = JobState.PENDING
+        job.pending_reason = reason
+        self._pending_jobs.append(job)
+        telemetry.get_registry().counter(
+            "repro_cluster_jobs_queued_total",
+            "Jobs queued instead of placed, by tenant and reason.",
+        ).inc(tenant=job.tenant, reason=reason)
+        self._publish_pending_job_gauge()
+
+    def _publish_pending_job_gauge(self) -> None:
+        telemetry.get_registry().gauge(
+            "repro_cluster_pending_jobs",
+            "Submitted jobs waiting for quota or capacity.",
+        ).set(len(self._pending_jobs))
+
+    def _tenant_allocation(self) -> dict[str, Resources]:
+        """Resources currently held by each tenant's active jobs."""
+        allocation: dict[str, Resources] = {}
+        for job in self.jobs.values():
+            if job.state not in (JobState.RUNNING, JobState.DEGRADED):
+                continue
+            for container in job.containers:
+                if container.node_name is None or container.state is not ContainerState.RUNNING:
+                    continue
+                current = allocation.get(job.tenant, Resources(0, 0, 0))
+                allocation[job.tenant] = current + container.request
+        return allocation
+
+    def _dominant_share(self, tenant: str, allocation: dict[str, Resources]) -> float:
+        """Weighted dominant-resource share of ``tenant`` (DRF-style)."""
+        total = Resources(0, 0, 0)
+        for node in self.alive_nodes():
+            total = total + node.capacity
+        held = allocation.get(tenant, Resources(0, 0, 0))
+        shares = [
+            held.cpus / total.cpus if total.cpus else 0.0,
+            held.gpus / total.gpus if total.gpus else 0.0,
+            held.memory_gb / total.memory_gb if total.memory_gb else 0.0,
+        ]
+        weight = 1.0
+        if self.tenants is not None:
+            weight = max(self.tenants.resolve(tenant).weight, 1e-9)
+        return max(shares) / weight
+
+    def _rank_pending(self) -> list[JobRecord]:
+        """Pending jobs in max-min fair order.
+
+        The tenant holding the smallest weighted dominant-resource
+        share goes first (max-min fairness over dominant resources);
+        within a tenant, higher ``priority`` then FIFO arrival order.
+        """
+        allocation = self._tenant_allocation()
+        shares = {
+            tenant: self._dominant_share(tenant, allocation)
+            for tenant in {job.tenant for job in self._pending_jobs}
+        }
+        arrival = {id(job): index for index, job in enumerate(self._pending_jobs)}
+        return sorted(
+            self._pending_jobs,
+            key=lambda job: (shares[job.tenant], -job.priority, arrival[id(job)]),
+        )
+
+    def _schedule_pending(self) -> None:
+        """Drain the pending queue while quota and capacity allow.
+
+        Re-ranks after every successful placement so the fair-share
+        ordering reflects the resources the previous pick just took.
+        """
+        progressed = True
+        while progressed and self._pending_jobs:
+            progressed = False
+            for job in self._rank_pending():
+                try:
+                    self._quota_check(job)
+                    self._activate(job)
+                except (PlacementError, QuotaExceededError, TenantAccessError):
+                    continue
+                self._pending_jobs.remove(job)
+                progressed = True
+                break
+        self._publish_pending_job_gauge()
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -249,9 +424,28 @@ class ClusterManager:
 
     def stop_job(self, job_id: str, state: JobState = JobState.STOPPED) -> None:
         job = self.get_job(job_id)
+        was_charged = job.state in (JobState.RUNNING, JobState.DEGRADED)
+        if job in self._pending_jobs:
+            self._pending_jobs.remove(job)
+            self._publish_pending_job_gauge()
         for container in job.containers:
             self._release(container, ContainerState.STOPPED)
+        # Drop queued restarts for this job: a stopped job must not
+        # resurrect containers when a node later recovers, and the
+        # pending-restarts gauge must not report ghosts.
+        if any(c.job_id == job_id for c in self._pending_restarts):
+            self._pending_restarts = [
+                c for c in self._pending_restarts if c.job_id != job_id
+            ]
+            telemetry.get_registry().gauge(
+                "repro_cluster_pending_restarts",
+                "Failed containers waiting for cluster capacity.",
+            ).set(len(self._pending_restarts))
         job.state = state
+        resource = _QUOTA_RESOURCE.get(job.kind.value)
+        if was_charged and self.tenants is not None and resource is not None:
+            self.tenants.release(job.tenant, resource, len(job.workers))
+        self._schedule_pending()
 
     def complete_job(self, job_id: str) -> None:
         self.stop_job(job_id, state=JobState.COMPLETED)
@@ -365,6 +559,7 @@ class ClusterManager:
             "repro_cluster_pending_restarts",
             "Failed containers waiting for cluster capacity.",
         ).set(len(self._pending_restarts))
+        self._schedule_pending()
         return started
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

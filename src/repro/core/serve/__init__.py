@@ -80,6 +80,7 @@ from repro.core.serve.loadgen import (  # noqa: E402
     ReplicaPool,
     capacity_qps,
     run_load,
+    run_multi_load,
 )
 
 __all__ += [
@@ -93,5 +94,6 @@ __all__ += [
     "LoadTrace",
     "ReplicaPool",
     "run_load",
+    "run_multi_load",
     "capacity_qps",
 ]

@@ -48,6 +48,7 @@ from repro.exceptions import (
     InjectedFault,
     RequestShedError,
 )
+from repro.tenancy import DEFAULT_TENANT
 from repro.utils.reservoir import Reservoir
 from repro.utils.retry import RetryPolicy
 
@@ -135,6 +136,20 @@ class FrontendConfig:
     rate_limit: float | None = None
     #: per-client burst allowance (defaults to one second of rate).
     burst: float | None = None
+    #: per-*tenant* token-bucket rate, layered over the per-client
+    #: buckets: one tenant's aggregate traffic (any number of clients)
+    #: cannot exceed this. None disables the tenant layer.
+    tenant_rate_limit: float | None = None
+    #: per-tenant burst allowance (defaults to one second of rate).
+    tenant_burst: float | None = None
+    #: per-tenant rate overrides (tenant name -> requests/second);
+    #: tenants not listed fall back to ``tenant_rate_limit``.
+    tenant_rate_limits: dict[str, float] | None = None
+    #: cap on the fraction of ``max_queue`` one tenant may occupy
+    #: (0 < share <= 1); None disables the cap. With the cap, a
+    #: flooding tenant fills only its slice of the accept queue and
+    #: other tenants keep admitting.
+    tenant_max_queue_share: float | None = None
     #: bounded retry schedule for batches that fail at the
     #: ``frontend.dispatch`` fault point; after ``max_attempts``
     #: consecutive failures the batch is shed (dispatch_failed).
@@ -158,6 +173,17 @@ class FrontendConfig:
             raise ConfigurationError(
                 f"rate_limit must be > 0 (or None), got {self.rate_limit}"
             )
+        if self.tenant_rate_limit is not None and self.tenant_rate_limit <= 0:
+            raise ConfigurationError(
+                f"tenant_rate_limit must be > 0 (or None), got {self.tenant_rate_limit}"
+            )
+        if self.tenant_max_queue_share is not None and not (
+            0.0 < self.tenant_max_queue_share <= 1.0
+        ):
+            raise ConfigurationError(
+                "tenant_max_queue_share must be in (0, 1] (or None), "
+                f"got {self.tenant_max_queue_share}"
+            )
 
 
 @dataclass
@@ -169,6 +195,8 @@ class FrontendRequest:
     payload: Any
     arrival: float
     deadline: float
+    #: owning tenant, for the tenant-scoped limiter and accounting.
+    tenant: str = DEFAULT_TENANT
     #: terminal state: set exactly once by complete()/shed.
     completed_at: float | None = None
     shed_reason: str | None = None
@@ -197,6 +225,7 @@ class PendingQueue:
 
     def __init__(self):
         self._requests: deque[FrontendRequest] = deque()
+        self._by_tenant: dict[str, int] = {}
 
     def __len__(self) -> int:
         return len(self._requests)
@@ -204,19 +233,28 @@ class PendingQueue:
     def __bool__(self) -> bool:
         return bool(self._requests)
 
+    def count(self, tenant: str) -> int:
+        """Queued requests currently owned by ``tenant``."""
+        return self._by_tenant.get(tenant, 0)
+
     def append(self, request: FrontendRequest) -> None:
         """Enqueue one admitted request at the tail."""
         self._requests.append(request)
+        self._by_tenant[request.tenant] = self._by_tenant.get(request.tenant, 0) + 1
 
     def push_front(self, requests: Sequence[FrontendRequest]) -> None:
         """Re-queue already-admitted requests at the head (FIFO order)."""
         for request in reversed(requests):
             self._requests.appendleft(request)
+            self._by_tenant[request.tenant] = self._by_tenant.get(request.tenant, 0) + 1
 
     def pop(self, count: int) -> list[FrontendRequest]:
         """Dequeue the ``count`` oldest requests."""
         count = min(count, len(self._requests))
-        return [self._requests.popleft() for _ in range(count)]
+        popped = [self._requests.popleft() for _ in range(count)]
+        for request in popped:
+            self._by_tenant[request.tenant] -= 1
+        return popped
 
     def oldest_arrival(self) -> float:
         """Arrival time of the head request (the batcher's ``q[0]``)."""
@@ -278,12 +316,15 @@ class ServeFrontend:
         self.capacity = capacity if capacity is not None else (lambda now: (1, 0.0))
         self.pending = PendingQueue()
         self._buckets: dict[str, TokenBucket] = {}
+        self._tenant_buckets: dict[str, TokenBucket] = {}
         self._seq = 0
         self._dispatch_failures = 0
         self._retry_at: float | None = None
         self._latency_sample = Reservoir(capacity=4096)
         #: terminal-outcome counts, by reason ("served" included).
         self.outcomes: dict[str, int] = {}
+        #: the same counts broken down per tenant.
+        self.tenant_outcomes: dict[str, dict[str, int]] = {}
         self.admitted = 0
 
     # ------------------------------------------------------------------
@@ -305,21 +346,49 @@ class ServeFrontend:
             self.batcher.max_batch
         ) / live
 
-    def offer(self, client_id: str, payload: Any, now: float) -> FrontendRequest:
+    def _tenant_rate(self, tenant: str) -> float | None:
+        overrides = self.config.tenant_rate_limits or {}
+        if tenant in overrides:
+            return overrides[tenant]
+        return self.config.tenant_rate_limit
+
+    def offer(
+        self,
+        client_id: str,
+        payload: Any,
+        now: float,
+        tenant: str = DEFAULT_TENANT,
+    ) -> FrontendRequest:
         """Admit one request or shed it with a ``retry_after`` hint.
 
         The admission pipeline, in order: the ``frontend.accept`` fault
-        point, the per-client token bucket, the bounded accept queue,
-        and the deadline-aware shed test. Raises
+        point (plus the tenant-scoped
+        ``frontend.accept.tenant.<tenant>`` point, so chaos plans can
+        target one tenant's traffic), the per-tenant token bucket, the
+        per-client token bucket, the tenant queue-share cap, the
+        bounded accept queue, and the deadline-aware shed test. Raises
         :class:`~repro.exceptions.RequestShedError` on any refusal.
         """
         arrival = now
         try:
             arrival += chaos.fire("frontend.accept")
+            arrival += chaos.fire(f"frontend.accept.tenant.{tenant}")
         except InjectedFault as exc:
             raise self._shed(
-                "fault", self.batcher.backoff, now, detail=str(exc)
+                "fault", self.batcher.backoff, now, detail=str(exc), tenant=tenant
             ) from exc
+        tenant_rate = self._tenant_rate(tenant)
+        if tenant_rate is not None:
+            bucket = self._tenant_buckets.get(tenant)
+            if bucket is None:
+                bucket = self._tenant_buckets[tenant] = TokenBucket(
+                    tenant_rate, self.config.tenant_burst
+                )
+            wait = bucket.try_take(now)
+            if wait > 0.0:
+                raise self._shed(
+                    "tenant_rate_limit", wait, now, client_id=client_id, tenant=tenant
+                )
         if self.config.rate_limit is not None:
             bucket = self._buckets.get(client_id)
             if bucket is None:
@@ -328,15 +397,27 @@ class ServeFrontend:
                 )
             wait = bucket.try_take(now)
             if wait > 0.0:
-                raise self._shed("rate_limit", wait, now, client_id=client_id)
+                raise self._shed(
+                    "rate_limit", wait, now, client_id=client_id, tenant=tenant
+                )
+        live, _ = self.capacity(now)
+        drain = self.batcher.latency(self.batcher.max_batch) / max(1, int(live))
+        if self.config.tenant_max_queue_share is not None:
+            cap = max(1, int(self.config.max_queue * self.config.tenant_max_queue_share))
+            if self.pending.count(tenant) >= cap:
+                raise self._shed(
+                    "tenant_queue_full", drain, now, client_id=client_id, tenant=tenant
+                )
         if len(self.pending) >= self.config.max_queue:
-            live, _ = self.capacity(now)
-            drain = self.batcher.latency(self.batcher.max_batch) / max(1, int(live))
-            raise self._shed("queue_full", drain, now, client_id=client_id)
+            raise self._shed(
+                "queue_full", drain, now, client_id=client_id, tenant=tenant
+            )
         budget = self.config.tau * self.config.deadline_slack
         delay = self.estimated_delay(now)
         if delay > budget:
-            raise self._shed("deadline", delay - budget, now, client_id=client_id)
+            raise self._shed(
+                "deadline", delay - budget, now, client_id=client_id, tenant=tenant
+            )
         self._seq += 1
         request = FrontendRequest(
             seq=self._seq,
@@ -344,15 +425,21 @@ class ServeFrontend:
             payload=payload,
             arrival=arrival,
             deadline=arrival + self.config.tau,
+            tenant=tenant,
         )
         self.pending.append(request)
         self.admitted += 1
+        self._tenant_account(tenant, "admitted")
         telemetry.get_registry().counter(
             "repro_serve_frontend_requests_total",
-            "Front-end admission outcomes, by client verdict.",
-        ).inc(outcome="admitted")
+            "Front-end admission outcomes, by client verdict and tenant.",
+        ).inc(outcome="admitted", tenant=tenant)
         self._update_queue_gauge()
         return request
+
+    def _tenant_account(self, tenant: str, outcome: str, count: int = 1) -> None:
+        per_tenant = self.tenant_outcomes.setdefault(tenant, {})
+        per_tenant[outcome] = per_tenant.get(outcome, 0) + count
 
     def _shed(
         self,
@@ -361,18 +448,20 @@ class ServeFrontend:
         now: float,
         client_id: str = "",
         detail: str = "",
+        tenant: str = DEFAULT_TENANT,
     ) -> RequestShedError:
         """Account one shed and build the error the caller raises."""
         self.outcomes[reason] = self.outcomes.get(reason, 0) + 1
+        self._tenant_account(tenant, reason)
         registry = telemetry.get_registry()
         registry.counter(
             "repro_serve_frontend_requests_total",
-            "Front-end admission outcomes, by client verdict.",
-        ).inc(outcome="shed")
+            "Front-end admission outcomes, by client verdict and tenant.",
+        ).inc(outcome="shed", tenant=tenant)
         registry.counter(
             "repro_serve_frontend_shed_total",
-            "Requests refused by admission control, by reason.",
-        ).inc(reason=reason)
+            "Requests refused by admission control, by reason and tenant.",
+        ).inc(reason=reason, tenant=tenant)
         return RequestShedError(reason, max(retry_after, 0.0), detail=detail)
 
     # ------------------------------------------------------------------
@@ -451,6 +540,7 @@ class ServeFrontend:
             request.completed_at = now
             latency = now - request.arrival
             latencies.append(latency)
+            self._tenant_account(request.tenant, "served")
             if latency > self.config.tau:
                 overdue += 1
         self.outcomes["served"] = self.outcomes.get("served", 0) + len(plan.requests)
@@ -483,7 +573,7 @@ class ServeFrontend:
             request.shed_reason = reason
             error = self._shed(
                 reason, self.config.dispatch_retry.base_delay, now,
-                client_id=request.client_id,
+                client_id=request.client_id, tenant=request.tenant,
             )
             if request.on_shed is not None:
                 request.on_shed(request, error)
@@ -636,11 +726,16 @@ class AsyncServeFrontend:
     async def __aexit__(self, *exc) -> None:
         await self.stop()
 
-    async def submit(self, payload: Any, client_id: str = "default") -> Any:
+    async def submit(
+        self,
+        payload: Any,
+        client_id: str = "default",
+        tenant: str = DEFAULT_TENANT,
+    ) -> Any:
         """Submit one request; returns the result or raises on shed."""
         if not self._running:
             raise ConfigurationError("frontend is not running (call start())")
-        request = self.core.offer(client_id, payload, self._now())
+        request = self.core.offer(client_id, payload, self._now(), tenant=tenant)
         future = self._loop.create_future()
         request.future = future
         request.on_shed = _fail_future
@@ -681,7 +776,14 @@ class AsyncServeFrontend:
         self.core.complete(plan, self._now())
         for request, result in zip(plan.requests, results):
             if request.future is not None and not request.future.done():
-                request.future.set_result(result)
+                # An Exception *instance* in the results list is a
+                # per-request failure (e.g. one client's malformed
+                # image): only that caller errors, its batch-mates'
+                # results are untouched.
+                if isinstance(result, Exception):
+                    request.future.set_exception(result)
+                else:
+                    request.future.set_result(result)
 
 
 def _fail_future(request: FrontendRequest, error: RequestShedError) -> None:

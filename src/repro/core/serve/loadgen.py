@@ -45,6 +45,7 @@ from repro.core.serve.frontend import (
 )
 from repro.exceptions import ConfigurationError, RequestShedError
 from repro.sim import Signal, Simulator
+from repro.tenancy import DEFAULT_TENANT
 
 __all__ = [
     "LoadGenConfig",
@@ -52,6 +53,7 @@ __all__ = [
     "LoadTrace",
     "ReplicaPool",
     "run_load",
+    "run_multi_load",
 ]
 
 
@@ -77,6 +79,10 @@ class LoadGenConfig:
     span: float = 0.05
     #: seeds the arrival noise; same seed => bit-identical trace.
     seed: int = 0
+    #: tenant identity stamped on every offer and trace record; lets
+    #: :func:`run_multi_load` drive several tenants' loads against one
+    #: front end and pull per-tenant tails out of the shared trace.
+    tenant: str = DEFAULT_TENANT
 
     def __post_init__(self):
         if self.mode not in ("open", "closed"):
@@ -103,6 +109,8 @@ class TraceRecord:
     outcome: str
     #: arrival-to-completion seconds (NaN unless served).
     latency: float
+    #: tenant the request was offered under.
+    tenant: str = DEFAULT_TENANT
 
 
 @dataclass
@@ -123,19 +131,29 @@ class LoadTrace:
         digest = hashlib.sha256()
         for r in self.records:
             digest.update(
-                f"{r.seq}|{r.client}|{r.time!r}|{r.outcome}|{r.latency!r}\n".encode()
+                f"{r.seq}|{r.client}|{r.time!r}|{r.outcome}|{r.latency!r}"
+                f"|{r.tenant}\n".encode()
             )
         return digest.hexdigest()
 
-    def summary(self) -> dict:
-        """Aggregates for benches and the CLI: QPS, tails, shed rate."""
-        served = [r for r in self.records if r.outcome == "served"]
+    def summary(self, tenant: str | None = None) -> dict:
+        """Aggregates for benches and the CLI: QPS, tails, shed rate.
+
+        Pass ``tenant=`` to restrict the aggregates to one tenant's
+        records — the isolation scenario's per-tenant tail check.
+        """
+        records = (
+            self.records
+            if tenant is None
+            else [r for r in self.records if r.tenant == tenant]
+        )
+        served = [r for r in records if r.outcome == "served"]
         shed_by_reason: dict[str, int] = {}
-        for r in self.records:
+        for r in records:
             if r.outcome != "served":
                 shed_by_reason[r.outcome] = shed_by_reason.get(r.outcome, 0) + 1
         latencies = np.array([r.latency for r in served], dtype=np.float64)
-        offered = len(self.records)
+        offered = len(records)
         quantile = (
             (lambda q: float(np.percentile(latencies, q)))
             if latencies.size
@@ -232,6 +250,31 @@ class ReplicaPool:
             self.alive.pop()
 
 
+def _spawn_load(
+    driver: "_Driver", sim: Simulator, load: LoadGenConfig, stagger: float = 0.0
+) -> None:
+    """Spawn one load shape's arrival coroutine(s) into the simulator.
+
+    ``stagger`` offsets every coroutine of this load by a sub-span
+    epsilon so that concurrent loads (``run_multi_load``) keep a stable
+    deterministic order for same-instant submissions.
+    """
+    if load.mode == "open":
+        arrival = SineArrival(
+            load.target_rate, load.period, rng=np.random.default_rng(load.seed)
+        )
+        sim.spawn(driver.open_loop(arrival, load), delay=stagger)
+    else:
+        # Stagger client starts so same-instant submissions keep a
+        # stable deterministic order.
+        for index in range(load.clients):
+            prefix = _Driver._client_prefix(load)
+            sim.spawn(
+                driver.closed_client(f"{prefix}-{index}", load),
+                delay=stagger + index * 1e-6,
+            )
+
+
 class _Driver:
     """Glues frontend core, replica pool and simulator together."""
 
@@ -251,13 +294,15 @@ class _Driver:
 
     # -- admission ------------------------------------------------------
 
-    def offer(self, client: str) -> tuple[FrontendRequest | None, RequestShedError | None]:
+    def offer(
+        self, client: str, tenant: str = DEFAULT_TENANT
+    ) -> tuple[FrontendRequest | None, RequestShedError | None]:
         now = self.sim.now
         try:
-            request = self.frontend.offer(client, None, now)
+            request = self.frontend.offer(client, None, now, tenant=tenant)
         except RequestShedError as exc:
             self.trace.record(
-                TraceRecord(0, client, now, exc.reason, float("nan"))
+                TraceRecord(0, client, now, exc.reason, float("nan"), tenant)
             )
             return None, exc
         request.on_shed = self._on_shed
@@ -268,7 +313,7 @@ class _Driver:
         self.trace.record(
             TraceRecord(
                 request.seq, request.client_id, self.sim.now,
-                request.shed_reason or "shed", float("nan"),
+                request.shed_reason or "shed", float("nan"), request.tenant,
             )
         )
         if isinstance(request.future, Signal):
@@ -307,7 +352,7 @@ class _Driver:
             self.trace.record(
                 TraceRecord(
                     request.seq, request.client_id, now, "served",
-                    now - request.arrival,
+                    now - request.arrival, request.tenant,
                 )
             )
             if isinstance(request.future, Signal):
@@ -316,17 +361,27 @@ class _Driver:
 
     # -- load shapes ----------------------------------------------------
 
+    @staticmethod
+    def _client_prefix(load: LoadGenConfig) -> str:
+        # Default-tenant loads keep the historical "client-N" names so
+        # single-tenant traces (and their fingerprints) are unchanged;
+        # multi-tenant loads get distinct per-tenant client identities.
+        if load.tenant == DEFAULT_TENANT:
+            return "client"
+        return f"{load.tenant}-client"
+
     def open_loop(self, arrival: SineArrival, load: LoadGenConfig):
+        prefix = self._client_prefix(load)
         sent = 0
         while self.sim.now < load.duration:
             for _ in range(arrival.count(self.sim.now, load.span)):
-                self.offer(f"client-{sent % load.clients}")
+                self.offer(f"{prefix}-{sent % load.clients}", load.tenant)
                 sent += 1
             yield load.span
 
     def closed_client(self, name: str, load: LoadGenConfig):
         while self.sim.now < load.duration:
-            request, error = self.offer(name)
+            request, error = self.offer(name, load.tenant)
             if request is None:
                 yield max(error.retry_after, load.think_time)
                 continue
@@ -375,19 +430,7 @@ def run_load(
     sim = sim if sim is not None else Simulator()
     trace = LoadTrace(tau=frontend.config.tau, duration=load.duration, mode=load.mode)
     driver = _Driver(frontend, pool, sim, trace)
-    if load.mode == "open":
-        arrival = SineArrival(
-            load.target_rate, load.period, rng=np.random.default_rng(load.seed)
-        )
-        sim.spawn(driver.open_loop(arrival, load))
-    else:
-        # Stagger client starts so same-instant submissions keep a
-        # stable deterministic order.
-        for index in range(load.clients):
-            sim.spawn(
-                driver.closed_client(f"client-{index}", load),
-                delay=index * 1e-6,
-            )
+    _spawn_load(driver, sim, load)
     if autoscaler is not None:
         sim.spawn(
             driver.autoscale(
@@ -399,6 +442,41 @@ def run_load(
     sim.run(until=load.duration + 10.0 * frontend.config.tau)
     # Deterministic number of drain pumps: serve the stragglers the
     # leftover rule has already released, then shed whatever remains.
+    driver.pump()
+    sim.run(until=sim.now + 10.0 * frontend.config.tau)
+    leftovers = frontend.pending.pop(len(frontend.pending))
+    if leftovers:
+        frontend.shed_requests(leftovers, sim.now, "shutdown")
+    return trace
+
+
+def run_multi_load(
+    frontend: ServeFrontend,
+    pool: ReplicaPool,
+    loads: Sequence[LoadGenConfig],
+    sim: Simulator | None = None,
+    events: Sequence[tuple[float, Callable[[], None]]] = (),
+) -> LoadTrace:
+    """Run several loads (typically one per tenant) against one front end.
+
+    All loads share the simulator, the front end and the replica pool,
+    so they contend for the same queue and capacity — the setting the
+    tenant-isolation scenario measures. Returns one combined trace;
+    use ``trace.summary(tenant=...)`` for per-tenant aggregates. Load
+    coroutines are staggered by a sub-span epsilon in list order so
+    same-instant submissions stay deterministically ordered.
+    """
+    if not loads:
+        raise ConfigurationError("run_multi_load needs at least one load")
+    sim = sim if sim is not None else Simulator()
+    duration = max(load.duration for load in loads)
+    trace = LoadTrace(tau=frontend.config.tau, duration=duration, mode="multi")
+    driver = _Driver(frontend, pool, sim, trace)
+    for index, load in enumerate(loads):
+        _spawn_load(driver, sim, load, stagger=index * 1e-7)
+    for when, thunk in events:
+        sim.schedule(when, thunk)
+    sim.run(until=duration + 10.0 * frontend.config.tau)
     driver.pump()
     sim.run(until=sim.now + 10.0 * frontend.config.tau)
     leftovers = frontend.pending.pop(len(frontend.pending))

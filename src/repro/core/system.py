@@ -48,6 +48,7 @@ from repro.exceptions import (
     ServingError,
 )
 from repro.paramserver import ParameterServer, ShardedParameterServer
+from repro.tenancy import DEFAULT_TENANT, TenantRegistry, tenant_context
 from repro.tensor import Network
 from repro.utils.retry import CircuitBreaker
 from repro.utils.rng import RngStream
@@ -88,6 +89,7 @@ class TrainJobInfo:
     model_names: list[str] = field(default_factory=list)
     reports: dict[str, StudyReport] = field(default_factory=dict)
     cluster_job_id: str | None = None
+    tenant: str = DEFAULT_TENANT
 
     @property
     def best_performance(self) -> float:
@@ -104,6 +106,7 @@ class InferenceJobInfo:
     specs: list[ModelSpec]
     networks: list[Network] = field(default_factory=list)
     status: str = "pending"
+    tenant: str = DEFAULT_TENANT
     queries_served: int = 0
     cluster_job_id: str | None = None
     #: optional Clipper-style result cache for single-image queries.
@@ -130,11 +133,19 @@ class Rafiki:
         seed: int = 0,
         ps_shards: int = 1,
         ps_replicas: int = 2,
+        tenants: TenantRegistry | None = None,
     ):
         self.rng_stream = RngStream(seed)
-        self.store = DataStore("rafiki-hdfs")
+        #: quota + identity authority shared by the gateway, the cluster
+        #: manager and the stores. Lenient by default (unknown tenants
+        #: auto-register unlimited) so single-customer deployments keep
+        #: working; pass a strict registry to refuse unknown tenants.
+        self.tenants = tenants if tenants is not None else TenantRegistry()
+        self.store = DataStore("rafiki-hdfs", tenants=self.tenants)
         self.checkpoints = CheckpointStore()
-        self.cluster = ClusterManager(checkpoint_store=self.checkpoints)
+        self.cluster = ClusterManager(
+            checkpoint_store=self.checkpoints, tenants=self.tenants
+        )
         for i in range(nodes):
             self.cluster.add_node(
                 Node(name=f"node-{chr(ord('a') + i)}",
@@ -143,7 +154,7 @@ class Rafiki:
         if ps_shards <= 1:
             # The single-server data plane: exactly the behaviour (and
             # telemetry series) the system has always had.
-            self.param_server = ParameterServer(store=self.store)
+            self.param_server = ParameterServer(store=self.store, tenants=self.tenants)
         else:
             self.param_server = ShardedParameterServer(
                 shards=ps_shards, replicas=ps_replicas
@@ -182,6 +193,8 @@ class Rafiki:
         collaborative: bool = True,
         backend_factory=None,
         train_batch_size: int = 32,
+        tenant: str = DEFAULT_TENANT,
+        priority: int = 0,
     ) -> str:
         """Run model selection + one study per selected model.
 
@@ -208,23 +221,31 @@ class Rafiki:
         entries = self.registry.select_diverse(task, k=num_models)
 
         job_id = f"train-{next(_train_job_ids)}"
-        info = TrainJobInfo(job_id=job_id, name=name, task=task, dataset=dataset)
+        info = TrainJobInfo(
+            job_id=job_id, name=name, task=task, dataset=dataset, tenant=tenant
+        )
+        # The facade drives studies synchronously, so it needs the
+        # containers *now*: queue=False keeps the fail-fast contract
+        # (quota violations surface as 429 at the gateway instead of
+        # parking a job the caller would then block on).
         cluster_job = self.cluster.submit_job(
-            JobKind.TRAIN, name=name, num_workers=num_workers
+            JobKind.TRAIN, name=name, num_workers=num_workers,
+            tenant=tenant, priority=priority, queue=False,
         )
         info.cluster_job_id = cluster_job.job_id
         info.status = "running"
         self.train_jobs[job_id] = info
 
         try:
-            for entry in entries:
-                info.model_names.append(entry.name)
-                report = self._run_one_study(
-                    job_id, entry, data, hyper, space, num_workers, advisor,
-                    collaborative, backend_factory, train_batch_size,
-                )
-                info.reports[entry.name] = report
-                entry.record_performance(dataset, report.best_performance)
+            with tenant_context(tenant):
+                for entry in entries:
+                    info.model_names.append(entry.name)
+                    report = self._run_one_study(
+                        job_id, entry, data, hyper, space, num_workers, advisor,
+                        collaborative, backend_factory, train_batch_size,
+                    )
+                    info.reports[entry.name] = report
+                    entry.record_performance(dataset, report.best_performance)
             info.status = "completed"
             self.cluster.complete_job(cluster_job.job_id)
         except Exception:
@@ -312,6 +333,8 @@ class Rafiki:
         dataset: str | None = None,
         enable_cache: bool = True,
         cache_capacity: int = 1024,
+        tenant: str = DEFAULT_TENANT,
+        priority: int = 0,
     ) -> str:
         """Deploy trained models: fetch parameters and build networks.
 
@@ -324,9 +347,10 @@ class Rafiki:
         if not specs:
             raise ConfigurationError("at least one model spec is required")
         job_id = f"infer-{next(_infer_job_ids)}"
-        info = InferenceJobInfo(job_id=job_id, specs=specs)
+        info = InferenceJobInfo(job_id=job_id, specs=specs, tenant=tenant)
         cluster_job = self.cluster.submit_job(
-            JobKind.INFERENCE, name=job_id, num_workers=len(specs)
+            JobKind.INFERENCE, name=job_id, num_workers=len(specs),
+            tenant=tenant, priority=priority, queue=False,
         )
         info.cluster_job_id = cluster_job.job_id
         dataset_name = dataset or specs[0].dataset

@@ -77,7 +77,7 @@ def run_cluster_study(
         param_server.register_with_cluster(manager)
     study = ClusterStudy(master=master)
     job = manager.submit_job(JobKind.TRAIN, name=master.study_name,
-                             num_workers=num_workers)
+                             num_workers=num_workers, queue=False)
     study.job_id = job.job_id
 
     def start_worker(container: Container) -> None:

@@ -18,6 +18,7 @@ from repro.core.tune.early_stopping import EarlyStopper
 from repro.core.tune.trial import InitKind, Trial, TrialStatus
 from repro.exceptions import InjectedFault
 from repro.paramserver import ParameterServer
+from repro.tenancy import current_tenant
 from repro.utils.retry import RetryPolicy
 
 __all__ = ["TuneWorker"]
@@ -92,7 +93,7 @@ class TuneWorker:
         registry = telemetry.get_registry()
         registry.counter(
             "repro_tune_epochs_total", "Training epochs run across all workers."
-        ).inc()
+        ).inc(tenant=current_tenant())
         registry.histogram(
             "repro_tune_epoch_seconds",
             "Per-epoch duration in (simulated) seconds.",

@@ -594,6 +594,7 @@ class BlockStore:
             worker_request=worker_request or Resources(cpus=1, gpus=0, memory_gb=8),
             worker_role=ContainerRole.DATA,
             spread=True,
+            queue=False,
         )
         self.manager = manager
         self.cluster_job_id = job.job_id

@@ -32,6 +32,7 @@ from repro.data.blockstore import DEFAULT_CHUNK_SIZE, BlockStore
 from repro.data.datasets import ImageDataset
 from repro.data.fs import FileNamespace, Manifest
 from repro.exceptions import DatasetNotFoundError, NotFoundError, StorageError
+from repro.tenancy import TenantRegistry, current_tenant
 
 __all__ = ["DataStore", "DatasetHandle"]
 
@@ -64,8 +65,14 @@ class DataStore:
         nodes: int = 3,
         replicas: int = 2,
         chunk_size: int = DEFAULT_CHUNK_SIZE,
+        tenants: TenantRegistry | None = None,
     ):
         self.name = name
+        #: when set, blob writes charge the ambient tenant's
+        #: ``store_bytes`` quota over the *current* version's logical
+        #: size; overwrites and deletes release the displaced charge.
+        self.tenants = tenants
+        self._blob_charges: dict[str, tuple[str, int]] = {}
         self._datasets: dict[str, ImageDataset] = {}
         self._handles: dict[str, DatasetHandle] = {}
         self.blocks = block_store or BlockStore(
@@ -213,7 +220,22 @@ class DataStore:
     # ------------------------------------------------------------------
 
     def put_blob(self, path: str, blob: bytes) -> None:
-        """Store ``blob`` under ``path`` (a new version if it exists)."""
+        """Store ``blob`` under ``path`` (a new version if it exists).
+
+        With a tenant registry attached, the write is charged against
+        the ambient tenant's ``store_bytes`` quota *before* any chunk
+        is stored (a denied write stores nothing); the charge for the
+        displaced current version, if any, is released.
+        """
+        if self.tenants is not None:
+            tenant = current_tenant()
+            displaced = self._blob_charges.get(path)
+            headroom = displaced[1] if displaced and displaced[0] == tenant else 0
+            self.tenants.check(tenant, "store_bytes", len(blob) - headroom)
+            if displaced is not None:
+                self.tenants.release(displaced[0], "store_bytes", displaced[1])
+            self.tenants.ledger.charge(tenant, "store_bytes", len(blob))
+            self._blob_charges[path] = (tenant, len(blob))
         self.fs.write(path, bytes(blob), writer=self.name)
         self.bytes_written += len(blob)
 
@@ -236,6 +258,9 @@ class DataStore:
             self.fs.delete(path)
         except NotFoundError as exc:
             raise DatasetNotFoundError(path) from exc
+        charged = self._blob_charges.pop(path, None)
+        if self.tenants is not None and charged is not None:
+            self.tenants.release(charged[0], "store_bytes", charged[1])
 
     def list_blobs(self, prefix: str = "") -> list[str]:
         return sorted(self.fs.list_paths(prefix))

@@ -101,8 +101,9 @@ class QueueOverflowError(ServingError):
 class RequestShedError(ServingError):
     """The serving front end refused a request (admission control).
 
-    Carries the shed ``reason`` (``"rate_limit"``, ``"queue_full"``,
-    ``"deadline"``, ``"dispatch_failed"`` or ``"fault"``) and a
+    Carries the shed ``reason`` (``"rate_limit"``, ``"tenant_rate_limit"``,
+    ``"queue_full"``, ``"tenant_queue_full"``, ``"deadline"``,
+    ``"dispatch_failed"`` or ``"fault"``) and a
     ``retry_after`` hint in seconds — the earliest time at which a
     retry has a chance of being admitted. Gateways translate this into
     HTTP 429 with the hint in the body.
@@ -115,6 +116,55 @@ class RequestShedError(ServingError):
         super().__init__(message)
         self.reason = reason
         self.retry_after = float(retry_after)
+
+
+class TenancyError(RafikiError):
+    """Base class for multi-tenant control-plane errors."""
+
+
+class TenantAccessError(TenancyError):
+    """The named tenant is unknown or suspended.
+
+    Gateways translate this into HTTP 403: the request authenticated a
+    tenant identity the control plane refuses to serve, as opposed to a
+    quota violation (429) which is a temporary resource condition.
+    """
+
+    def __init__(self, tenant: str, detail: str = ""):
+        message = f"tenant {tenant!r} is not allowed"
+        if detail:
+            message = f"{message}: {detail}"
+        super().__init__(message)
+        self.tenant = tenant
+
+
+class QuotaExceededError(TenancyError):
+    """A tenant asked for more of a resource than its quota allows.
+
+    Carries the ``tenant``, the ``resource`` name (``"trials"``,
+    ``"replicas"``, ``"ps_bytes"``, ``"store_bytes"``), the configured
+    ``limit``, current ``used`` amount and the ``requested`` increment.
+    Gateways translate this into HTTP 429: retrying after the tenant
+    releases capacity (a job finishing, parameters deleted) can succeed.
+    """
+
+    def __init__(
+        self,
+        tenant: str,
+        resource: str,
+        limit: float,
+        used: float,
+        requested: float,
+    ):
+        super().__init__(
+            f"tenant {tenant!r} over quota on {resource}: "
+            f"used {used:g} + requested {requested:g} > limit {limit:g}"
+        )
+        self.tenant = tenant
+        self.resource = resource
+        self.limit = float(limit)
+        self.used = float(used)
+        self.requested = float(requested)
 
 
 class ModelNotFoundError(RafikiError, KeyError):

@@ -25,6 +25,7 @@ from repro import chaos, telemetry
 from repro.data.store import DataStore
 from repro.exceptions import ParameterNotFoundError
 from repro.paramserver.cache import LRUCache
+from repro.tenancy import TenantRegistry, current_tenant
 from repro.utils.retry import RetryPolicy
 
 __all__ = ["ParameterServer", "ParameterEntry", "shape_pool"]
@@ -42,6 +43,10 @@ class ParameterEntry:
     public: bool = True
     nbytes: int = 0
     extra: dict = field(default_factory=dict)
+    #: tenant whose ``ps_bytes`` quota this version is charged against,
+    #: or ``None`` when stored without quota enforcement (repair copies,
+    #: servers with no registry attached).
+    tenant: str | None = None
 
     @property
     def path(self) -> str:
@@ -69,8 +74,13 @@ class ParameterServer:
         cache_bytes: int = 256 * 1024 * 1024,
         retry: RetryPolicy | None = None,
         name: str | None = None,
+        tenants: TenantRegistry | None = None,
     ):
         self.name = name
+        #: when set, every put charges the ambient tenant's ``ps_bytes``
+        #: quota (:class:`~repro.exceptions.QuotaExceededError` before
+        #: anything is stored) and deletes release it.
+        self.tenants = tenants
         self._store = store if store is not None else DataStore(
             "ps-backing" if name is None else f"ps-backing-{name}"
         )
@@ -137,10 +147,9 @@ class ParameterServer:
         **extra,
     ) -> ParameterEntry:
         chaos.fire("paramserver.push")
-        versions = self._entries.setdefault(key, [])
         entry = ParameterEntry(
             key=key,
-            version=len(versions) + 1,
+            version=len(self._entries.get(key, [])) + 1,
             model=model,
             dataset=dataset,
             performance=performance,
@@ -148,6 +157,10 @@ class ParameterServer:
             nbytes=_state_size(state),
             extra=dict(extra),
         )
+        if self.tenants is not None:
+            entry.tenant = current_tenant()
+            self.tenants.charge(entry.tenant, "ps_bytes", entry.nbytes)
+        versions = self._entries.setdefault(key, [])
         versions.append(entry)
         state_copy = {name: value.copy() for name, value in state.items()}
         self._store.put_blob(entry.path, pickle.dumps(state_copy, pickle.HIGHEST_PROTOCOL))
@@ -225,6 +238,8 @@ class ParameterServer:
         for entry in versions:
             self._cache.invalidate(entry.path)
             self._stored_bytes -= entry.nbytes
+            if self.tenants is not None and entry.tenant is not None:
+                self.tenants.release(entry.tenant, "ps_bytes", entry.nbytes)
             if self._store.has_blob(entry.path):
                 self._store.delete_blob(entry.path)
         self._publish_storage_gauges()
@@ -327,6 +342,8 @@ class ParameterServer:
         """Drop every key, blob and cache entry (simulates shard death)."""
         for versions in self._entries.values():
             for entry in versions:
+                if self.tenants is not None and entry.tenant is not None:
+                    self.tenants.release(entry.tenant, "ps_bytes", entry.nbytes)
                 if self._store.has_blob(entry.path):
                     self._store.delete_blob(entry.path)
         self._entries.clear()

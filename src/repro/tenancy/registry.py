@@ -1,0 +1,200 @@
+"""Tenant registry: identities, per-tenant quotas, and a usage ledger.
+
+The registry is the single source of truth for *who* may use the
+shared cluster and *how much* of each governed resource they may hold
+at once. Four resources are governed:
+
+``trials``
+    concurrently placed tuning workers (one per parallel trial),
+``replicas``
+    concurrently placed inference replicas,
+``ps_bytes``
+    bytes of parameter state held in the parameter server,
+``store_bytes``
+    logical bytes of blobs held in the data store.
+
+Quotas are *concurrent-holding* limits, not rate limits: usage is
+charged when a resource is acquired and released when it is freed, so
+a denied request can succeed later without any configuration change.
+Denials raise :class:`~repro.exceptions.QuotaExceededError` (HTTP 429
+at the gateway); unknown or suspended tenants raise
+:class:`~repro.exceptions.TenantAccessError` (HTTP 403).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro import telemetry
+from repro.exceptions import QuotaExceededError, TenantAccessError
+from repro.tenancy.context import DEFAULT_TENANT
+
+__all__ = ["TenantQuota", "Tenant", "UsageLedger", "TenantRegistry"]
+
+#: Resource names the ledger and quotas understand.
+RESOURCES = ("trials", "replicas", "ps_bytes", "store_bytes")
+
+
+@dataclass(frozen=True)
+class TenantQuota:
+    """Per-tenant concurrent-holding limits; ``None`` means unlimited."""
+
+    #: maximum concurrently placed tuning workers (parallel trials).
+    trials: int | None = None
+    #: maximum concurrently placed inference replicas.
+    replicas: int | None = None
+    #: maximum bytes of parameter-server state held at once.
+    ps_bytes: int | None = None
+    #: maximum logical bytes of data-store blobs held at once.
+    store_bytes: int | None = None
+
+    def limit(self, resource: str) -> float | None:
+        """Return the limit for ``resource`` (``None`` = unlimited)."""
+        if resource not in RESOURCES:
+            raise ValueError(f"unknown quota resource {resource!r}")
+        return getattr(self, resource)
+
+
+@dataclass
+class Tenant:
+    """One registered customer of the shared control plane."""
+
+    name: str
+    quota: TenantQuota = field(default_factory=TenantQuota)
+    #: fair-share weight: a tenant with weight 2 tolerates twice the
+    #: dominant-resource share of a weight-1 tenant before the
+    #: scheduler deprioritises it.
+    weight: float = 1.0
+    #: suspended tenants fail :meth:`TenantRegistry.resolve` with a 403.
+    active: bool = True
+
+
+class UsageLedger:
+    """Tracks how much of each governed resource every tenant holds."""
+
+    def __init__(self) -> None:
+        self._usage: dict[str, dict[str, float]] = {}
+
+    def usage(self, tenant: str, resource: str) -> float:
+        """Current holding of ``resource`` charged to ``tenant``."""
+        return self._usage.get(tenant, {}).get(resource, 0.0)
+
+    def charge(self, tenant: str, resource: str, amount: float) -> float:
+        """Add ``amount`` to the tenant's holding and return the new total."""
+        per_tenant = self._usage.setdefault(tenant, {})
+        per_tenant[resource] = per_tenant.get(resource, 0.0) + float(amount)
+        self._publish(tenant, resource, per_tenant[resource])
+        return per_tenant[resource]
+
+    def release(self, tenant: str, resource: str, amount: float) -> float:
+        """Subtract ``amount`` (floored at zero) and return the new total."""
+        per_tenant = self._usage.setdefault(tenant, {})
+        per_tenant[resource] = max(0.0, per_tenant.get(resource, 0.0) - float(amount))
+        self._publish(tenant, resource, per_tenant[resource])
+        return per_tenant[resource]
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Copy of the full ledger, for dashboards and scenario traces."""
+        return {t: dict(r) for t, r in sorted(self._usage.items())}
+
+    @staticmethod
+    def _publish(tenant: str, resource: str, value: float) -> None:
+        telemetry.get_registry().gauge(
+            "repro_tenant_usage",
+            "Governed resource currently held, by tenant and resource.",
+        ).set(value, tenant=tenant, resource=resource)
+
+
+class TenantRegistry:
+    """Registry of tenants with quota enforcement over a shared ledger.
+
+    The ``default`` tenant is pre-registered with an unlimited quota so
+    that pre-tenancy callers keep working unchanged. With
+    ``strict=True`` the registry refuses unknown tenant names
+    (:class:`~repro.exceptions.TenantAccessError`); the default lenient
+    mode auto-registers them with unlimited quotas, matching how the
+    reproduction's single-process deployments bootstrap.
+    """
+
+    def __init__(self, strict: bool = False):
+        self.strict = bool(strict)
+        self.ledger = UsageLedger()
+        self._tenants: dict[str, Tenant] = {}
+        self.register(DEFAULT_TENANT)
+
+    # ------------------------------------------------------------------
+    # identity
+    # ------------------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        quota: TenantQuota | None = None,
+        weight: float = 1.0,
+    ) -> Tenant:
+        """Register (or re-register, updating quota/weight) a tenant."""
+        if not name or not isinstance(name, str):
+            raise TenantAccessError(str(name), "tenant name must be a non-empty string")
+        tenant = Tenant(name=name, quota=quota or TenantQuota(), weight=float(weight))
+        self._tenants[name] = tenant
+        return tenant
+
+    def suspend(self, name: str) -> None:
+        """Mark a tenant inactive; subsequent resolves raise a 403 error."""
+        self.resolve(name).active = False
+
+    def reinstate(self, name: str) -> None:
+        """Re-activate a suspended tenant."""
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise TenantAccessError(name, "unknown tenant")
+        tenant.active = True
+
+    def resolve(self, name: str) -> Tenant:
+        """Look up ``name``, enforcing strictness and suspension."""
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            if self.strict:
+                raise TenantAccessError(name, "unknown tenant")
+            tenant = self.register(name)
+        if not tenant.active:
+            raise TenantAccessError(name, "tenant is suspended")
+        return tenant
+
+    def tenants(self) -> list[Tenant]:
+        """All registered tenants, sorted by name."""
+        return [self._tenants[name] for name in sorted(self._tenants)]
+
+    # ------------------------------------------------------------------
+    # quota enforcement
+    # ------------------------------------------------------------------
+
+    def check(self, name: str, resource: str, amount: float) -> None:
+        """Raise :class:`QuotaExceededError` if the charge would not fit."""
+        tenant = self.resolve(name)
+        limit = tenant.quota.limit(resource)
+        if limit is None:
+            return
+        used = self.ledger.usage(name, resource)
+        if used + float(amount) > limit:
+            telemetry.get_registry().counter(
+                "repro_tenant_quota_denials_total",
+                "Requests denied by quota, by tenant and resource.",
+            ).inc(tenant=name, resource=resource)
+            raise QuotaExceededError(name, resource, limit, used, float(amount))
+
+    def charge(self, name: str, resource: str, amount: float) -> None:
+        """Atomically check the quota and charge the ledger."""
+        self.check(name, resource, amount)
+        self.ledger.charge(name, resource, amount)
+
+    def release(self, name: str, resource: str, amount: float) -> None:
+        """Return previously charged usage to the tenant's budget."""
+        self.ledger.release(name, resource, amount)
+
+    def usage(self, name: str, resource: str) -> float:
+        """Current ledger holding for one tenant/resource pair."""
+        return self.ledger.usage(name, resource)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"TenantRegistry(tenants={sorted(self._tenants)}, strict={self.strict})"

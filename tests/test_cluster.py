@@ -72,9 +72,18 @@ class TestPlacement:
     def test_placement_failure_places_nothing(self):
         manager = cluster(num_nodes=1, gpus=2)
         with pytest.raises(PlacementError):
-            manager.submit_job(JobKind.TRAIN, "huge", num_workers=5)
-        # nothing was allocated
+            manager.submit_job(JobKind.TRAIN, "huge", num_workers=5, queue=False)
+        # nothing was allocated, and the fail-fast path leaves no record
         assert manager.nodes["n0"].allocated.gpus == 0
+        assert manager.jobs == {}
+
+    def test_unplaceable_job_queues_by_default(self):
+        manager = cluster(num_nodes=1, gpus=2)
+        job = manager.submit_job(JobKind.TRAIN, "huge", num_workers=5)
+        assert job.state is JobState.PENDING
+        assert job.pending_reason == "capacity"
+        assert manager.nodes["n0"].allocated.gpus == 0
+        assert manager.pending_jobs() == [job]
 
     def test_resources_released_on_stop(self):
         manager = cluster()

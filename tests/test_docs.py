@@ -26,6 +26,7 @@ PACKAGES = [
     "repro.sqlext.exec",
     "repro.telemetry",
     "repro.chaos",
+    "repro.tenancy",
     "repro.utils",
 ]
 

@@ -116,10 +116,10 @@ class TestAdmission:
         requests = registry.counter(
             "repro_serve_frontend_requests_total", ""
         )
-        assert requests.value(outcome="admitted") == 1
-        assert requests.value(outcome="shed") == 1
+        assert requests.value(outcome="admitted", tenant="default") == 1
+        assert requests.value(outcome="shed", tenant="default") == 1
         shed = registry.counter("repro_serve_frontend_shed_total", "")
-        assert shed.value(reason="queue_full") == 1
+        assert shed.value(reason="queue_full", tenant="default") == 1
         depth = registry.gauge("repro_serve_frontend_queue_depth", "")
         assert depth.value() == 1
 

@@ -315,9 +315,9 @@ class TestDashboardIntegration:
         assert timed_handle("GET", "/no/such/route").status == 404
         registry = telemetry.get_registry()
         counter = registry.counter("repro_gateway_requests_total")
-        assert counter.value(method="GET", route="/datasets", status="200") == 1
-        assert counter.value(method="GET", route="/train/{job_id}", status="404") == 1
-        assert counter.value(method="GET", route="(unmatched)", status="404") == 1
+        assert counter.value(method="GET", route="/datasets", status="200", tenant="default") == 1
+        assert counter.value(method="GET", route="/train/{job_id}", status="404", tenant="default") == 1
+        assert counter.value(method="GET", route="(unmatched)", status="404", tenant="default") == 1
         hist = registry.histogram("repro_gateway_request_seconds")
         assert hist.child_state(route="/datasets")[2] == 1
 

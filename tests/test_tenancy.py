@@ -1,0 +1,588 @@
+"""Multi-tenant control plane: quotas, fair share, isolation, regressions."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro import telemetry
+from repro.api import sdk
+from repro.api.gateway import Gateway, make_query_executor
+from repro.cluster import ClusterManager, Node
+from repro.cluster.manager import JobKind, JobState
+from repro.cluster.node import Resources
+from repro.core.system import Rafiki
+from repro.core.tune import HyperConf
+from repro.data import make_image_classification
+from repro.data.store import DataStore
+from repro.exceptions import (
+    GatewayError,
+    PlacementError,
+    QuotaExceededError,
+    TenantAccessError,
+)
+from repro.paramserver import ParameterServer
+from repro.tenancy import (
+    DEFAULT_TENANT,
+    TenantQuota,
+    TenantRegistry,
+    current_tenant,
+    tenant_context,
+)
+
+
+@pytest.fixture()
+def dataset():
+    return make_image_classification(
+        name="food", num_classes=3, image_shape=(3, 8, 8),
+        train_per_class=12, val_per_class=6, test_per_class=6,
+        difficulty=0.3, seed=11,
+    )
+
+
+def quick_hyper():
+    return HyperConf(max_trials=2, max_epochs_per_trial=3, early_stop_patience=3)
+
+
+class TestTenantRegistry:
+    def test_default_tenant_preregistered(self):
+        registry = TenantRegistry()
+        assert registry.resolve(DEFAULT_TENANT).name == DEFAULT_TENANT
+
+    def test_lenient_mode_autoregisters(self):
+        registry = TenantRegistry()
+        assert registry.resolve("newcomer").name == "newcomer"
+
+    def test_strict_mode_refuses_unknown(self):
+        registry = TenantRegistry(strict=True)
+        with pytest.raises(TenantAccessError):
+            registry.resolve("ghost")
+
+    def test_suspend_and_reinstate(self):
+        registry = TenantRegistry()
+        registry.register("acme")
+        registry.suspend("acme")
+        with pytest.raises(TenantAccessError):
+            registry.resolve("acme")
+        registry.reinstate("acme")
+        assert registry.resolve("acme").active
+
+    def test_quota_denial_counts_and_raises(self):
+        registry = TenantRegistry()
+        registry.register("acme", quota=TenantQuota(trials=2))
+        registry.charge("acme", "trials", 2)
+        with pytest.raises(QuotaExceededError) as excinfo:
+            registry.check("acme", "trials", 1)
+        assert excinfo.value.tenant == "acme"
+        assert excinfo.value.resource == "trials"
+        denials = telemetry.get_registry().counter(
+            "repro_tenant_quota_denials_total", "denials"
+        )
+        assert denials.value(tenant="acme", resource="trials") == 1
+
+    def test_release_floors_at_zero_and_unlimited_passes(self):
+        registry = TenantRegistry()
+        registry.release("acme", "ps_bytes", 100)
+        assert registry.usage("acme", "ps_bytes") == 0.0
+        registry.check("acme", "ps_bytes", 10**12)  # unlimited: no raise
+
+    def test_unknown_resource_rejected(self):
+        with pytest.raises(ValueError):
+            TenantQuota().limit("electricity")
+
+    def test_ledger_snapshot_and_usage_gauge(self):
+        registry = TenantRegistry()
+        registry.charge("acme", "store_bytes", 64)
+        assert registry.ledger.snapshot() == {"acme": {"store_bytes": 64.0}}
+        gauge = telemetry.get_registry().gauge("repro_tenant_usage", "usage")
+        assert gauge.value(tenant="acme", resource="store_bytes") == 64.0
+
+    def test_tenant_context_is_scoped(self):
+        assert current_tenant() == DEFAULT_TENANT
+        with tenant_context("acme"):
+            assert current_tenant() == "acme"
+            with tenant_context("globex"):
+                assert current_tenant() == "globex"
+            assert current_tenant() == "acme"
+        assert current_tenant() == DEFAULT_TENANT
+
+
+class TestQuotaScheduling:
+    def cluster(self, tenants=None, num_nodes=3, gpus=3):
+        manager = ClusterManager(tenants=tenants)
+        for i in range(num_nodes):
+            manager.add_node(
+                Node(f"n{i}", capacity=Resources(cpus=8, gpus=gpus, memory_gb=64))
+            )
+        return manager
+
+    def test_over_quota_job_queues_then_drains(self):
+        tenants = TenantRegistry()
+        tenants.register("acme", quota=TenantQuota(trials=2))
+        manager = self.cluster(tenants)
+        first = manager.submit_job(JobKind.TRAIN, "a", num_workers=2, tenant="acme")
+        second = manager.submit_job(JobKind.TRAIN, "b", num_workers=2, tenant="acme")
+        assert first.state is JobState.RUNNING
+        assert second.state is JobState.PENDING
+        assert second.pending_reason == "quota"
+        manager.stop_job(first.job_id)
+        assert second.state is JobState.RUNNING
+        assert manager.pending_jobs() == []
+
+    def test_queue_false_fails_fast_on_quota(self):
+        tenants = TenantRegistry()
+        tenants.register("acme", quota=TenantQuota(trials=1))
+        manager = self.cluster(tenants)
+        with pytest.raises(QuotaExceededError):
+            manager.submit_job(
+                JobKind.TRAIN, "big", num_workers=2, tenant="acme", queue=False
+            )
+        assert manager.jobs == {}
+        assert tenants.usage("acme", "trials") == 0.0
+
+    def test_quota_released_on_stop_only_if_charged(self):
+        tenants = TenantRegistry()
+        tenants.register("acme", quota=TenantQuota(trials=4))
+        manager = self.cluster(tenants)
+        job = manager.submit_job(JobKind.TRAIN, "a", num_workers=3, tenant="acme")
+        assert tenants.usage("acme", "trials") == 3.0
+        manager.stop_job(job.job_id)
+        assert tenants.usage("acme", "trials") == 0.0
+        manager.stop_job(job.job_id)  # double stop must not go negative
+        assert tenants.usage("acme", "trials") == 0.0
+
+    def test_pending_job_holds_no_quota(self):
+        tenants = TenantRegistry()
+        tenants.register("acme", quota=TenantQuota(trials=1))
+        manager = self.cluster(tenants)
+        manager.submit_job(JobKind.TRAIN, "a", num_workers=1, tenant="acme")
+        queued = manager.submit_job(JobKind.TRAIN, "b", num_workers=1, tenant="acme")
+        assert queued.state is JobState.PENDING
+        assert tenants.usage("acme", "trials") == 1.0
+        manager.stop_job(queued.job_id)  # stopping a pending job releases nothing
+        assert tenants.usage("acme", "trials") == 1.0
+
+    def test_fair_share_prefers_smaller_tenant(self):
+        tenants = TenantRegistry()
+        manager = self.cluster(tenants)
+        # acme holds 6 of 9 gpus, globex 2; both queue one more job.
+        acme1 = manager.submit_job(JobKind.TRAIN, "a1", num_workers=3, tenant="acme")
+        manager.submit_job(JobKind.TRAIN, "a2", num_workers=3, tenant="acme")
+        manager.submit_job(JobKind.TRAIN, "g1", num_workers=2, tenant="globex")
+        acme3 = manager.submit_job(JobKind.TRAIN, "a3", num_workers=3, tenant="acme")
+        globex2 = manager.submit_job(JobKind.TRAIN, "g2", num_workers=3, tenant="globex")
+        assert acme3.state is JobState.PENDING
+        assert globex2.state is JobState.PENDING
+        # Freeing acme's first job leaves room for exactly one pending
+        # job; max-min fairness picks globex (smaller dominant share)
+        # even though acme's job queued first.
+        manager.stop_job(acme1.job_id)
+        assert globex2.state is JobState.RUNNING
+        assert acme3.state is JobState.PENDING
+
+    def test_priority_breaks_ties_within_tenant(self):
+        manager = self.cluster(num_nodes=1, gpus=2)
+        running = manager.submit_job(JobKind.TRAIN, "hold", num_workers=2)
+        low = manager.submit_job(JobKind.TRAIN, "low", num_workers=2, priority=0)
+        high = manager.submit_job(JobKind.TRAIN, "high", num_workers=2, priority=5)
+        assert low.state is high.state is JobState.PENDING
+        manager.stop_job(running.job_id)
+        assert high.state is JobState.RUNNING
+        assert low.state is JobState.PENDING
+
+    def test_add_node_drains_pending(self):
+        manager = self.cluster(num_nodes=1, gpus=1)
+        queued = manager.submit_job(JobKind.TRAIN, "big", num_workers=3)
+        assert queued.state is JobState.PENDING
+        manager.add_node(Node("n9", capacity=Resources(cpus=8, gpus=4, memory_gb=64)))
+        assert queued.state is JobState.RUNNING
+
+    def test_pending_jobs_gauge_tracks_queue(self):
+        manager = self.cluster(num_nodes=1, gpus=1)
+        queued = manager.submit_job(JobKind.TRAIN, "big", num_workers=3)
+        gauge = telemetry.get_registry().gauge("repro_cluster_pending_jobs", "pending")
+        assert gauge.value() == 1
+        manager.stop_job(queued.job_id)
+        assert gauge.value() == 0
+
+
+class TestSpreadAntiAffinity:
+    def test_spread_replicas_avoid_stacking_on_one_big_node(self):
+        # Regression: one over-provisioned node used to absorb every
+        # replica of a spread job because the sort only looked at free
+        # resources — breaking the block store's host-diversity
+        # assumption.
+        manager = ClusterManager()
+        manager.add_node(Node("big", capacity=Resources(cpus=64, gpus=24, memory_gb=512)))
+        manager.add_node(Node("s1", capacity=Resources(cpus=8, gpus=3, memory_gb=64)))
+        manager.add_node(Node("s2", capacity=Resources(cpus=8, gpus=3, memory_gb=64)))
+        job = manager.submit_job(JobKind.INFERENCE, "svc", num_workers=3, spread=True)
+        worker_nodes = [c.node_name for c in job.workers]
+        assert len(set(worker_nodes)) == 3, (
+            f"spread replicas stacked: {worker_nodes}"
+        )
+
+    def test_spread_still_reuses_nodes_when_it_must(self):
+        manager = ClusterManager()
+        manager.add_node(Node("n0", capacity=Resources(cpus=8, gpus=4, memory_gb=64)))
+        manager.add_node(Node("n1", capacity=Resources(cpus=8, gpus=1, memory_gb=64)))
+        job = manager.submit_job(JobKind.INFERENCE, "svc", num_workers=4, spread=True)
+        assert len(job.workers) == 4  # anti-affinity is a preference, not a veto
+        assert {c.node_name for c in job.workers} == {"n0", "n1"}
+
+
+class TestStopDegradedJob:
+    def test_stop_degraded_job_purges_queued_restarts(self):
+        # Regression guard: a DEGRADED job queues its lost containers in
+        # _pending_restarts; stopping the job must drop them so a later
+        # recover_node does not resurrect containers of a dead job (and
+        # the pending-restarts gauge must not report ghosts).
+        manager = ClusterManager()
+        for i in range(2):
+            manager.add_node(
+                Node(f"n{i}", capacity=Resources(cpus=8, gpus=2, memory_gb=64))
+            )
+        job = manager.submit_job(JobKind.TRAIN, "t", num_workers=4)
+        lost = job.containers[0].node_name
+        manager.fail_node(lost)
+        assert job.state is JobState.DEGRADED
+        gauge = telemetry.get_registry().gauge(
+            "repro_cluster_pending_restarts", "pending restarts"
+        )
+        assert gauge.value() > 0
+        manager.stop_job(job.job_id)
+        assert gauge.value() == 0
+        started = manager.recover_node(lost)
+        assert started == []
+        assert all(not c.running for c in job.containers)
+        assert all(node.allocated.gpus == 0 for node in manager.nodes.values())
+
+
+class TestByteQuotas:
+    def test_ps_put_over_quota_stores_nothing(self):
+        tenants = TenantRegistry()
+        tenants.register("acme", quota=TenantQuota(ps_bytes=100))
+        server = ParameterServer(tenants=tenants)
+        big = {"w": np.zeros((64, 64))}
+        with tenant_context("acme"):
+            with pytest.raises(QuotaExceededError):
+                server.put("ckpt", big, model="m", dataset="d", performance=0.5)
+        assert server.keys() == []
+        assert tenants.usage("acme", "ps_bytes") == 0.0
+
+    def test_ps_delete_releases_bytes(self):
+        tenants = TenantRegistry()
+        tenants.register("acme", quota=TenantQuota(ps_bytes=10**6))
+        server = ParameterServer(tenants=tenants)
+        with tenant_context("acme"):
+            server.put("ckpt", {"w": np.zeros(16)}, model="m", dataset="d",
+                       performance=0.5)
+        assert tenants.usage("acme", "ps_bytes") > 0
+        server.delete("ckpt")
+        assert tenants.usage("acme", "ps_bytes") == 0.0
+
+    def test_store_blob_quota_and_overwrite_headroom(self):
+        tenants = TenantRegistry()
+        tenants.register("acme", quota=TenantQuota(store_bytes=1000))
+        store = DataStore("hdfs", tenants=tenants)
+        with tenant_context("acme"):
+            store.put_blob("a/blob", b"x" * 900)
+            with pytest.raises(QuotaExceededError):
+                store.put_blob("a/other", b"x" * 200)
+            # Overwriting the same path releases the displaced version's
+            # charge first, so a same-size rewrite fits.
+            store.put_blob("a/blob", b"y" * 950)
+        assert tenants.usage("acme", "store_bytes") == 950.0
+        store.delete_blob("a/blob")
+        assert tenants.usage("acme", "store_bytes") == 0.0
+
+
+class TestGatewayTenancy:
+    def test_suspended_tenant_gets_403(self):
+        system = Rafiki(seed=5)
+        system.tenants.register("acme")
+        system.tenants.suspend("acme")
+        gateway = Gateway(system)
+        response = gateway.handle("GET", "/datasets", tenant="acme")
+        assert response.status == 403
+        assert response.body["tenant"] == "acme"
+
+    def test_tenant_from_body_field(self):
+        system = Rafiki(seed=5)
+        system.tenants.register("acme")
+        system.tenants.suspend("acme")
+        gateway = Gateway(system)
+        response = gateway.handle("POST", "/train", {"tenant": "acme"})
+        assert response.status == 403
+
+    def test_quota_denied_train_gets_429(self, dataset):
+        from repro.core.tune import SurrogateTrainer
+
+        system = Rafiki(seed=5)
+        system.tenants.register("acme", quota=TenantQuota(trials=0))
+        system.import_images(dataset)
+        gateway = Gateway(system)
+        response = gateway.handle(
+            "POST", "/train",
+            {
+                "name": "t", "task": "ImageClassification", "dataset": "food",
+                "num_workers": 2,
+            },
+            tenant="acme",
+        )
+        assert response.status == 429
+        assert response.body["reason"] == "quota"
+        assert response.body["tenant"] == "acme"
+        assert response.body["resource"] == "trials"
+        assert response.body["retry_after"] > 0
+        del SurrogateTrainer  # imported for parity with sibling tests
+
+    def test_requests_counter_carries_tenant_label(self):
+        system = Rafiki(seed=5)
+        gateway = Gateway(system)
+        gateway.handle("GET", "/datasets", tenant="acme")
+        counter = telemetry.get_registry().counter(
+            "repro_gateway_requests_total", "requests"
+        )
+        assert counter.value(
+            method="GET", route="/datasets", status="200", tenant="acme"
+        ) == 1
+
+    def test_train_job_records_tenant(self, dataset):
+        system = Rafiki(seed=5)
+        system.import_images(dataset)
+        gateway = Gateway(system)
+        response = gateway.handle(
+            "POST", "/train",
+            {
+                "name": "t", "task": "ImageClassification", "dataset": "food",
+                "hyper": {"max_trials": 2, "max_epochs_per_trial": 3},
+            },
+            tenant="acme",
+        )
+        assert response.ok
+        info = system.get_train_job(response.body["job_id"])
+        assert info.tenant == "acme"
+
+
+class TestHyperValidation:
+    def test_unknown_hyper_field_is_400(self):
+        # Regression: HyperConf(**{"max_trialz": 5}) used to raise
+        # TypeError out of the gateway, crashing the caller instead of
+        # answering 400.
+        system = Rafiki(seed=5)
+        gateway = Gateway(system)
+        response = gateway.handle(
+            "POST", "/train",
+            {
+                "name": "t", "task": "ImageClassification", "dataset": "d",
+                "hyper": {"max_trialz": 5},
+            },
+        )
+        assert response.status == 400
+        assert "max_trialz" in response.body["error"]
+        assert "valid fields" in response.body["error"]
+
+    def test_non_object_hyper_is_400(self):
+        system = Rafiki(seed=5)
+        gateway = Gateway(system)
+        response = gateway.handle(
+            "POST", "/train",
+            {
+                "name": "t", "task": "ImageClassification", "dataset": "d",
+                "hyper": [1, 2, 3],
+            },
+        )
+        assert response.status == 400
+        assert "must be an object" in response.body["error"]
+
+    def test_invalid_hyper_value_is_400(self):
+        system = Rafiki(seed=5)
+        gateway = Gateway(system)
+        response = gateway.handle(
+            "POST", "/train",
+            {
+                "name": "t", "task": "ImageClassification", "dataset": "d",
+                "hyper": {"max_trials": -3},
+            },
+        )
+        assert response.status == 400
+
+    def test_parse_hyper_accepts_valid_kwargs(self):
+        conf = Gateway._parse_hyper({"max_trials": 4, "max_epochs_per_trial": 2})
+        assert isinstance(conf, HyperConf)
+        assert conf.max_trials == 4
+        assert Gateway._parse_hyper({}) is None
+
+
+class TestBatchShapeIsolation:
+    def _deployed(self, dataset):
+        system = Rafiki(seed=5)
+        system.import_images(dataset)
+        job_id = system.create_train_job(
+            "t", "ImageClassification", "food", hyper=quick_hyper()
+        )
+        infer_id = system.create_inference_job(system.get_models(job_id))
+        return system, infer_id
+
+    def test_wrong_shape_fails_one_request_not_the_batch(self, dataset):
+        # Regression: one client's wrong-shaped image used to blow up
+        # np.stack over the whole batch, shedding every co-batched
+        # client's request as executor_error.
+        from repro.core.serve.frontend import AsyncServeFrontend, FrontendConfig
+
+        system, infer_id = self._deployed(dataset)
+        gateway = Gateway(system)
+        cfg = FrontendConfig(
+            latency=lambda b: 0.001, tau=0.5, batch_sizes=(1, 2, 4, 8),
+            max_queue=16,
+        )
+        frontend = AsyncServeFrontend(cfg, make_query_executor(system, infer_id))
+        gateway.attach_frontend(infer_id, frontend)
+
+        good = dataset.test_x[0].tolist()
+        bad = np.zeros((2, 2)).tolist()
+
+        async def scenario():
+            async with frontend:
+                return await asyncio.gather(*(
+                    gateway.handle_async(
+                        "POST", f"/query/{infer_id}",
+                        {"img": bad if i == 1 else good},
+                        client_id=f"c{i}",
+                    )
+                    for i in range(4)
+                ))
+
+        responses = asyncio.run(scenario())
+        statuses = [r.status for r in responses]
+        assert statuses.count(400) == 1
+        assert statuses.count(200) == 3
+        bad_response = responses[statuses.index(400)]
+        assert "shape" in bad_response.body["error"]
+        for response in responses:
+            if response.status == 200:
+                assert "label" in response.body
+        gateway.detach_frontend(infer_id)
+
+    def test_ragged_payload_fails_alone(self, dataset):
+        executor = make_query_executor(*self._deployed(dataset))
+        good = dataset.test_x[0].tolist()
+        ragged = [[1.0, 2.0], [3.0]]
+        results = executor([good, ragged, good], batch_size=3)
+        assert isinstance(results[1], GatewayError)
+        assert results[0]["label"] is not None
+        assert results[2]["label"] is not None
+
+
+class TestFrontendTenantLimits:
+    def make(self, **kwargs):
+        from repro.core.serve.frontend import FrontendConfig, ServeFrontend
+
+        config = FrontendConfig(
+            latency=lambda b: 0.01, tau=0.5, max_queue=kwargs.pop("max_queue", 8),
+            **kwargs,
+        )
+        return ServeFrontend(config)
+
+    def test_tenant_bucket_spans_clients(self):
+        from repro.exceptions import RequestShedError
+
+        frontend = self.make(tenant_rate_limit=2.0, tenant_burst=2.0)
+        frontend.offer("c1", None, 0.0, tenant="acme")
+        frontend.offer("c2", None, 0.0, tenant="acme")
+        with pytest.raises(RequestShedError) as excinfo:
+            frontend.offer("c3", None, 0.0, tenant="acme")
+        assert excinfo.value.reason == "tenant_rate_limit"
+        # another tenant is unaffected by acme's exhausted bucket
+        assert frontend.offer("c4", None, 0.0, tenant="globex")
+
+    def test_tenant_queue_share_caps_one_tenant(self):
+        from repro.exceptions import RequestShedError
+
+        frontend = self.make(max_queue=8, tenant_max_queue_share=0.25)
+        frontend.offer("a1", None, 0.0, tenant="acme")
+        frontend.offer("a2", None, 0.0, tenant="acme")
+        with pytest.raises(RequestShedError) as excinfo:
+            frontend.offer("a3", None, 0.0, tenant="acme")
+        assert excinfo.value.reason == "tenant_queue_full"
+        assert frontend.offer("g1", None, 0.0, tenant="globex")
+
+    def test_tenant_outcome_accounting(self):
+        frontend = self.make(tenant_rate_limit=1.0, tenant_burst=1.0)
+        frontend.offer("c1", None, 0.0, tenant="acme")
+        try:
+            frontend.offer("c2", None, 0.0, tenant="acme")
+        except Exception:
+            pass
+        assert frontend.tenant_outcomes["acme"]["admitted"] == 1
+        assert frontend.tenant_outcomes["acme"]["tenant_rate_limit"] == 1
+
+
+class TestSDKTenancy:
+    def test_connect_tenant_flows_to_gateway(self, dataset):
+        system = Rafiki(seed=5)
+        system.tenants.register("acme")
+        system.tenants.suspend("acme")
+        sdk.connect(system, tenant="acme")
+        try:
+            with pytest.raises(GatewayError, match="403"):
+                sdk.Train(
+                    name="t", data="food", task="ImageClassification"
+                ).run()
+        finally:
+            sdk.connect(None)
+
+    def test_explicit_tenant_overrides_session_tenant(self):
+        system = Rafiki(seed=5)
+        system.tenants.register("bad")
+        system.tenants.suspend("bad")
+        sdk.connect(system, tenant="good")
+        try:
+            with pytest.raises(GatewayError, match="403"):
+                sdk.query("nojob", {"img": [1.0]}, tenant="bad")
+            # session tenant "good" is fine; failure is now just 404
+            with pytest.raises(GatewayError, match="404"):
+                sdk.query("nojob", {"img": [1.0]})
+        finally:
+            sdk.connect(None)
+
+    def test_set_tenant(self):
+        system = Rafiki(seed=5)
+        system.tenants.register("acme")
+        system.tenants.suspend("acme")
+        sdk.connect(system)
+        try:
+            sdk.set_tenant("acme")
+            with pytest.raises(GatewayError, match="403"):
+                sdk.query("nojob", {"img": [1.0]})
+            sdk.set_tenant(None)
+            with pytest.raises(GatewayError, match="404"):
+                sdk.query("nojob", {"img": [1.0]})
+        finally:
+            sdk.connect(None)
+
+
+@pytest.mark.chaos
+class TestTenantIsolationScenario:
+    def test_isolation_gate_holds(self):
+        from repro.chaos.scenarios import run_tenant_isolation_scenario
+
+        out = run_tenant_isolation_scenario(seed=3)
+        cluster = out["results"]["cluster"]
+        isolation = out["results"]["isolation"]
+        assert cluster["b1_survived_crash_loop"]
+        assert cluster["fair_share_winner"] == "tenant-b"
+        assert isolation["zero_b_sheds"]
+        assert isolation["b_p99_within_2tau"]
+        assert out["faults_injected"] > 0
+        assert out["points_hit"] == ["frontend.accept.tenant.tenant-a"]
+
+    def test_trace_bit_identical_per_seed(self):
+        from repro.chaos.scenarios import run_tenant_isolation_scenario
+
+        first = run_tenant_isolation_scenario(seed=0)
+        second = run_tenant_isolation_scenario(seed=0)
+        assert first["trace"] == second["trace"]
+        different = run_tenant_isolation_scenario(seed=9)
+        assert different["trace"] != first["trace"]
