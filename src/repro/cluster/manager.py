@@ -372,7 +372,9 @@ class ClusterManager:
         ]
         weight = 1.0
         if self.tenants is not None:
-            weight = max(self.tenants.resolve(tenant).weight, 1e-9)
+            # weight_of never raises: a suspended tenant with queued
+            # jobs must not wedge ranking for everyone else.
+            weight = max(self.tenants.weight_of(tenant), 1e-9)
         return max(shares) / weight
 
     def _rank_pending(self) -> list[JobRecord]:

@@ -104,6 +104,17 @@ class TokenBucket:
             return 0.0
         return (cost - self.tokens) / self.rate
 
+    def peek(self, now: float, cost: float = 1.0) -> float:
+        """The ``retry_after`` a :meth:`try_take` at ``now`` would return.
+
+        Refills but never spends, so admission pipelines can test every
+        predicate before consuming any token.
+        """
+        self._refill(now)
+        if self.tokens + 1e-12 >= cost:
+            return 0.0
+        return (cost - self.tokens) / self.rate
+
     def available(self, now: float) -> float:
         """Tokens available at ``now`` (after lazy refill)."""
         self._refill(now)
@@ -377,25 +388,32 @@ class ServeFrontend:
             raise self._shed(
                 "fault", self.batcher.backoff, now, detail=str(exc), tenant=tenant
             ) from exc
+        # Peek both buckets first and only debit them once every other
+        # admission check has passed: a request shed later in the
+        # pipeline must not consume a token, or one throttled client
+        # (or a full queue) would drain its tenant's bucket and shed
+        # well-behaved co-tenant clients as tenant_rate_limit.
         tenant_rate = self._tenant_rate(tenant)
+        tenant_bucket = None
         if tenant_rate is not None:
-            bucket = self._tenant_buckets.get(tenant)
-            if bucket is None:
-                bucket = self._tenant_buckets[tenant] = TokenBucket(
+            tenant_bucket = self._tenant_buckets.get(tenant)
+            if tenant_bucket is None:
+                tenant_bucket = self._tenant_buckets[tenant] = TokenBucket(
                     tenant_rate, self.config.tenant_burst
                 )
-            wait = bucket.try_take(now)
+            wait = tenant_bucket.peek(now)
             if wait > 0.0:
                 raise self._shed(
                     "tenant_rate_limit", wait, now, client_id=client_id, tenant=tenant
                 )
+        client_bucket = None
         if self.config.rate_limit is not None:
-            bucket = self._buckets.get(client_id)
-            if bucket is None:
-                bucket = self._buckets[client_id] = TokenBucket(
+            client_bucket = self._buckets.get(client_id)
+            if client_bucket is None:
+                client_bucket = self._buckets[client_id] = TokenBucket(
                     self.config.rate_limit, self.config.burst
                 )
-            wait = bucket.try_take(now)
+            wait = client_bucket.peek(now)
             if wait > 0.0:
                 raise self._shed(
                     "rate_limit", wait, now, client_id=client_id, tenant=tenant
@@ -418,6 +436,10 @@ class ServeFrontend:
             raise self._shed(
                 "deadline", delay - budget, now, client_id=client_id, tenant=tenant
             )
+        if tenant_bucket is not None:
+            tenant_bucket.try_take(now)
+        if client_bucket is not None:
+            client_bucket.try_take(now)
         self._seq += 1
         request = FrontendRequest(
             seq=self._seq,

@@ -222,21 +222,27 @@ class DataStore:
     def put_blob(self, path: str, blob: bytes) -> None:
         """Store ``blob`` under ``path`` (a new version if it exists).
 
-        With a tenant registry attached, the write is charged against
-        the ambient tenant's ``store_bytes`` quota *before* any chunk
-        is stored (a denied write stores nothing); the charge for the
-        displaced current version, if any, is released.
+        With a tenant registry attached, the ambient tenant's
+        ``store_bytes`` quota is checked *before* any chunk is stored
+        (a denied write stores nothing) but charged only once the
+        write lands (a failed write charges nothing); the charge for
+        the displaced current version, if any, is then released.
         """
+        tenant = displaced = None
         if self.tenants is not None:
             tenant = current_tenant()
             displaced = self._blob_charges.get(path)
             headroom = displaced[1] if displaced and displaced[0] == tenant else 0
             self.tenants.check(tenant, "store_bytes", len(blob) - headroom)
+        # Write first, mutate the ledger only on success: a failed
+        # write must leave no phantom charge and must not release the
+        # displaced version's charge while that version still exists.
+        self.fs.write(path, bytes(blob), writer=self.name)
+        if self.tenants is not None:
             if displaced is not None:
                 self.tenants.release(displaced[0], "store_bytes", displaced[1])
             self.tenants.ledger.charge(tenant, "store_bytes", len(blob))
             self._blob_charges[path] = (tenant, len(blob))
-        self.fs.write(path, bytes(blob), writer=self.name)
         self.bytes_written += len(blob)
 
     def get_blob(self, path: str, version: int | None = None) -> bytes:

@@ -160,10 +160,20 @@ class ParameterServer:
         if self.tenants is not None:
             entry.tenant = current_tenant()
             self.tenants.charge(entry.tenant, "ps_bytes", entry.nbytes)
+        state_copy = {name: value.copy() for name, value in state.items()}
+        try:
+            self._store.put_blob(
+                entry.path, pickle.dumps(state_copy, pickle.HIGHEST_PROTOCOL)
+            )
+        except BaseException:
+            # The blob never landed (store quota denial, injected
+            # fault): roll back the ps_bytes charge and record no
+            # version, or get() of a phantom entry would fail later.
+            if self.tenants is not None:
+                self.tenants.release(entry.tenant, "ps_bytes", entry.nbytes)
+            raise
         versions = self._entries.setdefault(key, [])
         versions.append(entry)
-        state_copy = {name: value.copy() for name, value in state.items()}
-        self._store.put_blob(entry.path, pickle.dumps(state_copy, pickle.HIGHEST_PROTOCOL))
         self._cache.put(entry.path, state_copy)
         self._stored_bytes += entry.nbytes
         registry = telemetry.get_registry()

@@ -165,6 +165,16 @@ class TenantRegistry:
         """All registered tenants, sorted by name."""
         return [self._tenants[name] for name in sorted(self._tenants)]
 
+    def weight_of(self, name: str) -> float:
+        """Fair-share weight of ``name`` (1.0 when unregistered).
+
+        Unlike :meth:`resolve` this never raises: scheduler maths must
+        stay well-defined for suspended tenants whose jobs are still
+        queued, otherwise one suspension would wedge the whole queue.
+        """
+        tenant = self._tenants.get(name)
+        return tenant.weight if tenant is not None else 1.0
+
     # ------------------------------------------------------------------
     # quota enforcement
     # ------------------------------------------------------------------

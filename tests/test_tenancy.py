@@ -19,6 +19,7 @@ from repro.exceptions import (
     GatewayError,
     PlacementError,
     QuotaExceededError,
+    StorageError,
     TenantAccessError,
 )
 from repro.paramserver import ParameterServer
@@ -197,6 +198,28 @@ class TestQuotaScheduling:
         manager.add_node(Node("n9", capacity=Resources(cpus=8, gpus=4, memory_gb=64)))
         assert queued.state is JobState.RUNNING
 
+    def test_suspended_tenant_queued_job_does_not_wedge_scheduling(self):
+        # Regression: _dominant_share used to resolve() the tenant,
+        # so a suspended tenant with a queued job made every
+        # add_node/stop_job raise TenantAccessError.
+        tenants = TenantRegistry()
+        tenants.register("noisy", quota=TenantQuota(trials=1))
+        manager = self.cluster(tenants, num_nodes=1, gpus=2)
+        first = manager.submit_job(JobKind.TRAIN, "n1", num_workers=1, tenant="noisy")
+        queued = manager.submit_job(JobKind.TRAIN, "n2", num_workers=1, tenant="noisy")
+        assert queued.state is JobState.PENDING
+        tenants.suspend("noisy")
+        manager.add_node(Node("n9", capacity=Resources(cpus=8, gpus=4, memory_gb=64)))
+        # the suspended tenant's job stays queued, but the cluster
+        # keeps operating for everyone else
+        assert queued.state is JobState.PENDING
+        other = manager.submit_job(JobKind.TRAIN, "g", num_workers=1, tenant="globex")
+        assert other.state is JobState.RUNNING
+        # reinstating lets the queue drain again once quota frees up
+        tenants.reinstate("noisy")
+        manager.stop_job(first.job_id)
+        assert queued.state is JobState.RUNNING
+
     def test_pending_jobs_gauge_tracks_queue(self):
         manager = self.cluster(num_nodes=1, gpus=1)
         queued = manager.submit_job(JobKind.TRAIN, "big", num_workers=3)
@@ -280,6 +303,54 @@ class TestByteQuotas:
         assert tenants.usage("acme", "ps_bytes") > 0
         server.delete("ckpt")
         assert tenants.usage("acme", "ps_bytes") == 0.0
+
+    def test_ps_put_store_quota_denial_leaves_no_phantom_version(self):
+        # Regression: _put_once used to charge ps_bytes and append the
+        # entry before put_blob, so a store_bytes denial left a phantom
+        # version (whose get() failed) and a leaked ps_bytes charge.
+        tenants = TenantRegistry()
+        tenants.register("acme", quota=TenantQuota(store_bytes=10))
+        store = DataStore("hdfs", tenants=tenants)
+        server = ParameterServer(store=store, tenants=tenants)
+        with tenant_context("acme"):
+            with pytest.raises(QuotaExceededError):
+                server.put("ckpt", {"w": np.zeros(64)}, model="m", dataset="d",
+                           performance=0.5)
+        assert server.keys() == []
+        assert tenants.usage("acme", "ps_bytes") == 0.0
+        assert tenants.usage("acme", "store_bytes") == 0.0
+        # after lifting the quota, the next put starts clean at v1 and
+        # its state is readable
+        tenants.register("acme", quota=TenantQuota())
+        with tenant_context("acme"):
+            entry = server.put("ckpt", {"w": np.ones(4)}, model="m", dataset="d",
+                               performance=0.5)
+        assert entry.version == 1
+        np.testing.assert_array_equal(server.get("ckpt")["w"], np.ones(4))
+
+    def test_store_write_failure_leaves_no_phantom_charge(self, monkeypatch):
+        # Regression: put_blob used to mutate the ledger before
+        # fs.write, so a storage fault leaked a store_bytes charge and
+        # prematurely released the displaced version's charge.
+        tenants = TenantRegistry()
+        tenants.register("acme", quota=TenantQuota(store_bytes=1000))
+        store = DataStore("hdfs", tenants=tenants)
+        with tenant_context("acme"):
+            store.put_blob("a/blob", b"x" * 100)
+
+            def boom(*args, **kwargs):
+                raise StorageError("injected disk fault")
+
+            monkeypatch.setattr(store.fs, "write", boom)
+            with pytest.raises(StorageError):
+                store.put_blob("a/blob", b"y" * 200)
+        monkeypatch.undo()
+        # old version intact and still the one charged
+        assert tenants.usage("acme", "store_bytes") == 100.0
+        assert store.get_blob("a/blob") == b"x" * 100
+        with tenant_context("acme"):
+            store.put_blob("a/blob", b"z" * 1000)  # headroom from v1 still counts
+        assert tenants.usage("acme", "store_bytes") == 1000.0
 
     def test_store_blob_quota_and_overwrite_headroom(self):
         tenants = TenantRegistry()
@@ -507,6 +578,44 @@ class TestFrontendTenantLimits:
             frontend.offer("a3", None, 0.0, tenant="acme")
         assert excinfo.value.reason == "tenant_queue_full"
         assert frontend.offer("g1", None, 0.0, tenant="globex")
+
+    def test_shed_request_does_not_consume_tenant_token(self):
+        # Regression: the tenant bucket used to be debited before the
+        # per-client and queue checks, so one throttled client drained
+        # its tenant's bucket and co-tenant clients were shed as
+        # tenant_rate_limit despite the admitted rate being in budget.
+        from repro.exceptions import RequestShedError
+
+        frontend = self.make(
+            max_queue=32, tenant_rate_limit=10.0, tenant_burst=10.0,
+            rate_limit=1.0, burst=1.0,
+        )
+        frontend.offer("hot", None, 0.0, tenant="acme")
+        for _ in range(8):
+            with pytest.raises(RequestShedError) as excinfo:
+                frontend.offer("hot", None, 0.0, tenant="acme")
+            assert excinfo.value.reason == "rate_limit"
+        # the hot client's sheds left 9 tenant tokens for well-behaved
+        # co-tenant clients
+        for i in range(9):
+            frontend.offer(f"c{i}", None, 0.0, tenant="acme")
+        with pytest.raises(RequestShedError) as excinfo:
+            frontend.offer("c9", None, 0.0, tenant="acme")
+        assert excinfo.value.reason == "tenant_rate_limit"
+
+    def test_queue_full_shed_does_not_consume_tenant_token(self):
+        from repro.exceptions import RequestShedError
+
+        frontend = self.make(
+            max_queue=2, tenant_rate_limit=100.0, tenant_burst=100.0,
+        )
+        frontend.offer("c1", None, 0.0, tenant="acme")
+        frontend.offer("c2", None, 0.0, tenant="acme")
+        before = frontend._tenant_buckets["acme"].available(0.0)
+        with pytest.raises(RequestShedError) as excinfo:
+            frontend.offer("c3", None, 0.0, tenant="acme")
+        assert excinfo.value.reason in ("queue_full", "deadline")
+        assert frontend._tenant_buckets["acme"].available(0.0) == before
 
     def test_tenant_outcome_accounting(self):
         frontend = self.make(tenant_rate_limit=1.0, tenant_burst=1.0)
